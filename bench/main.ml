@@ -1,0 +1,176 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation section (Figures 7-23) and runs Bechamel micro-benchmarks of
+   the collector's hot paths.
+
+   Usage:
+     main.exe                 regenerate every figure (headline at scale 0.5,
+                              sweeps at scale 0.25)
+     main.exe fig9 fig21 ...  regenerate selected figures
+     main.exe --quick         everything at reduced scale (CI smoke run)
+     main.exe micro           only the Bechamel micro-benchmarks
+     main.exe --scale 0.4     override the headline scale *)
+
+module Lab = Otfgc_experiments.Lab
+module Registry = Otfgc_experiments.Registry
+module Textable = Otfgc_support.Textable
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot paths                          *)
+(* ------------------------------------------------------------------ *)
+
+module Micro = struct
+  open Bechamel
+  open Toolkit
+  module Heap = Otfgc_heap.Heap
+  module Color = Otfgc_heap.Color
+  module Sched = Otfgc_sched.Sched
+  module Rng = Otfgc_support.Rng
+  open Otfgc
+
+  let kb = 1024
+
+  (* allocation + free round trip on the segregated free lists *)
+  let test_alloc_free =
+    let heap =
+      Heap.create { Heap.initial_bytes = 256 * kb; max_bytes = 256 * kb; card_size = 16 }
+    in
+    Test.make ~name:"heap: alloc+free 32B"
+      (Staged.stage (fun () ->
+           let a = Option.get (Heap.alloc heap ~size:32 ~n_slots:2 ~color:Color.C0) in
+           Heap.free heap a))
+
+  (* the generational write barrier outside a collection (MarkCard path) *)
+  let test_barrier_idle =
+    let rt =
+      Runtime.create
+        ~heap_config:{ Heap.initial_bytes = 256 * kb; max_bytes = 256 * kb; card_size = 16 }
+        ~gc_config:(Gc_config.generational ()) ()
+    in
+    Runtime.set_fine_grained rt false;
+    let st = Runtime.state rt in
+    let heap = Runtime.heap rt in
+    let x = Option.get (Heap.alloc heap ~size:32 ~n_slots:2 ~color:Color.C0) in
+    let y = Option.get (Heap.alloc heap ~size:32 ~n_slots:0 ~color:Color.C0) in
+    let m = Otfgc.Mutator.create ~id:0 ~name:"bench" ~n_regs:4 in
+    Test.make ~name:"barrier: update (idle, card mark)"
+      (Staged.stage (fun () -> Collector.update st m ~x ~i:0 ~y))
+
+  (* MarkGray on a clear object (shade + push + undo) *)
+  let test_mark_gray =
+    let rt =
+      Runtime.create
+        ~heap_config:{ Heap.initial_bytes = 256 * kb; max_bytes = 256 * kb; card_size = 16 }
+        ~gc_config:(Gc_config.generational ()) ()
+    in
+    Runtime.set_fine_grained rt false;
+    let st = Runtime.state rt in
+    let heap = Runtime.heap rt in
+    let x =
+      Option.get (Heap.alloc heap ~size:32 ~n_slots:0 ~color:st.Otfgc.State.clear_color)
+    in
+    Test.make ~name:"collector: mark_gray + reset"
+      (Staged.stage (fun () ->
+           ignore (Collector.mark_gray st ~sync:false x : bool);
+           Heap.set_color heap x st.Otfgc.State.clear_color;
+           ignore (Otfgc.Gray_queue.pop st.Otfgc.State.gray)))
+
+  (* one full collection cycle over a small populated heap *)
+  let test_full_cycle =
+    Test.make ~name:"collector: full cycle, 64KB heap, ~800 objects"
+      (Staged.stage (fun () ->
+           let rt =
+             Runtime.create
+               ~heap_config:
+                 { Heap.initial_bytes = 64 * kb; max_bytes = 64 * kb; card_size = 16 }
+               ~gc_config:(Gc_config.generational ()) ()
+           in
+           Runtime.set_fine_grained rt false;
+           let sched = Sched.create ~policy:Sched.round_robin () in
+           ignore (Runtime.spawn_collector rt sched);
+           let m = Runtime.new_mutator rt ~name:"m" () in
+           ignore
+             (Sched.spawn sched ~name:"m" (fun () ->
+                  for _ = 1 to 800 do
+                    let a = Runtime.alloc rt m ~size:32 ~n_slots:1 in
+                    Otfgc.Mutator.set_reg m 0 a
+                  done;
+                  ignore (Runtime.collect_and_wait rt m ~full:true);
+                  Runtime.retire_mutator rt m));
+           Sched.run sched))
+
+  let tests =
+    Test.make_grouped ~name:"otfgc" ~fmt:"%s %s"
+      [ test_alloc_free; test_barrier_idle; test_mark_gray; test_full_cycle ]
+
+  let run () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    in
+    let raw = Benchmark.all cfg instances tests in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    print_endline "Micro-benchmarks (monotonic clock, ns/run):";
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Printf.printf "  %-45s %12.1f ns\n" name est
+        | _ -> Printf.printf "  %-45s (no estimate)\n" name)
+      results;
+    print_newline ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Figure regeneration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let scale =
+    let rec find = function
+      | "--scale" :: v :: _ -> float_of_string v
+      | _ :: rest -> find rest
+      | [] -> if quick then 0.15 else 0.5
+    in
+    find args
+  in
+  let fig_ids =
+    List.filter
+      (fun a -> String.length a >= 3 && String.sub a 0 3 = "fig")
+      args
+  in
+  let micro_only = List.mem "micro" args in
+  if micro_only then Micro.run ()
+  else begin
+    let lab_main = Lab.create ~scale () in
+    let lab_sweep = Lab.create ~scale:(scale /. 2.) () in
+    let entries =
+      if fig_ids = [] then Registry.all
+      else
+        List.filter_map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> Some e
+            | None ->
+                Printf.eprintf "unknown figure id %s (fig7..fig23)\n" id;
+                None)
+          fig_ids
+    in
+    Printf.printf
+      "Reproducing %d figure(s) at scale %.2f (sweeps %.2f); workloads and \
+       heaps are 1/8 of the paper's, so compare shapes, not absolutes.\n\n"
+      (List.length entries) scale (scale /. 2.);
+    List.iter
+      (fun e ->
+        let t0 = Unix.gettimeofday () in
+        let lab = if e.Registry.heavy then lab_sweep else lab_main in
+        let table = e.Registry.run lab in
+        Textable.print table;
+        Printf.printf "[%s done in %.1fs]\n\n%!" e.Registry.id
+          (Unix.gettimeofday () -. t0))
+      entries;
+    if fig_ids = [] && not quick then Micro.run ()
+  end

@@ -1,0 +1,239 @@
+(* gcsim — command-line driver for the on-the-fly GC simulator.
+
+   Subcommands:
+     gcsim list                         available workloads and figures
+     gcsim run -w anagram -m gen ...    run one workload, print its summary
+     gcsim compare -w anagram ...       run generational vs baseline
+     gcsim fig fig9 ...                 reproduce selected paper figures *)
+
+open Cmdliner
+module Heap = Otfgc_heap.Heap
+module Gc_config = Otfgc.Gc_config
+module Profile = Otfgc_workloads.Profile
+module Driver = Otfgc_workloads.Driver
+module Run_result = Otfgc_metrics.Run_result
+module Lab = Otfgc_experiments.Lab
+module Registry = Otfgc_experiments.Registry
+module Textable = Otfgc_support.Textable
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let workload_arg =
+  let doc =
+    "Workload to run: mtrt, compress, db, jess, javac, jack, anagram, or \
+     raytracer-N (N render threads)."
+  in
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc)
+
+let mode_arg =
+  let doc =
+    "Collector: gen (default), nongen, aging:N (tenure threshold N),      remset (generational with remembered sets), or adaptive (dynamic      tenuring)."
+  in
+  Arg.(value & opt string "gen" & info [ "m"; "mode" ] ~doc)
+
+let card_arg =
+  let doc = "Card size in bytes (power of two, 16..4096)." in
+  Arg.(value & opt int 16 & info [ "card" ] ~doc)
+
+let young_arg =
+  let doc = "Young-generation trigger in KiB (paper 4 MB = 512 here)." in
+  Arg.(value & opt int 512 & info [ "young" ] ~doc)
+
+let scale_arg =
+  let doc = "Allocation-volume scale factor." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed (scheduler and workload)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let parse_workload name =
+  match Profile.find name with
+  | Some p -> Ok p
+  | None -> (
+      match String.index_opt name '-' with
+      | Some i when String.sub name 0 i = "raytracer" -> (
+          match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+          | Some n when n >= 1 -> Ok (Profile.raytracer ~threads:n)
+          | _ -> Error (`Msg (Printf.sprintf "bad thread count in %S" name)))
+      | _ -> Error (`Msg (Printf.sprintf "unknown workload %S (try: gcsim list)" name)))
+
+let parse_mode ~young s =
+  let young_bytes = young * 1024 in
+  match s with
+  | "gen" -> Ok (Gc_config.generational ~young_bytes:young_bytes ())
+  | "nongen" ->
+      Ok { Gc_config.non_generational with Gc_config.young_bytes }
+  | "remset" ->
+      Ok
+        (Gc_config.generational ~young_bytes
+           ~intergen:Gc_config.Remembered_set ())
+  | "adaptive" -> Ok (Gc_config.adaptive ~young_bytes ())
+  | s when String.length s > 6 && String.sub s 0 6 = "aging:" -> (
+      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some n when n >= 1 -> Ok (Gc_config.aging ~young_bytes ~oldest_age:n ())
+      | _ -> Error (`Msg "aging threshold must be a positive integer"))
+  | s ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown mode %S (gen|nongen|aging:N|remset|adaptive)" s))
+
+let heap_of_card card = { Driver.default_heap with Heap.card_size = card }
+
+(* ------------------------------------------------------------------ *)
+(* gcsim list                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "Workloads (synthetic models of the paper's benchmarks):";
+    List.iter
+      (fun p -> Printf.printf "  %-10s %s\n" p.Profile.name p.Profile.description)
+      Profile.all;
+    Printf.printf "  %-10s %s\n" "raytracer-N"
+      (Profile.raytracer ~threads:2).Profile.description;
+    print_newline ();
+    print_endline "Figures (paper evaluation tables; see EXPERIMENTS.md):";
+    List.iter
+      (fun e -> Printf.printf "  %-6s %s\n" e.Registry.id e.Registry.title)
+      Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and reproducible figures.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* gcsim run                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let trace_arg =
+    let doc = "Print the collector's phase-event timeline after the run." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let run workload mode card young scale seed trace =
+    match parse_workload workload with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok profile -> (
+        match parse_mode ~young mode with
+        | Error (`Msg m) -> prerr_endline m; 1
+        | Ok gc ->
+            let heap = heap_of_card card in
+            if trace then begin
+              (* re-create the driver's wiring with the event log enabled *)
+              let rt = Otfgc.Runtime.create ~heap_config:heap ~gc_config:gc () in
+              Otfgc.Runtime.set_fine_grained rt false;
+              let st = Otfgc.Runtime.state rt in
+              Otfgc.Event_log.set_enabled st.Otfgc.State.events true;
+              let module Sched = Otfgc_sched.Sched in
+              let module Rng = Otfgc_support.Rng in
+              let master = Rng.make seed in
+              let sched =
+                Sched.create ~policy:(Sched.random_policy (Rng.split master)) ()
+              in
+              ignore (Otfgc.Runtime.spawn_collector rt sched);
+              let quota =
+                Stdlib.max 1
+                  (int_of_float (float_of_int profile.Profile.total_alloc *. scale))
+              in
+              for i = 0 to profile.Profile.threads - 1 do
+                let name = Printf.sprintf "t%d" i in
+                let m = Otfgc.Runtime.new_mutator rt ~name () in
+                let rng = Rng.split master in
+                ignore
+                  (Sched.spawn sched ~name (fun () ->
+                       Otfgc_workloads.Engine.run_thread rt m rng ~profile ~quota ();
+                       Otfgc.Runtime.retire_mutator rt m))
+              done;
+              Sched.run sched;
+              Format.printf "%a@." Run_result.pp
+                (Run_result.of_runtime ~workload:profile.Profile.name rt);
+              Format.printf "@.phase timeline (elapsed work units):@.%a@?"
+                Otfgc.Event_log.pp_timeline st.Otfgc.State.events
+            end
+            else begin
+              let r = Driver.run ~heap ~seed ~scale ~gc profile in
+              Format.printf "%a@." Run_result.pp r
+            end;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one collector and print its summary.")
+    Term.(
+      const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
+      $ seed_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gcsim compare                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run workload mode card young scale seed =
+    match parse_workload workload with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok profile -> (
+        match parse_mode ~young mode with
+        | Error (`Msg m) -> prerr_endline m; 1
+        | Ok gc ->
+            let cand, base =
+              Driver.run_pair ~heap:(heap_of_card card) ~seed ~scale ~gc profile
+            in
+            Format.printf "--- %s ---@.%a@.@." cand.Run_result.mode
+              Run_result.pp cand;
+            Format.printf "--- baseline (%s) ---@.%a@.@." base.Run_result.mode
+              Run_result.pp base;
+            Format.printf
+              "improvement: %.1f%% (multiprocessor), %.1f%% (uniprocessor)@."
+              (Run_result.improvement_pct ~baseline:base cand ~multiprocessor:true)
+              (Run_result.improvement_pct ~baseline:base cand
+                 ~multiprocessor:false);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Run a workload under the chosen collector and the non-generational \
+          baseline; print both summaries and the improvement.")
+    Term.(
+      const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gcsim fig                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig_cmd =
+  let ids_arg =
+    let doc = "Figure ids (fig7..fig23); none = all." in
+    Arg.(value & pos_all string [] & info [] ~docv:"FIG" ~doc)
+  in
+  let run ids scale seed =
+    let entries =
+      if ids = [] then Registry.all
+      else
+        List.filter_map
+          (fun id ->
+            match Registry.find id with
+            | Some e -> Some e
+            | None ->
+                Printf.eprintf "unknown figure id %s\n" id;
+                None)
+          ids
+    in
+    let lab = Lab.create ~scale ~seed () in
+    List.iter (fun e -> Textable.print (e.Registry.run lab)) entries;
+    0
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Reproduce paper figures (see EXPERIMENTS.md).")
+    Term.(const run $ ids_arg $ scale_arg $ seed_arg)
+
+let () =
+  let doc =
+    "Simulator for 'A Generational On-the-fly Garbage Collector for Java' \
+     (Domani, Kolodner, Petrank; PLDI 2000)."
+  in
+  let info = Cmd.info "gcsim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; compare_cmd; fig_cmd ]))

@@ -1,0 +1,31 @@
+(* The paper's motivating multithreaded workload: render threads over a
+   shared scene, almost all allocation dying young (Section 8.2).  This
+   example sweeps the thread count and prints the improvement of the
+   generational collector over the non-generational baseline — a miniature
+   of the paper's Figure 7.
+
+   Run with:  dune exec examples/raytracer.exe [-- scale]  *)
+
+open Otfgc
+open Otfgc_workloads
+module R = Otfgc_metrics.Run_result
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.4
+  in
+  Printf.printf
+    "multithreaded Ray Tracer: generational vs non-generational (scale %.2f)\n\n"
+    scale;
+  Printf.printf "%8s  %12s  %10s  %10s\n" "threads" "improvement" "GC% gen"
+    "GC% base";
+  List.iter
+    (fun threads ->
+      let profile = Profile.raytracer ~threads in
+      let gen, base =
+        Driver.run_pair ~scale ~gc:(Gc_config.generational ()) profile
+      in
+      Printf.printf "%8d  %11.1f%%  %9.1f%%  %9.1f%%\n%!" threads
+        (R.improvement_pct ~baseline:base gen ~multiprocessor:true)
+        gen.R.pct_time_gc base.R.pct_time_gc)
+    [ 2; 4; 6; 8; 10 ]

@@ -1,0 +1,29 @@
+type t = {
+  lines : int array; (* tag per set; -1 = empty *)
+  mask : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cards_per_line = 64
+
+let create ?(n_lines = 64) () =
+  if n_lines <= 0 || n_lines land (n_lines - 1) <> 0 then
+    invalid_arg "Card_cache.create: n_lines must be a positive power of two";
+  { lines = Array.make n_lines (-1); mask = n_lines - 1; hits = 0; misses = 0 }
+
+let access t card_index =
+  let line = card_index / cards_per_line in
+  let set = line land t.mask in
+  if t.lines.(set) = line then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.lines.(set) <- line;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let hits t = t.hits
+let misses t = t.misses

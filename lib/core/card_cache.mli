@@ -1,0 +1,23 @@
+(** Toy cache model for card-table accesses by the write barrier.
+
+    Section 8.5.3 of the paper attributes part of the card-size tradeoff to
+    mutator locality: every pointer store touches one card-table byte, so a
+    large table (small cards) accessed at scattered addresses costs cache
+    misses, while a small table (large cards) stays resident.  Work-unit
+    costs alone cannot express this, so the runtime charges an extra miss
+    penalty determined by this direct-mapped cache of card-table lines
+    (64 card bytes per line, like a 64-byte cache line). *)
+
+type t
+
+val create : ?n_lines:int -> unit -> t
+(** Direct-mapped cache with [n_lines] lines (default 64, must be a power
+    of two). *)
+
+val access : t -> int -> bool
+(** [access t card_index] simulates touching the card-table byte for the
+    given card; returns [true] on a hit, [false] on a miss (and installs
+    the line). *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,770 @@
+module Heap = Otfgc_heap.Heap
+module Space = Otfgc_heap.Space
+module Color = Otfgc_heap.Color
+module Card_table = Otfgc_heap.Card_table
+module Age_table = Otfgc_heap.Age_table
+module Page_set = Otfgc_heap.Page_set
+module Remset = Otfgc_heap.Remset
+module Layout = Otfgc_heap.Layout
+module Sched = Otfgc_sched.Sched
+open State
+
+let mode_of st = st.cfg.Gc_config.mode
+
+(* Internal tenuring threshold: the paper allocates objects "with age 1"
+   and promotes at [oldest_age]; our age table starts at 0, so an object is
+   old once it has survived [oldest_age - 1] collections.  The sweep
+   promotes (keeps black, stops aging) when the current sweep is the
+   object's (oldest_age - 1)-th survival, i.e. when age + 1 >= survivals
+   needed; promoted objects are frozen at the age sentinel 255. *)
+let survivals_to_tenure st =
+  match mode_of st with
+  | Gc_config.Generational_aging { oldest_age } -> Stdlib.max 1 (oldest_age - 1)
+  | Gc_config.Generational_adaptive -> Stdlib.max 1 st.tenure_threshold
+  | _ -> 1
+
+(* Between collections, an object is old exactly when it is black: the
+   sweep leaves black only on promoted objects and de-promotes everything
+   else, whatever the threshold.  Figure 6 writes the test as
+   "black && age = oldestAge", which is equivalent under a fixed
+   threshold — but NOT under adaptive tenuring: after the threshold rises,
+   earlier promotions sit at a lower age and the age-qualified test would
+   skip them during the card scan, leaving their young children ungrayed
+   (a reachable-object loss our seed-hunting property tests caught).  The
+   color alone is the invariant. *)
+let is_old st x = Color.equal (Heap.color st.heap x) Color.Black
+
+(* ------------------------------------------------------------------ *)
+(* MarkGray (Figure 1 and Figure 4)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 1: shade objects with the clear color and — in [Generational]
+   mode when the calling mutator is in sync1/sync2 — objects with the
+   allocation color (the "yellow exception" of Section 4, which protects
+   yellow objects created in the window between the card scan and the color
+   toggle).  Figure 4 (aging) and the non-generational DLG barrier shade
+   the clear color only.  A scheduling point sits between the color load
+   and the gray store: the paper's machine model only makes individual
+   loads and stores atomic. *)
+let mark_gray st ~sync x =
+  if x = Heap.nil then false
+  else begin
+    let c = Heap.color st.heap x in
+    State.step st;
+    let shade =
+      Color.equal c st.clear_color
+      || sync
+         && (match mode_of st with
+            | Gc_config.Generational -> Color.equal c st.allocation_color
+            | Gc_config.Non_generational | Gc_config.Generational_aging _
+            | Gc_config.Generational_adaptive ->
+                false)
+    in
+    if shade then begin
+      Heap.set_color st.heap x Color.Gray;
+      Gray_queue.push st.gray x;
+      true
+    end
+    else false
+  end
+
+let charged_mark_gray st ~charge ~sync x =
+  if mark_gray st ~sync x then charge Cost.c_mark_gray
+
+(* Collector-side charge that also paces the collector process: one yield
+   per ~8 work units, so scheduled time advances proportionally to the
+   cost model on both sides — the collector owns a CPU and is not slower
+   per unit of work than the mutators it runs beside. *)
+let charge_tick st k =
+  Cost.collector st.cost k;
+  st.collector_tick <- st.collector_tick + k;
+  if st.collector_tick >= st.collector_speed then begin
+    st.collector_tick <- 0;
+    Sched.yield ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* MarkCard                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Mutator side: dirty the card holding the object's header.  With 16-byte
+   cards this is the paper's "object marking".  The card-cache model
+   charges the locality cost of touching a scattered card table
+   (Section 8.5.3). *)
+let mutator_mark_card st x =
+  let cards = Heap.cards st.heap in
+  let idx = Card_table.card_of_addr cards x in
+  let hit = Card_cache.access st.card_cache idx in
+  Cost.mutator st.cost (Cost.c_mark_card + if hit then 0 else Cost.c_card_miss);
+  State.step st;
+  Card_table.mark_card cards idx
+
+(* Remembered-set alternative (Section 3.1 ablation): remember the exact
+   object instead of dirtying its card.  The dedup flag sits in a side
+   table with the same locality concerns as the card table. *)
+let mutator_record_remset st x =
+  let rs = Heap.remset st.heap in
+  let hit = Card_cache.access st.remset_cache (Layout.granule_index x) in
+  Cost.mutator st.cost (Cost.c_remset_test + if hit then 0 else Cost.c_card_miss);
+  State.step st;
+  if Remset.record rs x then Cost.mutator st.cost Cost.c_remset_append
+
+(* Inter-generational tracking as configured (simple promotion only). *)
+let track_intergen st x =
+  match st.cfg.Gc_config.intergen with
+  | Gc_config.Card_marking -> mutator_mark_card st x
+  | Gc_config.Remembered_set -> mutator_record_remset st x
+
+(* ------------------------------------------------------------------ *)
+(* The write barrier: Update (Figure 1 / Figure 4)                     *)
+(* ------------------------------------------------------------------ *)
+
+let update st m ~x ~i ~y =
+  Cost.mutator st.cost Cost.c_barrier_check;
+  let charge = Cost.mutator st.cost in
+  let in_sync = not (Status.equal (Mutator.status m) Status.Async) in
+  (match mode_of st with
+  | Gc_config.Non_generational ->
+      (* DLG barrier: gray old and new values between the handshakes, gray
+         the old value (deletion barrier) while the collector traces. *)
+      if in_sync then begin
+        let old = Heap.get_slot st.heap x i in
+        State.step st;
+        charged_mark_gray st ~charge ~sync:true old;
+        charged_mark_gray st ~charge ~sync:true y
+      end
+      else if st.tracing then begin
+        let old = Heap.get_slot st.heap x i in
+        State.step st;
+        charged_mark_gray st ~charge ~sync:false old
+      end;
+      State.step st;
+      Heap.set_slot st.heap x i y;
+      Cost.mutator st.cost Cost.c_store
+  | Gc_config.Generational ->
+      (* Figure 1: card marking only during async (Section 7.1); the
+         sync1/sync2 graying of both values — including yellow ones via
+         MarkGray's exception — covers inter-generational pointers created
+         in that window. *)
+      if in_sync then begin
+        let old = Heap.get_slot st.heap x i in
+        State.step st;
+        charged_mark_gray st ~charge ~sync:true old;
+        charged_mark_gray st ~charge ~sync:true y
+      end
+      else if st.tracing then begin
+        let old = Heap.get_slot st.heap x i in
+        State.step st;
+        charged_mark_gray st ~charge ~sync:false old;
+        track_intergen st x
+      end
+      else track_intergen st x;
+      State.step st;
+      Heap.set_slot st.heap x i y;
+      Cost.mutator st.cost Cost.c_store
+  | Gc_config.Generational_aging _ | Gc_config.Generational_adaptive ->
+      (* Figure 4: cards are marked in every phase, and strictly after the
+         store — the ordering half of the Section 7.2 race argument. *)
+      if in_sync then begin
+        let old = Heap.get_slot st.heap x i in
+        State.step st;
+        charged_mark_gray st ~charge ~sync:true old;
+        charged_mark_gray st ~charge ~sync:true y
+      end
+      else if st.tracing then begin
+        let old = Heap.get_slot st.heap x i in
+        State.step st;
+        charged_mark_gray st ~charge ~sync:false old
+      end;
+      State.step st;
+      Heap.set_slot st.heap x i y;
+      Cost.mutator st.cost Cost.c_store;
+      mutator_mark_card st x)
+
+(* ------------------------------------------------------------------ *)
+(* Cooperate (Figure 1)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cooperate st m =
+  Cost.mutator st.cost Cost.c_cooperate;
+  if not (Status.equal (Mutator.status m) st.status_c) then begin
+    let target = st.status_c in
+    if Status.equal (Mutator.status m) Status.Sync2 then
+      (* Responding to the third handshake: mark own roots gray.  The
+         mutator is still in sync2 here, so in [Generational] mode the
+         yellow exception applies to its roots as well. *)
+      Mutator.iter_roots m (fun r ->
+          Cost.mutator st.cost Cost.c_root;
+          State.step st;
+          charged_mark_gray st ~charge:(Cost.mutator st.cost) ~sync:true r);
+    State.step st;
+    Mutator.set_status m target
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Create's color choice                                               *)
+(* ------------------------------------------------------------------ *)
+
+let allocation_color st =
+  match mode_of st with
+  | Gc_config.Non_generational ->
+      (* Remark 5.1 baseline.  The create color must follow the phase as
+         the *mutators* can witness it: before the third handshake a
+         mutator's write barrier may not be active yet, so objects created
+         then must get the clear color — they are protected by the root
+         marking at the mutator's own third-handshake response (and by the
+         sync-window barrier once it is active).  Only once every mutator
+         has marked its roots (trace) — and through the sweep, whose
+         end-of-cycle toggle makes the mark color the next clear color —
+         do creations take the mark color.  Using a collector-side
+         "cycle started" flag here instead loses objects: a mark-colored
+         object created before the first handshake is never traced, and
+         root marking does not shade it, so the clear chain hanging off it
+         is reclaimed while reachable. *)
+      if st.tracing || st.sweeping then st.allocation_color else st.clear_color
+  | Gc_config.Generational | Gc_config.Generational_aging _
+  | Gc_config.Generational_adaptive ->
+      st.allocation_color
+
+(* ------------------------------------------------------------------ *)
+(* Handshakes (Figure 3)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let emit st phase =
+  Event_log.emit st.events ~at:(Cost.elapsed_multi st.cost) phase
+
+let post_handshake st s =
+  Cost.collector st.cost
+    (Cost.c_handshake * (1 + List.length (State.active_mutators st)));
+  Sched.yield ();
+  st.status_c <- s;
+  emit st (Event_log.Handshake_posted s)
+
+let wait_handshake st =
+  Sched.wait_until (fun () ->
+      List.for_all
+        (fun m -> Status.equal (Mutator.status m) st.status_c)
+        (State.active_mutators st));
+  emit st (Event_log.Handshake_complete st.status_c)
+
+let switch_allocation_clear_colors st =
+  (* Two separate stores, as in Figure 3; a mutator allocating between them
+     is protected by root marking at the third handshake. *)
+  let tmp = st.clear_color in
+  st.clear_color <- st.allocation_color;
+  State.step st;
+  st.allocation_color <- tmp;
+  emit st Event_log.Colors_toggled
+
+(* ------------------------------------------------------------------ *)
+(* ClearCards (Figure 3 and Figure 6)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cards_covering_capacity st =
+  let cs = Card_table.card_size (Heap.cards st.heap) in
+  (Heap.capacity st.heap + cs - 1) / cs
+
+let touch_card_table_scan st n =
+  let base = (Heap.layout st.heap).Layout.card_table_base in
+  Page_set.touch_range st.pages base n
+
+(* Figure 3 (simple promotion): clear every dirty card and gray the black
+   (old) objects on it, seeding the partial trace with the sources of all
+   potential inter-generational pointers.  Marks can be cleared
+   unconditionally: every survivor is promoted, so surviving
+   inter-generational pointers become intra-generational. *)
+let clear_cards_simple st cycle =
+  let heap = st.heap in
+  let cards = Heap.cards heap in
+  let n = cards_covering_capacity st in
+  touch_card_table_scan st n;
+  for card = 0 to n - 1 do
+    (* reading the card table costs ~one unit per cache line *)
+    if card land 63 = 0 then charge_tick st 1;
+    if Card_table.is_dirty cards card then begin
+      cycle.Gc_stats.dirty_cards <- cycle.Gc_stats.dirty_cards + 1;
+      charge_tick st Cost.c_card_visit;
+      Card_table.clear_card cards card;
+      State.step st;
+      List.iter
+        (fun x ->
+          charge_tick st Cost.c_card_obj;
+          Page_set.touch_range st.pages x Layout.granule;
+          State.step st;
+          if Color.equal (Heap.color heap x) Color.Black then begin
+            cycle.Gc_stats.intergen_scanned <-
+              cycle.Gc_stats.intergen_scanned + 1;
+            cycle.Gc_stats.card_scan_bytes <-
+              cycle.Gc_stats.card_scan_bytes + Heap.size heap x;
+            Page_set.touch_heap_object st.pages ~addr:x ~size:(Heap.size heap x);
+            Page_set.touch_color st.pages x;
+            Heap.set_color heap x Color.Gray;
+            Gray_queue.push st.gray x;
+            Cost.collector st.cost Cost.c_mark_gray
+          end)
+        (Heap.objects_on_card heap card)
+    end
+  done
+
+(* Figure 6 (aging): scan the pointers of old objects on dirty cards, gray
+   their targets, and keep the card dirty iff it still references a young
+   object.  The default is the 3-step protocol of Section 7.2 — clear
+   first, then scan, then re-mark — which tolerates a concurrent mutator
+   store; [naive_card_clear] selects the broken check-then-clear ordering
+   so tests can exhibit the race the paper describes. *)
+let clear_cards_aging st cycle =
+  let heap = st.heap in
+  let cards = Heap.cards heap in
+  let naive = st.cfg.Gc_config.naive_card_clear in
+  let n = cards_covering_capacity st in
+  touch_card_table_scan st n;
+  for card = 0 to n - 1 do
+    if card land 63 = 0 then charge_tick st 1;
+    if Card_table.is_dirty cards card then begin
+      cycle.Gc_stats.dirty_cards <- cycle.Gc_stats.dirty_cards + 1;
+      charge_tick st Cost.c_card_visit;
+      if not naive then begin
+        (* Step 1: clear the mark before checking. *)
+        Card_table.clear_card cards card;
+        State.step st
+      end;
+      (* Step 2: scan the objects on the card.  Old objects' young targets
+         are grayed (they seed the partial trace).  Young objects' targets
+         are NOT grayed — a dead young parent must not keep its children
+         alive — but they do keep the card dirty: the parent may be
+         promoted by this very cycle's sweep, turning its pointers
+         inter-generational while its card mark would otherwise already be
+         gone.  (Figure 6 only scans old objects; the accompanying text —
+         "if no young object is referenced from a given card, the collector
+         clears the card's mark" — requires this wider check, and the
+         narrower one demonstrably loses objects: see test_props.ml.) *)
+      let has_young = ref false in
+      List.iter
+        (fun x ->
+          charge_tick st Cost.c_card_obj;
+          Page_set.touch_range st.pages x Layout.granule;
+          Page_set.touch_age st.pages x;
+          State.step st;
+          let old = is_old st x in
+          cycle.Gc_stats.card_scan_bytes <-
+            cycle.Gc_stats.card_scan_bytes + Heap.size heap x;
+          if old then begin
+            cycle.Gc_stats.intergen_scanned <-
+              cycle.Gc_stats.intergen_scanned + 1;
+            Page_set.touch_heap_object st.pages ~addr:x ~size:(Heap.size heap x)
+          end;
+          let k = Heap.n_slots heap x in
+          for i = 0 to k - 1 do
+            charge_tick st Cost.c_scan_slot;
+            let y = Heap.get_slot heap x i in
+            State.step st;
+            if y <> Heap.nil then begin
+              if old then begin
+                charged_mark_gray st ~charge:(Cost.collector st.cost)
+                  ~sync:false y;
+                Page_set.touch_color st.pages y
+              end;
+              Page_set.touch_age st.pages y;
+              if not (is_old st y) then has_young := true
+            end
+          done)
+        (Heap.objects_on_card heap card);
+      (* Step 3: keep the mark consistent with what the scan found. *)
+      if naive then begin
+        if not !has_young then begin
+          State.step st;
+          Card_table.clear_card cards card
+        end
+      end
+      else if !has_young then begin
+        State.step st;
+        Card_table.mark_card cards card;
+        Cost.collector st.cost Cost.c_mark_card
+      end
+    end
+  done
+
+(* Remembered-set analogue of ClearCards (simple promotion): drain the
+   exact set of recorded objects and gray the black ones; no card scans,
+   no re-marking protocol — every surviving inter-generational pointer
+   becomes intra-generational at the coming promotion, exactly as in the
+   simple card algorithm. *)
+let scan_remset_simple st cycle =
+  let heap = st.heap in
+  let entries = Remset.drain (Heap.remset heap) in
+  cycle.Gc_stats.dirty_cards <- List.length entries;
+  List.iter
+    (fun x ->
+      charge_tick st Cost.c_card_obj;
+      Page_set.touch_remset st.pages x;
+      State.step st;
+      (* entries can be stale: the recorded object may have died in the
+         previous cycle (its dedup flag was dropped at free time) *)
+      if Heap.is_object heap x && Color.equal (Heap.color heap x) Color.Black
+      then begin
+        cycle.Gc_stats.intergen_scanned <- cycle.Gc_stats.intergen_scanned + 1;
+        cycle.Gc_stats.card_scan_bytes <-
+          cycle.Gc_stats.card_scan_bytes + Heap.size heap x;
+        Page_set.touch_heap_object st.pages ~addr:x ~size:(Heap.size heap x);
+        Page_set.touch_color st.pages x;
+        Heap.set_color heap x Color.Gray;
+        Gray_queue.push st.gray x;
+        Cost.collector st.cost Cost.c_mark_gray
+      end)
+    entries
+
+let clear_cards st cycle =
+  match mode_of st with
+  | Gc_config.Non_generational -> ()
+  | Gc_config.Generational -> (
+      match st.cfg.Gc_config.intergen with
+      | Gc_config.Card_marking -> clear_cards_simple st cycle
+      | Gc_config.Remembered_set -> scan_remset_simple st cycle)
+  | Gc_config.Generational_aging _ | Gc_config.Generational_adaptive ->
+      clear_cards_aging st cycle
+
+(* ------------------------------------------------------------------ *)
+(* InitFullCollection (Figure 3 and Figure 6)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Recolor the old generation (black, plus any gray leftovers) to the
+   allocation color so the imminent toggle exposes it to the trace and the
+   sweep.  The simple algorithm also wipes the card table (all pointers
+   become intra-generational); the aging algorithm keeps the dirty bits —
+   old objects stay old through a full collection, so their
+   inter-generational pointers remain relevant (Section 6). *)
+let init_full_collection st ~clear_card_marks =
+  let heap = st.heap in
+  let space = Heap.space heap in
+  let addr = ref 0 in
+  while !addr < Heap.capacity heap do
+    charge_tick st 2;
+    let size = Space.block_size space !addr in
+    (if Space.kind_of space !addr = Space.Allocated then begin
+       Page_set.touch_color st.pages !addr;
+       let c = Heap.color heap !addr in
+       if Color.equal c Color.Black || Color.equal c Color.Gray then
+         Heap.set_color heap !addr st.allocation_color
+     end);
+    addr := !addr + size
+  done;
+  if clear_card_marks then
+    match st.cfg.Gc_config.intergen with
+    | Gc_config.Card_marking ->
+        let cards = Heap.cards heap in
+        let n = cards_covering_capacity st in
+        touch_card_table_scan st n;
+        charge_tick st (1 + (n / 64));
+        Card_table.clear_all cards
+    | Gc_config.Remembered_set ->
+        let rs = Heap.remset heap in
+        charge_tick st (1 + (Remset.size rs / 8));
+        Remset.clear rs
+
+(* ------------------------------------------------------------------ *)
+(* Trace (Figure 2 / Figure 5: MarkBlack)                              *)
+(* ------------------------------------------------------------------ *)
+
+let trace_target st =
+  match mode_of st with
+  | Gc_config.Non_generational ->
+      st.allocation_color (* mark color; no persistent black generation *)
+  | Gc_config.Generational | Gc_config.Generational_aging _
+  | Gc_config.Generational_adaptive ->
+      Color.Black
+
+let mark_black st cycle x =
+  let heap = st.heap in
+  let target = trace_target st in
+  if not (Color.equal (Heap.color heap x) target) then begin
+    charge_tick st Cost.c_trace_obj;
+    Page_set.touch_heap_object st.pages ~addr:x ~size:(Heap.size heap x);
+    Page_set.touch_color st.pages x;
+    let k = Heap.n_slots heap x in
+    for i = 0 to k - 1 do
+      charge_tick st Cost.c_scan_slot;
+      let y = Heap.get_slot heap x i in
+      State.step st;
+      if y <> Heap.nil then begin
+        charged_mark_gray st ~charge:(Cost.collector st.cost) ~sync:false y;
+        Page_set.touch_color st.pages y
+      end
+    done;
+    State.step st;
+    Heap.set_color heap x target;
+    cycle.Gc_stats.objects_traced <- cycle.Gc_stats.objects_traced + 1
+  end
+
+(* The gray set is a shared queue and every shading publishes into it
+   atomically, so "the queue is empty" coincides with "no gray object
+   exists", which by the snapshot argument of the DLG proof means the trace
+   is complete.  Objects shaded by a mutator after this check are dead
+   (every live object is already marked); they ride through the sweep as
+   gray floating garbage and are normalised back to the allocation color
+   there. *)
+let trace st cycle =
+  let running = ref true in
+  while !running do
+    charge_tick st 1;
+    match Gray_queue.pop st.gray with
+    | None -> running := false
+    | Some x -> mark_black st cycle x
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sweep (Figure 2 / Figure 5)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sweep st cycle =
+  let heap = st.heap in
+  let space = Heap.space heap in
+  let ages = Heap.ages heap in
+  let tenure = survivals_to_tenure st in
+  let addr = ref 0 in
+  while !addr < Heap.capacity heap do
+    let size = Space.block_size space !addr in
+    (* sweeping is linear in bytes: header cost plus a per-64-byte term *)
+    charge_tick st (Cost.c_sweep_block + (size / 64));
+    let x = !addr in
+    (match Space.kind_of space x with
+    | Space.Free ->
+        (* merge runs of free blocks leftward as the cursor passes *)
+        ignore (Heap.merge_free_prev heap x : int)
+    | Space.Allocated ->
+        Page_set.touch_color st.pages x;
+        let c = Heap.color heap x in
+        if Color.equal c st.clear_color then begin
+          charge_tick st Cost.c_free;
+          cycle.Gc_stats.objects_freed <- cycle.Gc_stats.objects_freed + 1;
+          cycle.Gc_stats.bytes_freed <- cycle.Gc_stats.bytes_freed + size;
+          (* the free-list link is written into the block itself *)
+          Page_set.touch_range st.pages x Layout.granule;
+          Heap.free heap x;
+          ignore (Heap.merge_free_prev heap x : int)
+        end
+        else begin
+          match mode_of st with
+          | Gc_config.Non_generational | Gc_config.Generational ->
+              (* Late-shaded floating garbage: give it the allocation color
+                 so it becomes collectible next cycle instead of leaking as
+                 an eternal gray. *)
+              if Color.equal c Color.Gray then
+                Heap.set_color heap x st.allocation_color
+          | Gc_config.Generational_aging _ | Gc_config.Generational_adaptive ->
+              (* Figure 5: promoted objects stay black and stop aging;
+                 young survivors (traced black this cycle, or created
+                 yellow during it, or floating gray) are recolored to the
+                 allocation color and aged.
+
+                 Promotion is monotone: a promoted object's age freezes at
+                 the sentinel 255, so a *rising* adaptive threshold can
+                 never demote it.  De-promotion is unsound — it turns an
+                 old->young edge loose on a card that was legitimately
+                 cleaned while the edge was old->old, and the young target
+                 is then reclaimed while reachable (found by an 8000-seed
+                 hunt; regression in test_props.ml). *)
+              let age = Age_table.get ages x in
+              if Color.equal c Color.Black && (age = 255 || age + 1 >= tenure)
+              then begin
+                if age <> 255 then begin
+                  Age_table.set ages x 255;
+                  Page_set.touch_age st.pages x
+                end
+              end
+              else begin
+                if not (Color.equal c st.allocation_color) then
+                  Heap.set_color heap x st.allocation_color;
+                (* never age a young object into the sentinel *)
+                if age < 254 then Age_table.incr ages x;
+                Page_set.touch_age st.pages x;
+                Cost.collector st.cost 1
+              end
+        end);
+    addr := !addr + size
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Census: out-of-band instrumentation (no cost, no pages, no yields)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Count the reclamation candidates — the clear-colored objects — at the
+   moment the trace is about to start (out of band: no cost, no pages, no
+   yields).  Taken after the color toggle, so "% freed in partial
+   collections" (Figure 12) has a well-defined denominator that later
+   allocations (yellow) cannot perturb. *)
+let census st cycle =
+  let heap = st.heap in
+  let young_o = ref 0 and young_b = ref 0 in
+  Heap.iter_objects heap (fun x ->
+      if Color.equal (Heap.color heap x) st.clear_color then begin
+        incr young_o;
+        young_b := !young_b + Heap.size heap x
+      end);
+  cycle.Gc_stats.young_objects_at_start <- !young_o;
+  cycle.Gc_stats.young_bytes_at_start <- !young_b
+
+(* ------------------------------------------------------------------ *)
+(* The collection cycle (Figure 2 / Figure 5)                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_cycle st ~full =
+  let mode = mode_of st in
+  let kind =
+    match mode with
+    | Gc_config.Non_generational -> Gc_stats.Non_gen
+    | _ -> if full then Gc_stats.Full else Gc_stats.Partial
+  in
+  st.collecting <- true;
+  st.gc_request <- No_request;
+  let window_bytes = st.bytes_since_gc in
+  st.bytes_since_gc <- 0;
+  let cycle = Gc_stats.begin_cycle st.stats kind in
+  (* Figure 22 reports dirty cards as a percentage of "allocated cards":
+     the cards covered by the allocation window since the last collection. *)
+  cycle.Gc_stats.total_cards <-
+    Stdlib.max 1 (window_bytes / Card_table.card_size (Heap.cards st.heap));
+  st.cur_cycle <- Some cycle;
+  emit st (Event_log.Cycle_start { kind; full });
+  Page_set.reset st.pages;
+  Gray_queue.clear st.gray;
+  let work0 = Cost.collector_work st.cost in
+  let elapsed0 = Cost.elapsed_multi st.cost in
+  (* clear phase *)
+  (match mode with
+  | Gc_config.Non_generational -> ()
+  | Gc_config.Generational ->
+      if full then begin
+        init_full_collection st ~clear_card_marks:true;
+        emit st Event_log.Init_full_done
+      end
+  | Gc_config.Generational_aging _ | Gc_config.Generational_adaptive ->
+      if full then begin
+        init_full_collection st ~clear_card_marks:false;
+        emit st Event_log.Init_full_done
+      end);
+  post_handshake st Status.Sync1;
+  wait_handshake st;
+  (* mark phase *)
+  post_handshake st Status.Sync2;
+  (match mode with
+  | Gc_config.Non_generational -> ()
+  | Gc_config.Generational ->
+      (* Figure 2 order: scan and clear cards (or drain the remembered
+         set), then toggle — new objects become "yellow" only after the
+         inter-generational records are settled. *)
+      (match st.cfg.Gc_config.intergen with
+      | Gc_config.Card_marking -> clear_cards_simple st cycle
+      | Gc_config.Remembered_set -> scan_remset_simple st cycle);
+      emit st
+        (Event_log.Intergen_scanned { seeds = cycle.Gc_stats.intergen_scanned });
+      switch_allocation_clear_colors st
+  | Gc_config.Generational_aging _ | Gc_config.Generational_adaptive ->
+      (* Figure 5 order: toggle first, then scan cards.  A full collection
+         skips the card scan: InitFullCollection already prepared the heap
+         and the dirty bits stay for the next partial (Section 6). *)
+      switch_allocation_clear_colors st;
+      if not full then begin
+        clear_cards_aging st cycle;
+        emit st
+          (Event_log.Intergen_scanned
+             { seeds = cycle.Gc_stats.intergen_scanned })
+      end);
+  wait_handshake st;
+  census st cycle;
+  st.tracing <- true;
+  post_handshake st Status.Async;
+  (* mark global roots *)
+  List.iter
+    (fun g ->
+      charge_tick st Cost.c_root;
+      charged_mark_gray st ~charge:(Cost.collector st.cost) ~sync:false g)
+    st.globals;
+  wait_handshake st;
+  (* trace *)
+  trace st cycle;
+  emit st (Event_log.Trace_complete { traced = cycle.Gc_stats.objects_traced });
+  (* [sweeping] is raised before [tracing] drops so the non-generational
+     create color never observes a gap between the two phases (a clear
+     object created in such a gap, held only in a register, would be
+     reclaimed by this very sweep). *)
+  st.sweeping <- true;
+  st.tracing <- false;
+  (* sweep *)
+  sweep st cycle;
+  emit st
+    (Event_log.Sweep_complete
+       {
+         freed = cycle.Gc_stats.objects_freed;
+         bytes = cycle.Gc_stats.bytes_freed;
+       });
+  (match mode with
+  | Gc_config.Non_generational ->
+      (* Remark 5.1: swap black and white instead of re-whitening.  An
+         object created between the toggle and [sweeping] dropping gets
+         the new mark color — it floats for one cycle, harmlessly. *)
+      switch_allocation_clear_colors st
+  | _ -> ());
+  st.sweeping <- false;
+  (* Dynamic tenuring (Section 6's future-work hook): promote sooner when
+     virtually everything young dies (survivors are proven long-lived);
+     let objects age longer when many survive their first collection (they
+     may be about to die — premature promotion would park them in the old
+     generation until a full collection). *)
+  (match mode with
+  | Gc_config.Generational_adaptive when kind = Gc_stats.Partial ->
+      let young0 = cycle.Gc_stats.young_objects_at_start in
+      if young0 > 0 then begin
+        let survival =
+          1.0
+          -. (float_of_int cycle.Gc_stats.objects_freed /. float_of_int young0)
+        in
+        if survival < 0.03 && st.tenure_threshold > 1 then
+          st.tenure_threshold <- st.tenure_threshold - 1
+        else if survival > 0.15 && st.tenure_threshold < 7 then
+          st.tenure_threshold <- st.tenure_threshold + 1
+      end
+  | _ -> ());
+  cycle.Gc_stats.work <- Cost.collector_work st.cost - work0;
+  cycle.Gc_stats.active_span <- Cost.elapsed_multi st.cost - elapsed0;
+  cycle.Gc_stats.pages_touched <- Page_set.count st.pages;
+  cycle.Gc_stats.live_objects_at_end <- Heap.object_count st.heap;
+  cycle.Gc_stats.live_bytes_at_end <- Heap.allocated_bytes st.heap;
+  Gc_stats.end_cycle st.stats cycle;
+  st.cur_cycle <- None;
+  st.collecting <- false;
+  (* Post-cycle growth towards the maximum (the paper's 1 MB -> 32 MB):
+     (a) keep a fraction of the capacity free — the baseline headroom
+     heuristic, identical for every collector; (b) for the generational
+     collectors only, grow when a full collection fired before even one
+     young-generation window had elapsed since the previous collection —
+     the heap is then too tight for generational operation (standard
+     young-aware sizing).  The non-generational heap gets no such boost,
+     which reproduces the paper's implicit asymmetry: the generational
+     heap runs larger (it carries tenured garbage between full
+     collections) while the non-generational one stays tight and collects
+     more often. *)
+  let cap = Heap.capacity st.heap in
+  let need =
+    int_of_float (st.cfg.Gc_config.grow_headroom_fraction *. float_of_int cap)
+  in
+  let young = st.cfg.Gc_config.young_bytes in
+  let premature_full = kind = Gc_stats.Full && window_bytes < young in
+  (* GC-overhead bound (any collector): collections firing more than twice
+     per young-generation window mean the heap is thrashing — grow. *)
+  let thrashing = window_bytes < young / 2 in
+  if Heap.free_bytes st.heap < need || premature_full || thrashing then
+    (* grow by half steps: finer capacity granularity keeps trigger
+       windows from jumping discontinuously *)
+    if Heap.grow st.heap ~want_bytes:(Stdlib.max (cap / 2) 65536) then
+      emit st (Event_log.Heap_grown { capacity = Heap.capacity st.heap });
+  emit st Event_log.Cycle_end;
+  cycle
+
+let collector_loop st =
+  while not st.shutdown do
+    Sched.wait_until (fun () -> st.shutdown || st.gc_request <> No_request);
+    if not st.shutdown then begin
+      let full = match st.gc_request with Want_full -> true | _ -> false in
+      ignore (run_cycle st ~full : Gc_stats.cycle)
+    end
+  done

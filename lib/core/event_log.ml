@@ -1,0 +1,49 @@
+type phase =
+  | Cycle_start of { kind : Gc_stats.kind; full : bool }
+  | Init_full_done
+  | Handshake_posted of Status.t
+  | Handshake_complete of Status.t
+  | Intergen_scanned of { seeds : int }
+  | Colors_toggled
+  | Trace_complete of { traced : int }
+  | Sweep_complete of { freed : int; bytes : int }
+  | Cycle_end
+  | Heap_grown of { capacity : int }
+
+type event = { at : int; phase : phase }
+
+type t = { mutable events : event list; mutable enabled : bool }
+
+let create () = { events = []; enabled = false }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let emit t ~at phase = if t.enabled then t.events <- { at; phase } :: t.events
+
+let events t = List.rev t.events
+let clear t = t.events <- []
+
+let pp_phase ppf = function
+  | Cycle_start { kind; full = _ } ->
+      Format.fprintf ppf "cycle start (%s)" (Gc_stats.kind_name kind)
+  | Init_full_done -> Format.pp_print_string ppf "InitFullCollection done"
+  | Handshake_posted s ->
+      Format.fprintf ppf "handshake posted: %s" (Status.to_string s)
+  | Handshake_complete s ->
+      Format.fprintf ppf "handshake complete: %s" (Status.to_string s)
+  | Intergen_scanned { seeds } ->
+      Format.fprintf ppf "inter-gen scan done (%d old objects grayed)" seeds
+  | Colors_toggled -> Format.pp_print_string ppf "allocation/clear colors toggled"
+  | Trace_complete { traced } ->
+      Format.fprintf ppf "trace complete (%d objects)" traced
+  | Sweep_complete { freed; bytes } ->
+      Format.fprintf ppf "sweep complete (%d objects / %d bytes freed)" freed bytes
+  | Cycle_end -> Format.pp_print_string ppf "cycle end"
+  | Heap_grown { capacity } ->
+      Format.fprintf ppf "heap grown to %d bytes" capacity
+
+let pp_timeline ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "%10d  %a@." e.at pp_phase e.phase)
+    (events t)

@@ -1,0 +1,44 @@
+(** Structured log of collector phase transitions.
+
+    When enabled, the collector records each phase of every cycle with a
+    timestamp in elapsed work units — the observability a production
+    collector would expose through JFR-style events.  The log is what
+    [gcsim run --trace] and the heapscope example print; tests use it to
+    assert phase ordering (handshakes strictly precede the trace, the
+    trace precedes the sweep, ...). *)
+
+type phase =
+  | Cycle_start of { kind : Gc_stats.kind; full : bool }
+  | Init_full_done
+  | Handshake_posted of Status.t
+  | Handshake_complete of Status.t
+  | Intergen_scanned of { seeds : int }
+      (** dirty-card scan or remembered-set drain finished; [seeds] = old
+          objects grayed *)
+  | Colors_toggled
+  | Trace_complete of { traced : int }
+  | Sweep_complete of { freed : int; bytes : int }
+  | Cycle_end
+  | Heap_grown of { capacity : int }
+
+type event = { at : int;  (** elapsed work units *) phase : phase }
+
+type t
+
+val create : unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** Off by default; recording costs nothing when disabled. *)
+
+val emit : t -> at:int -> phase -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+val pp_phase : Format.formatter -> phase -> unit
+
+val pp_timeline : Format.formatter -> t -> unit
+(** Render the whole log, one event per line, timestamps left-aligned. *)

@@ -1,0 +1,64 @@
+type mode =
+  | Non_generational
+  | Generational
+  | Generational_aging of { oldest_age : int }
+  | Generational_adaptive
+
+type intergen = Card_marking | Remembered_set
+
+type t = {
+  mode : mode;
+  intergen : intergen;
+  young_bytes : int;
+  full_trigger_fraction : float;
+  grow_headroom_fraction : float;
+  naive_card_clear : bool;
+}
+
+let default =
+  {
+    mode = Generational;
+    intergen = Card_marking;
+    young_bytes = 512 * 1024;
+    full_trigger_fraction = 0.75;
+    grow_headroom_fraction = 0.25;
+    naive_card_clear = false;
+  }
+
+let non_generational = { default with mode = Non_generational }
+
+let generational ?(young_bytes = default.young_bytes)
+    ?(intergen = Card_marking) () =
+  { default with mode = Generational; young_bytes; intergen }
+
+let adaptive ?(young_bytes = default.young_bytes) () =
+  { default with mode = Generational_adaptive; young_bytes }
+
+let aging ?(young_bytes = default.young_bytes) ~oldest_age () =
+  if oldest_age < 1 || oldest_age > 64 then
+    invalid_arg "Gc_config.aging: oldest_age must be in 1..64";
+  { default with mode = Generational_aging { oldest_age }; young_bytes }
+
+let mode_name = function
+  | Non_generational -> "non-generational"
+  | Generational -> "generational"
+  | Generational_aging { oldest_age } ->
+      Printf.sprintf "generational-aging(%d)" oldest_age
+  | Generational_adaptive -> "generational-adaptive"
+
+let intergen_name = function
+  | Card_marking -> "cards"
+  | Remembered_set -> "remset"
+
+let validate t =
+  match (t.mode, t.intergen) with
+  | (Generational_aging _ | Generational_adaptive), Remembered_set ->
+      invalid_arg
+        "Gc_config: remembered sets are only implemented for the simple \
+         promotion policy (aging retains inter-generational entries across \
+         cycles, which needs the card protocol of Section 7.2)"
+  | _ -> ()
+
+let is_generational = function
+  | Non_generational -> false
+  | Generational | Generational_aging _ | Generational_adaptive -> true

@@ -1,0 +1,73 @@
+(** Collector configuration: which algorithm variant runs and how
+    collections are triggered.
+
+    The three variants are the ones the paper compares:
+    - {!Non_generational}: the DLG on-the-fly mark-sweep collector with the
+      black/white color toggle retrofitted (Remark 5.1) — the baseline of
+      every experiment;
+    - {!Generational}: the paper's main collector (Sections 3–5): logical
+      generations (black = old), card marking, the yellow allocation color
+      and the allocation/clear color toggle, simple promotion policy
+      (promoted after surviving one collection);
+    - {!Generational_aging}: the aging variant (Section 6, Figures 4–6)
+      with a tenuring threshold. *)
+
+type mode =
+  | Non_generational
+  | Generational
+  | Generational_aging of { oldest_age : int }
+      (** Objects whose age reaches [oldest_age] are tenured.  The paper
+          evaluates thresholds 2, 4, 6, 8 and 10 (Figures 18–20); objects
+          are born with age 0 and aged at each sweep they survive, so
+          [oldest_age = 1] behaves like the simple policy. *)
+  | Generational_adaptive
+      (** Section 6's "dynamic policies could easily be implemented": the
+          aging machinery with a tenuring threshold adjusted at run time
+          from each partial collection's young survival rate. *)
+
+type intergen =
+  | Card_marking
+      (** the paper's choice (Section 3.1): dirty bits at card
+          granularity, scanned and cleared by the collector *)
+  | Remembered_set
+      (** the alternative the paper weighs and rejects for lack of a
+          header bit: exact per-object remembering with a dedup flag —
+          implemented here as an ablation (simple promotion only) *)
+
+type t = {
+  mode : mode;
+  intergen : intergen;
+  young_bytes : int;
+      (** Partial-collection trigger: a partial collection is requested
+          once this many bytes have been allocated since the last
+          collection (Section 3.3).  Ignored by [Non_generational]. *)
+  full_trigger_fraction : float;
+      (** A (full) collection is requested when allocated bytes exceed this
+          fraction of current capacity — the paper's "heap almost full",
+          identical with and without generations. *)
+  grow_headroom_fraction : float;
+      (** After a collection (or on allocation failure) the heap grows when
+          free space is below this fraction of capacity. *)
+  naive_card_clear : bool;
+      (** Use the naive 2-step card-clearing protocol instead of the 3-step
+          protocol of Section 7.2 — deliberately racy; exists so tests can
+          demonstrate the race the paper describes.  Only meaningful for
+          [Generational_aging]. *)
+}
+
+val default : t
+(** [Generational] with card marking, 512 KB young generation, full
+    trigger at 0.75, growth headroom 0.25, 3-step card clearing. *)
+
+val non_generational : t
+val generational : ?young_bytes:int -> ?intergen:intergen -> unit -> t
+val aging : ?young_bytes:int -> oldest_age:int -> unit -> t
+val adaptive : ?young_bytes:int -> unit -> t
+
+val mode_name : mode -> string
+val intergen_name : intergen -> string
+
+val validate : t -> unit
+(** Reject unsupported combinations (remembered sets with aging). *)
+
+val is_generational : mode -> bool

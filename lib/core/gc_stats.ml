@@ -1,0 +1,78 @@
+type kind = Partial | Full | Non_gen
+
+let kind_name = function
+  | Partial -> "partial"
+  | Full -> "full"
+  | Non_gen -> "non-gen"
+
+type cycle = {
+  kind : kind;
+  seq : int;
+  mutable objects_traced : int;
+  mutable intergen_scanned : int;
+  mutable card_scan_bytes : int;
+  mutable dirty_cards : int;
+  mutable total_cards : int;
+  mutable objects_freed : int;
+  mutable bytes_freed : int;
+  mutable young_objects_at_start : int;
+  mutable young_bytes_at_start : int;
+  mutable live_objects_at_end : int;
+  mutable live_bytes_at_end : int;
+  mutable work : int;
+  mutable pages_touched : int;
+  mutable active_span : int;
+}
+
+type t = { mutable completed : cycle list; mutable next_seq : int }
+
+let create () = { completed = []; next_seq = 0 }
+
+let reset t =
+  t.completed <- [];
+  t.next_seq <- 0
+
+let begin_cycle t kind =
+  let c =
+    {
+      kind;
+      seq = t.next_seq;
+      objects_traced = 0;
+      intergen_scanned = 0;
+      card_scan_bytes = 0;
+      dirty_cards = 0;
+      total_cards = 0;
+      objects_freed = 0;
+      bytes_freed = 0;
+      young_objects_at_start = 0;
+      young_bytes_at_start = 0;
+      live_objects_at_end = 0;
+      live_bytes_at_end = 0;
+      work = 0;
+      pages_touched = 0;
+      active_span = 0;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  c
+
+let end_cycle t c = t.completed <- c :: t.completed
+
+let cycles t = List.rev t.completed
+
+let count t kind =
+  List.length (List.filter (fun c -> c.kind = kind) t.completed)
+
+let total_collector_work t =
+  List.fold_left (fun acc c -> acc + c.work) 0 t.completed
+
+let fold_kind t kind f init =
+  List.fold_left (fun acc c -> if c.kind = kind then f acc c else acc) init t.completed
+
+let mean t kind metric =
+  let n, s = fold_kind t kind (fun (n, s) c -> (n + 1, s +. metric c)) (0, 0.) in
+  if n = 0 then 0. else s /. float_of_int n
+
+let sum t kind metric = fold_kind t kind (fun s c -> s +. metric c) 0.
+
+let has t kind = List.exists (fun c -> c.kind = kind) t.completed

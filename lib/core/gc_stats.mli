@@ -1,0 +1,74 @@
+(** Per-collection statistics, matching the quantities reported in the
+    paper's Figures 10–15 and 22–23.
+
+    The collector fills in a {!cycle} record as it runs; "out-of-band"
+    measurements (e.g. the young-generation census at cycle start) are
+    taken by the harness without charging collector work or page touches,
+    exactly like the paper's instrumented JVM counters. *)
+
+type kind = Partial | Full | Non_gen
+
+val kind_name : kind -> string
+
+type cycle = {
+  kind : kind;
+  seq : int;  (** 0-based collection index within the run *)
+  (* trace *)
+  mutable objects_traced : int;
+      (** objects blackened by the trace (Figure 11 "objects scanned") *)
+  mutable intergen_scanned : int;
+      (** old objects examined during the dirty-card scan (Figure 11
+          "objects scanned for inter-gen pointers") *)
+  mutable card_scan_bytes : int;
+      (** bytes of old objects examined on dirty cards (Figure 23) *)
+  mutable dirty_cards : int;   (** dirty cards found by ClearCards (Figure 22) *)
+  mutable total_cards : int;
+      (** "allocated cards": cards covered by the bytes allocated since the
+          previous collection — Figure 22's denominator *)
+  (* sweep *)
+  mutable objects_freed : int;
+  mutable bytes_freed : int;
+  (* census (out of band) *)
+  mutable young_objects_at_start : int;
+  mutable young_bytes_at_start : int;
+  mutable live_objects_at_end : int;
+  mutable live_bytes_at_end : int;
+  (* cost & locality *)
+  mutable work : int;          (** collector work units for this cycle (Figure 13) *)
+  mutable pages_touched : int; (** Figure 15 *)
+  mutable active_span : int;
+      (** elapsed-work span of the cycle: how much total (mutator +
+          collector) work the system performed while the cycle was in
+          progress — the wall-clock-activity measure behind Figure 10's
+          "percent time GC active" *)
+}
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Drop all recorded cycles (end-of-warmup measurement reset). *)
+
+val begin_cycle : t -> kind -> cycle
+(** Allocate and register the record for a starting collection. *)
+
+val end_cycle : t -> cycle -> unit
+(** Mark the cycle complete; only completed cycles count in aggregates. *)
+
+val cycles : t -> cycle list
+(** Completed cycles, oldest first. *)
+
+val count : t -> kind -> int
+
+val total_collector_work : t -> int
+(** Work across completed cycles. *)
+
+(** {2 Aggregates for the figure harness} *)
+
+val mean : t -> kind -> (cycle -> float) -> float
+(** Mean of a metric over completed cycles of a kind; [0.] if none. *)
+
+val sum : t -> kind -> (cycle -> float) -> float
+
+val has : t -> kind -> bool

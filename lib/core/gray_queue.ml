@@ -1,0 +1,25 @@
+type t = { mutable items : int list; mutable size : int; mutable max_size : int }
+
+let create () = { items = []; size = 0; max_size = 0 }
+
+let push t x =
+  t.items <- x :: t.items;
+  t.size <- t.size + 1;
+  if t.size > t.max_size then t.max_size <- t.size
+
+let pop t =
+  match t.items with
+  | [] -> None
+  | x :: rest ->
+      t.items <- rest;
+      t.size <- t.size - 1;
+      Some x
+
+let is_empty t = t.items = []
+
+let clear t =
+  t.items <- [];
+  t.size <- 0
+
+let size t = t.size
+let max_size t = t.max_size

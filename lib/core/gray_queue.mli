@@ -1,0 +1,27 @@
+(** The shared set of objects "remaining to be traced".
+
+    The DLG papers leave the mechanism for tracking gray objects open; we
+    use a single shared push/pop stack.  Mutators push when their write
+    barrier shades an object; the collector pushes during card scanning and
+    root marking and pops during the trace.  Under the simulator's
+    scheduling model each push/pop is one atomic step, which models a
+    lock-free mark stack.
+
+    An object is pushed at most once per cycle in steady state (only
+    clear-colored — or, in the sync window, allocation-colored — objects
+    are shaded, and shading recolors them gray), so duplicates are rare
+    but tolerated: the trace re-checks the color of popped entries. *)
+
+type t
+
+val create : unit -> t
+val push : t -> int -> unit
+val pop : t -> int option
+val is_empty : t -> bool
+val clear : t -> unit
+
+val size : t -> int
+(** Current number of queued entries (for tests and stats). *)
+
+val max_size : t -> int
+(** High-water mark since creation (for stats). *)

@@ -1,0 +1,59 @@
+let nil = Otfgc_heap.Heap.nil
+
+type t = {
+  id : int;
+  name : string;
+  mutable status : Status.t;
+  mutable active : bool;
+  regs : int array;
+  mutable stack : int array;
+  mutable sp : int;
+}
+
+let create ~id ~name ~n_regs =
+  if n_regs < 0 then invalid_arg "Mutator.create: negative register count";
+  {
+    id;
+    name;
+    status = Status.Async;
+    active = true;
+    regs = Array.make n_regs nil;
+    stack = Array.make 16 nil;
+    sp = 0;
+  }
+
+let id t = t.id
+let name t = t.name
+let status t = t.status
+let set_status t s = t.status <- s
+let active t = t.active
+let retire t = t.active <- false
+
+let n_regs t = Array.length t.regs
+let get_reg t i = t.regs.(i)
+let set_reg t i v = t.regs.(i) <- v
+let clear_reg t i = t.regs.(i) <- nil
+
+let push t v =
+  if t.sp = Array.length t.stack then begin
+    let bigger = Array.make (2 * t.sp) nil in
+    Array.blit t.stack 0 bigger 0 t.sp;
+    t.stack <- bigger
+  end;
+  t.stack.(t.sp) <- v;
+  t.sp <- t.sp + 1
+
+let pop t =
+  if t.sp = 0 then invalid_arg "Mutator.pop: empty stack";
+  t.sp <- t.sp - 1;
+  let v = t.stack.(t.sp) in
+  t.stack.(t.sp) <- nil;
+  v
+
+let stack_depth t = t.sp
+
+let iter_roots t f =
+  Array.iter (fun v -> if v <> nil then f v) t.regs;
+  for i = 0 to t.sp - 1 do
+    if t.stack.(i) <> nil then f t.stack.(i)
+  done

@@ -1,0 +1,47 @@
+(** A mutator thread's GC-visible state.
+
+    Each simulated application thread owns one of these: its handshake
+    status and its root set (the "stack and registers" of the paper —
+    reference slots that the write barrier does {e not} cover and that the
+    mutator itself marks gray when responding to the third handshake).
+
+    The root set is a fixed-size register file plus an unbounded stack;
+    workloads use registers for working references and the stack to model
+    call frames. *)
+
+type t
+
+val create : id:int -> name:string -> n_regs:int -> t
+
+val id : t -> int
+val name : t -> string
+
+val status : t -> Status.t
+val set_status : t -> Status.t -> unit
+
+val active : t -> bool
+(** An inactive (retired) mutator no longer participates in handshakes. *)
+
+val retire : t -> unit
+
+(** {2 Registers} *)
+
+val n_regs : t -> int
+
+val get_reg : t -> int -> int
+(** Contents of register [i]; {!Otfgc_heap.Heap.nil} when empty. *)
+
+val set_reg : t -> int -> int -> unit
+val clear_reg : t -> int -> unit
+
+(** {2 Stack} *)
+
+val push : t -> int -> unit
+val pop : t -> int
+(** Raises [Invalid_argument] on an empty stack. *)
+
+val stack_depth : t -> int
+
+val iter_roots : t -> (int -> unit) -> unit
+(** Every non-nil root: registers then stack.  This is what gets marked
+    gray at the third handshake. *)

@@ -1,0 +1,84 @@
+module Heap = Otfgc_heap.Heap
+open State
+
+let roots st =
+  let acc = ref [] in
+  List.iter
+    (fun m -> Mutator.iter_roots m (fun r -> acc := r :: !acc))
+    (State.active_mutators st);
+  List.iter (fun g -> acc := g :: !acc) st.globals;
+  !acc
+
+let reachable st =
+  let seen = Hashtbl.create 1024 in
+  let stack = ref (roots st) in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+        stack := rest;
+        if x <> Heap.nil && not (Hashtbl.mem seen x) then begin
+          Hashtbl.add seen x ();
+          if Heap.is_object st.heap x then
+            Heap.iter_slots st.heap x (fun y -> stack := y :: !stack)
+        end
+  done;
+  seen
+
+let check_safety st =
+  let seen = reachable st in
+  let bad = ref None in
+  Hashtbl.iter
+    (fun x () ->
+      if !bad = None && not (Heap.is_object st.heap x) then
+        bad := Some x)
+    seen;
+  match !bad with
+  | None -> Ok ()
+  | Some x ->
+      Error
+        (Printf.sprintf "reachable address %d is not an allocated object" x)
+
+let garbage st =
+  let seen = reachable st in
+  let acc = ref [] in
+  Heap.iter_objects st.heap (fun x ->
+      if not (Hashtbl.mem seen x) then acc := x :: !acc);
+  List.rev !acc
+
+let live_count st = Hashtbl.length (reachable st)
+
+let check_intergen_invariant st =
+  let module Color = Otfgc_heap.Color in
+  let module Card_table = Otfgc_heap.Card_table in
+  let module Remset = Otfgc_heap.Remset in
+  if not (Gc_config.is_generational st.cfg.Gc_config.mode) then Ok ()
+  else begin
+    let heap = st.heap in
+    let cards = Heap.cards heap in
+    let rs = Heap.remset heap in
+    let bad = ref None in
+    Heap.iter_objects heap (fun x ->
+        if !bad = None && Color.equal (Heap.color heap x) Color.Black then
+          Heap.iter_slots heap x (fun y ->
+              if
+                !bad = None
+                && Heap.is_object heap y
+                && not (Color.equal (Heap.color heap y) Color.Black)
+              then begin
+                let covered =
+                  match st.cfg.Gc_config.intergen with
+                  | Gc_config.Card_marking ->
+                      Card_table.is_dirty cards (Card_table.card_of_addr cards x)
+                  | Gc_config.Remembered_set -> Remset.mem rs x
+                in
+                if not covered then
+                  bad :=
+                    Some
+                      (Printf.sprintf
+                         "old object %d holds young %d with no dirty \
+                          card/remset entry"
+                         x y)
+              end));
+    match !bad with None -> Ok () | Some e -> Error e
+  end

@@ -1,0 +1,30 @@
+(** Stop-the-world reachability oracle for differential testing.
+
+    Computes reachability atomically (no yields), which in the simulator is
+    a legal "instantaneous" snapshot.  Tests use it to check the two
+    properties the paper's correctness argument promises:
+
+    - {b safety}: no reachable object is ever blue/freed — checked at any
+      instant, including mid-cycle under adversarial schedules;
+    - {b completeness}: after quiescence and two full collections, no
+      garbage remains (one cycle may leave floating garbage by design). *)
+
+val reachable : State.t -> (int, unit) Hashtbl.t
+(** Transitive closure from all active mutator roots and globals. *)
+
+val check_safety : State.t -> (unit, string) result
+(** [Error] describes the first reachable-but-not-allocated object found
+    (a root or slot pointing at freed or never-allocated memory). *)
+
+val garbage : State.t -> int list
+(** Allocated objects not reachable from any root, in address order. *)
+
+val live_count : State.t -> int
+
+val check_intergen_invariant : State.t -> (unit, string) result
+(** The generational collectors' load-bearing invariant: every pointer
+    from an old (black) object to a young object lies on a dirty card (or
+    its source is in the remembered set).  Only meaningful at quiescent
+    instants — the aging barrier's store-then-mark ordering leaves a legal
+    transient window mid-run — and trivially [Ok] for the
+    non-generational collector. *)

@@ -1,0 +1,176 @@
+module Heap = Otfgc_heap.Heap
+module Sched = Otfgc_sched.Sched
+open State
+
+exception Out_of_memory
+
+type t = { st : State.t; mutable next_mutator_id : int }
+
+let create ?(heap_config = Heap.default_config) ?(gc_config = Gc_config.default)
+    () =
+  Gc_config.validate gc_config;
+  let heap = Heap.create heap_config in
+  { st = State.create heap gc_config; next_mutator_id = 0 }
+
+let state t = t.st
+let heap t = t.st.heap
+let stats t = t.st.stats
+let cost t = t.st.cost
+
+let set_fine_grained t v = t.st.fine_grained <- v
+
+let new_mutator t ~name ?(n_regs = 16) () =
+  if t.st.collecting then Sched.wait_until (fun () -> not t.st.collecting);
+  let m = Mutator.create ~id:t.next_mutator_id ~name ~n_regs in
+  t.next_mutator_id <- t.next_mutator_id + 1;
+  (* Idle collector means status_c = Async, matching the fresh mutator. *)
+  Mutator.set_status m t.st.status_c;
+  t.st.mutators <- t.st.mutators @ [ m ];
+  m
+
+let retire_mutator _t m = Mutator.retire m
+
+let spawn_collector t sched =
+  Sched.spawn sched ~daemon:true ~name:"collector" (fun () ->
+      Collector.collector_loop t.st)
+
+let shutdown t = t.st.shutdown <- true
+
+let cooperate t m = Collector.cooperate t.st m
+
+let add_global t addr = t.st.globals <- addr :: t.st.globals
+
+let request_collection t ~full =
+  let st = t.st in
+  if not st.collecting && st.gc_request = No_request then
+    st.gc_request <- (if full then Want_full else Want_partial)
+
+let collect_and_wait t m ~full =
+  let st = t.st in
+  (* Wait out any cycle already in progress so ours is a fresh one. *)
+  while st.collecting || st.gc_request <> No_request do
+    Collector.cooperate st m;
+    Sched.yield ()
+  done;
+  let n0 = List.length (Gc_stats.cycles st.stats) in
+  st.gc_request <- (if full then Want_full else Want_partial);
+  while List.length (Gc_stats.cycles st.stats) = n0 || st.collecting do
+    Collector.cooperate st m;
+    Sched.yield ()
+  done;
+  List.nth (Gc_stats.cycles st.stats) n0
+
+(* Section 3.3 triggering: a partial collection once [young_bytes] have
+   been allocated since the last collection; a full collection when the
+   heap is "almost full" — the same full trigger with and without
+   generations (Section 8). *)
+let maybe_trigger t =
+  let st = t.st in
+  if (not st.collecting) && st.gc_request = No_request then begin
+    let cap = Heap.capacity st.heap in
+    let almost_full =
+      float_of_int (Heap.allocated_bytes st.heap)
+      >= st.cfg.Gc_config.full_trigger_fraction *. float_of_int cap
+      (* while the heap can still grow cheaply, growing is preferred over
+         collecting only when allocation actually fails; the fraction
+         applies to current capacity, as in the prototype JVM *)
+    in
+    if almost_full then st.gc_request <- Want_full
+    else if
+      Gc_config.is_generational st.cfg.Gc_config.mode
+      && st.bytes_since_gc >= st.cfg.Gc_config.young_bytes
+    then st.gc_request <- Want_partial
+  end
+
+let try_alloc t ~size ~n_slots =
+  let st = t.st in
+  let color = Collector.allocation_color st in
+  Heap.alloc st.heap ~size ~n_slots ~color
+
+let alloc t m ~size ~n_slots =
+  let st = t.st in
+  Collector.cooperate st m;
+  Sched.yield ();
+  Cost.mutator st.cost Cost.c_alloc;
+  match try_alloc t ~size ~n_slots with
+  | Some addr ->
+      st.bytes_since_gc <- st.bytes_since_gc + Heap.size st.heap addr;
+      maybe_trigger t;
+      addr
+  | None ->
+      (* Slow path — collect before growing, as the prototype JVM does:
+         request a full collection if none is pending, stall (cooperating,
+         or handshakes would never complete) until it finishes, retry; only
+         when a whole collection has run and allocation still fails does
+         the heap grow towards its maximum, and only when that too is
+         exhausted is the program out of memory. *)
+      let result = ref Heap.nil in
+      (* Only a full (or non-generational) collection can reclaim tenured
+         garbage; partials completing while we wait do not count as "a
+         collection ran and it still does not fit". *)
+      let fulls_done () =
+        Gc_stats.count st.stats Gc_stats.Full
+        + Gc_stats.count st.stats Gc_stats.Non_gen
+      in
+      let baseline = ref (fulls_done ()) in
+      while !result = Heap.nil do
+        match try_alloc t ~size ~n_slots with
+        | Some addr -> result := addr
+        | None ->
+            (if (not st.collecting) && st.gc_request = No_request then
+               if fulls_done () = !baseline then st.gc_request <- Want_full
+               else if
+                 Heap.grow st.heap
+                   ~want_bytes:
+                     (Stdlib.max size (Stdlib.max 65536 (Heap.capacity st.heap / 2)))
+               then baseline := fulls_done ()
+               else raise Out_of_memory);
+            Collector.cooperate st m;
+            Cost.stall st.cost Cost.c_cooperate;
+            Sched.yield ()
+      done;
+      st.bytes_since_gc <- st.bytes_since_gc + Heap.size st.heap !result;
+      maybe_trigger t;
+      !result
+
+let load t m ~x ~i =
+  let st = t.st in
+  Collector.cooperate st m;
+  Sched.yield ();
+  Cost.mutator st.cost Cost.c_load;
+  Heap.get_slot st.heap x i
+
+let store t m ~x ~i ~y =
+  let st = t.st in
+  Collector.cooperate st m;
+  Sched.yield ();
+  Collector.update st m ~x ~i ~y
+
+(* Scalar fields need no write barrier: the collector only cares about
+   references (Section 2: the barrier is required only on modifications of
+   references inside heap objects). *)
+let load_data t m ~x ~i =
+  let st = t.st in
+  Collector.cooperate st m;
+  Sched.yield ();
+  Cost.mutator st.cost Cost.c_load;
+  Heap.get_data st.heap x i
+
+let store_data t m ~x ~i ~v =
+  let st = t.st in
+  Collector.cooperate st m;
+  Sched.yield ();
+  Cost.mutator st.cost Cost.c_store;
+  Heap.set_data st.heap x i v
+
+let work t m n =
+  let st = t.st in
+  Collector.cooperate st m;
+  let units = n * Cost.c_compute in
+  Cost.mutator st.cost units;
+  (* Scheduled time must track charged work on both sides (the collector
+     yields once per ~8 units), so a long computation burns proportionally
+     many scheduling quanta — during which the collector runs. *)
+  for _ = 1 to Stdlib.max 1 (units / 8) do
+    Sched.yield ()
+  done

@@ -1,0 +1,98 @@
+(** The mutator-facing runtime: what application (workload) code calls.
+
+    A runtime owns a simulated heap and one collector configuration, and
+    exposes the JVM-like primitive operations — allocate, load, store,
+    pure work — each of which hides the right write-barrier path,
+    handshake polling ([Cooperate] runs at the top of every operation,
+    modelling the paper's "backward branches and invocations"), allocation
+    triggering, heap growth and allocation stalls.
+
+    Usage: create the runtime, register mutators, spawn the collector as a
+    daemon process and the mutator bodies as ordinary processes on the same
+    scheduler, then [Sched.run].  All operations taking a {!Mutator.t} must
+    be called from that mutator's process. *)
+
+exception Out_of_memory
+(** Raised by {!alloc} when a full collection plus maximal heap growth
+    still cannot satisfy a request. *)
+
+type t
+
+val create :
+  ?heap_config:Otfgc_heap.Heap.config -> ?gc_config:Gc_config.t -> unit -> t
+
+val state : t -> State.t
+(** The shared state (read-mostly; for instrumentation and tests). *)
+
+val heap : t -> Otfgc_heap.Heap.t
+val stats : t -> Gc_stats.t
+val cost : t -> Cost.t
+
+val set_fine_grained : t -> bool -> unit
+(** Disable/enable micro-step yields (see {!State.t.fine_grained}).
+    Benchmarks turn this off; correctness tests leave it on. *)
+
+(** {2 Threads} *)
+
+val new_mutator : t -> name:string -> ?n_regs:int -> unit -> Mutator.t
+(** Register a mutator (default 16 registers).  If a collection is in
+    progress this waits for it to finish, so it must then be called from
+    inside a process. *)
+
+val retire_mutator : t -> Mutator.t -> unit
+(** The thread exits: stop including it in handshakes, drop its roots. *)
+
+val spawn_collector : t -> Otfgc_sched.Sched.t -> Otfgc_sched.Sched.pid
+(** Spawn {!Collector.collector_loop} as a daemon process. *)
+
+val shutdown : t -> unit
+(** Ask the collector loop to exit after the current cycle. *)
+
+(** {2 Mutator operations} *)
+
+val alloc : t -> Mutator.t -> size:int -> n_slots:int -> int
+(** Allocate an object ([Create] of Figure 1): picks the current allocation
+    color, accounts the young-generation trigger, and on exhaustion grows
+    the heap, requests a collection and stalls until space appears.
+    Raises {!Out_of_memory} if nothing helps.
+
+    {b Rooting contract}: there is no scheduling point between the
+    allocation succeeding and [alloc] returning, so the caller can safely
+    move the result into a register or stack slot.  It must do so before
+    its next runtime operation: OCaml locals are not GC roots — only
+    {!Mutator.t} registers and stack slots are (they model the machine
+    registers real compiled code keeps references in). *)
+
+val load : t -> Mutator.t -> x:int -> i:int -> int
+(** [heap\[x,i\]] — no read barrier, as in DLG. *)
+
+val store : t -> Mutator.t -> x:int -> i:int -> y:int -> unit
+(** [heap\[x,i\] <- y] through the write barrier ([Update]). *)
+
+val work : t -> Mutator.t -> int -> unit
+(** Pure application work: charges cost, polls the handshake. *)
+
+val load_data : t -> Mutator.t -> x:int -> i:int -> int
+(** Read scalar word [i] of object [x] — no barrier, like any non-pointer
+    field access. *)
+
+val store_data : t -> Mutator.t -> x:int -> i:int -> v:int -> unit
+(** Write a scalar word — no write barrier (the paper's barrier covers
+    reference stores only). *)
+
+val cooperate : t -> Mutator.t -> unit
+(** Explicit handshake poll (operations already do this). *)
+
+val add_global : t -> int -> unit
+(** Register a global root (e.g. a statics object). *)
+
+(** {2 Direct collection control (tests, examples)} *)
+
+val request_collection : t -> full:bool -> unit
+(** Ask the collector daemon for a cycle if it is idle (no-op otherwise). *)
+
+val collect_and_wait : t -> Mutator.t -> full:bool -> Gc_stats.cycle
+(** The [System.gc()] analogue: request a collection of the given kind and
+    block the calling mutator — cooperating with handshakes all the while —
+    until that cycle completes.  Returns its statistics.  Requires a
+    collector daemon on the current scheduler. *)

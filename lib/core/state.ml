@@ -1,0 +1,68 @@
+module Heap = Otfgc_heap.Heap
+module Color = Otfgc_heap.Color
+module Page_set = Otfgc_heap.Page_set
+
+type gc_request = No_request | Want_partial | Want_full
+
+type t = {
+  heap : Heap.t;
+  cfg : Gc_config.t;
+  mutable status_c : Status.t;
+  mutable mutators : Mutator.t list;
+  mutable globals : int list;
+  mutable allocation_color : Color.t;
+  mutable clear_color : Color.t;
+  mutable tracing : bool;
+  mutable sweeping : bool;
+  mutable collecting : bool;
+  mutable gc_request : gc_request;
+  mutable bytes_since_gc : int;
+  mutable shutdown : bool;
+  gray : Gray_queue.t;
+  stats : Gc_stats.t;
+  events : Event_log.t;
+  mutable cur_cycle : Gc_stats.cycle option;
+  pages : Page_set.t;
+  cost : Cost.t;
+  card_cache : Card_cache.t;
+  remset_cache : Card_cache.t;
+  mutable tenure_threshold : int;
+  mutable fine_grained : bool;
+  mutable collector_tick : int;
+  mutable collector_speed : int;
+}
+
+let create heap cfg =
+  {
+    heap;
+    cfg;
+    status_c = Status.Async;
+    mutators = [];
+    globals = [];
+    allocation_color = Color.C0;
+    clear_color = Color.C1;
+    tracing = false;
+    sweeping = false;
+    collecting = false;
+    gc_request = No_request;
+    bytes_since_gc = 0;
+    shutdown = false;
+    gray = Gray_queue.create ();
+    stats = Gc_stats.create ();
+    events = Event_log.create ();
+    cur_cycle = None;
+    pages = Page_set.create (Heap.layout heap);
+    cost = Cost.create ();
+    card_cache = Card_cache.create ();
+    remset_cache = Card_cache.create ();
+    tenure_threshold = 1;
+    fine_grained = true;
+    collector_tick = 0;
+    collector_speed = 8;
+  }
+
+let step t = if t.fine_grained then Otfgc_sched.Sched.yield ()
+
+let active_mutators t = List.filter Mutator.active t.mutators
+
+let young_color _t c = not (Color.equal c Color.Black)

@@ -1,0 +1,77 @@
+(** Shared collector/mutator state — the memory both sides race on.
+
+    One value of this type corresponds to the process-wide state of the
+    paper's JVM: the heap and its side tables, the collector's posted
+    status, the two toggling color names, the "collector is tracing" flag
+    read by write barriers, the gray set, triggers, and the ledgers.
+
+    The record is deliberately transparent: the collectors in this library
+    are the paper's Figures 1–6 transliterated, and hiding every field
+    behind accessors would only obscure the correspondence.  Outside code
+    should treat it as read-only and go through {!Runtime}. *)
+
+type gc_request = No_request | Want_partial | Want_full
+
+type t = {
+  heap : Otfgc_heap.Heap.t;
+  cfg : Gc_config.t;
+  (* handshake machinery *)
+  mutable status_c : Status.t;  (** status posted by the collector *)
+  mutable mutators : Mutator.t list;
+  mutable globals : int list;   (** global roots, marked by the collector *)
+  (* colors *)
+  mutable allocation_color : Otfgc_heap.Color.t;
+      (** [Generational]/[Generational_aging]: the color newly created
+          objects get ("yellow" while a cycle runs).  [Non_generational]:
+          the mark color — what the trace recolors live objects to. *)
+  mutable clear_color : Otfgc_heap.Color.t;
+      (** the color the sweep reclaims *)
+  (* phase flags, each written only by the collector *)
+  mutable tracing : bool;     (** the barrier's "Collector is tracing" *)
+  mutable sweeping : bool;    (** sweep in progress (create-color decision) *)
+  mutable collecting : bool;  (** a collection cycle is in progress *)
+  mutable gc_request : gc_request;
+  mutable bytes_since_gc : int;
+  mutable shutdown : bool;
+  (* instrumentation *)
+  gray : Gray_queue.t;
+  stats : Gc_stats.t;
+  events : Event_log.t;  (** phase-transition log (off by default) *)
+  mutable cur_cycle : Gc_stats.cycle option;
+  pages : Otfgc_heap.Page_set.t;
+  cost : Cost.t;
+  card_cache : Card_cache.t;
+  remset_cache : Card_cache.t;
+      (** locality model for the remembered set's dedup-flag table *)
+  mutable tenure_threshold : int;
+      (** survivals before tenure for [Generational_adaptive]; adjusted by
+          the collector from each partial collection's survival rate *)
+  mutable fine_grained : bool;
+      (** yield inside barrier/shade micro-steps (on for race testing, off
+          for long benchmark runs — see DESIGN.md) *)
+  mutable collector_tick : int;
+      (** work units accumulated since the collector last yielded; the
+          collector yields once per ~[collector_speed] units so that
+          simulated time advances proportionally to work on both sides *)
+  mutable collector_speed : int;
+      (** work units the collector performs per scheduling slot (default
+          8, matching one mutator-operation's worth).  The scheduler gives
+          every process equal slots — each thread owns a CPU — so when
+          reproducing the paper's 4-way machine with more threads than
+          CPUs, the driver raises this: the collector keeps a whole CPU
+          while the mutators share what remains, making it ~N/3 times
+          faster than each of N > 3 mutators. *)
+}
+
+val create : Otfgc_heap.Heap.t -> Gc_config.t -> t
+(** Fresh idle state: status [Async], allocation color {!Otfgc_heap.Color.C0},
+    clear color [C1], nothing requested. *)
+
+val step : t -> unit
+(** Fine-grained scheduling point: yields iff [fine_grained]. *)
+
+val active_mutators : t -> Mutator.t list
+
+val young_color : t -> Otfgc_heap.Color.t -> bool
+(** Whether an object of the given color belongs to the young generation
+    under the simple promotion policy (i.e. is not black). *)

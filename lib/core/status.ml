@@ -1,0 +1,11 @@
+type t = Async | Sync1 | Sync2
+
+let equal a b =
+  match (a, b) with
+  | Async, Async | Sync1, Sync1 | Sync2, Sync2 -> true
+  | _ -> false
+
+let to_string = function Async -> "async" | Sync1 -> "sync1" | Sync2 -> "sync2"
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let next = function Async -> Sync1 | Sync1 -> Sync2 | Sync2 -> Async

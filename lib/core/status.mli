@@ -1,0 +1,17 @@
+(** Handshake statuses (Section 7).
+
+    The collector posts a status; each mutator independently copies it the
+    next time it cooperates.  The period between the first and second
+    handshakes is [Sync1], between the second and third [Sync2], and the
+    rest of the time [Async].  Each mutator has its own view of the current
+    period depending on when it last cooperated. *)
+
+type t = Async | Sync1 | Sync2
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val next : t -> t
+(** The status the collector posts after the given one:
+    [Async -> Sync1 -> Sync2 -> Async]. *)

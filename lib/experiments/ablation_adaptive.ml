@@ -1,0 +1,33 @@
+(* Ablation B (the paper's future-work remark in Section 6): dynamic
+   tenuring.
+
+   The fixed-threshold aging mechanism disappointed (Figures 18-20); the
+   paper notes "dynamic policies could easily be implemented".  The
+   [Generational_adaptive] collector adjusts the tenuring threshold from
+   each partial collection's young survival rate: promote immediately when
+   virtually everything dies young, age longer when many survive.  This
+   table compares simple promotion, the best fixed aging threshold the
+   paper tried (4), and the adaptive policy. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:
+        "Ablation B: promotion policies — simple vs fixed aging(4) vs \
+         adaptive tenuring (% improvement over non-generational)"
+      [ "Benchmark"; "simple %"; "aging(4) %"; "adaptive %" ]
+  in
+  List.iter
+    (fun p ->
+      Textable.add_row t
+        [
+          p.Profile.name;
+          Sweeps.fmt_signed (Lab.improvement lab p);
+          Sweeps.fmt_signed (Lab.improvement lab ~mode:(Lab.Aging 4) p);
+          Sweeps.fmt_signed (Lab.improvement lab ~mode:Lab.Adaptive p);
+        ])
+    Profile.all;
+  t

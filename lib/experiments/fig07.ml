@@ -1,0 +1,23 @@
+(* Figure 7: percentage improvement (elapsed time) for the multithreaded
+   Ray Tracer on the 4-way multiprocessor, 2-10 application threads. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+
+let paper = [ (2, 1.3); (4, 2.6); (6, 10.6); (8, 16.0); (10, 11.7) ]
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:
+        "Figure 7: % improvement (elapsed) for multithreaded Ray Tracer on a \
+         4-way multiprocessor"
+      [ "No. of threads"; "Improvement %"; "Paper %" ]
+  in
+  List.iter
+    (fun (n, paper_v) ->
+      let imp = Lab.improvement lab (Profile.raytracer ~threads:n) in
+      Textable.add_row t
+        [ string_of_int n; Sweeps.fmt_signed imp; Sweeps.fmt_signed paper_v ])
+    paper;
+  t

@@ -1,0 +1,25 @@
+(* Figure 8: percentage improvement for Anagram, multiprocessor and
+   uniprocessor. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+
+let paper_multi = 25.0
+let paper_uni = 32.7
+
+let run lab =
+  let t =
+    Textable.create ~title:"Figure 8: % improvement for Anagram"
+      [ "Benchmark"; "Multi %"; "Uni %"; "Paper multi"; "Paper uni" ]
+  in
+  let multi = Lab.improvement lab ~multiprocessor:true Profile.anagram in
+  let uni = Lab.improvement lab ~multiprocessor:false Profile.anagram in
+  Textable.add_row t
+    [
+      "Anagram";
+      Sweeps.fmt_signed multi;
+      Sweeps.fmt_signed uni;
+      Sweeps.fmt_signed paper_multi;
+      Sweeps.fmt_signed paper_uni;
+    ];
+  t

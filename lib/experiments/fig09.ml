@@ -1,0 +1,38 @@
+(* Figure 9: percentage improvement for the SPECjvm benchmarks,
+   multiprocessor and uniprocessor. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+
+let paper =
+  [
+    ("mtrt", 7.0, 25.2);
+    ("compress", 0.0, 2.0);
+    ("db", -0.9, 0.7);
+    ("jess", -3.7, -2.5);
+    ("javac", 17.2, 15.3);
+    ("jack", -2.12, -7.7);
+  ]
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:"Figure 9: % improvement for SPECjvm benchmarks"
+      [ "Benchmark"; "Multi %"; "Uni %"; "Paper multi"; "Paper uni" ]
+  in
+  List.iter
+    (fun p ->
+      let name = p.Profile.name in
+      let _, pm, pu = List.find (fun (n, _, _) -> n = name) paper in
+      let multi = Lab.improvement lab ~multiprocessor:true p in
+      let uni = Lab.improvement lab ~multiprocessor:false p in
+      Textable.add_row t
+        [
+          name;
+          Sweeps.fmt_signed multi;
+          Sweeps.fmt_signed uni;
+          Sweeps.fmt_signed pm;
+          Sweeps.fmt_signed pu;
+        ])
+    Profile.spec_benchmarks;
+  t

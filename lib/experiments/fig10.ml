@@ -1,0 +1,51 @@
+(* Figure 10: use of garbage collection in the applications — percent of
+   time GC is active, number of partial and full collections, and the same
+   without generations. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+(* name, %gc, #partial, #full, %gc w/o gen, #collections w/o gen *)
+let paper =
+  [
+    ("mtrt", 21.5, 36, 0, 30.5, 26);
+    ("compress", 1.7, 5, 15, 1.2, 17);
+    ("db", 2.4, 15, 1, 3.4, 15);
+    ("jess", 13.3, 70, 2, 14.8, 51);
+    ("javac", 23.8, 36, 16, 43.3, 82);
+    ("jack", 7.7, 45, 4, 6.3, 35);
+    ("anagram", 62.8, 152, 8, 78.9, 56);
+  ]
+
+let run lab =
+  let t =
+    Textable.create ~title:"Figure 10: use of garbage collection in application"
+      [
+        "Benchmark";
+        "GC active %";
+        "#partial";
+        "#full";
+        "GC% w/o gen";
+        "#GC w/o gen";
+        "(paper)";
+      ]
+  in
+  List.iter
+    (fun p ->
+      let name = p.Profile.name in
+      let _, pg, pp, pf, png, pn = List.find (fun (n, _, _, _, _, _) -> n = name) paper in
+      let gen = Lab.run lab p in
+      let base = Lab.run lab ~mode:Lab.Non_gen p in
+      Textable.add_row t
+        [
+          name;
+          Textable.fmt_f1 gen.R.pct_time_gc;
+          string_of_int gen.R.n_partial;
+          string_of_int gen.R.n_full;
+          Textable.fmt_f1 base.R.pct_time_gc;
+          string_of_int base.R.n_non_gen;
+          Printf.sprintf "%.1f%% %d/%d %.1f%% %d" pg pp pf png pn;
+        ])
+    Profile.all;
+  t

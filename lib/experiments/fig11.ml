@@ -1,0 +1,48 @@
+(* Figure 11: generational characterisation, part 1 — average numbers of
+   objects scanned: old objects scanned for inter-generational pointers,
+   objects scanned in partial collections, in full collections, and
+   without generations.  Paper values are /8 comparable only in shape
+   (the simulation runs at 1/8 scale). *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+let paper =
+  [
+    ("mtrt", "280", "1023", "N/A", "238703");
+    ("compress", "3", "168", "4789", "4778");
+    ("db", "7", "399", "294534", "287522");
+    ("jess", "1373", "3797", "25411", "25446");
+    ("javac", "16184", "53833", "213735", "194267");
+    ("jack", "151", "4890", "14972", "11241");
+    ("anagram", "1", "863", "273248", "271453");
+  ]
+
+let fmt_opt v = if v = 0. then Textable.na else Textable.fmt_int v
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:
+        "Figure 11: objects scanned per collection (paper values at 8x scale \
+         in parentheses)"
+      [ "Benchmark"; "inter-gen"; "partial"; "full"; "w/o gen"; "(paper)" ]
+  in
+  List.iter
+    (fun p ->
+      let name = p.Profile.name in
+      let _, pi, pp, pf, pn = List.find (fun (n, _, _, _, _) -> n = name) paper in
+      let gen = Lab.run lab p in
+      let base = Lab.run lab ~mode:Lab.Non_gen p in
+      Textable.add_row t
+        [
+          name;
+          Textable.fmt_int gen.R.avg_intergen_scanned;
+          Textable.fmt_int gen.R.avg_scanned_partial;
+          fmt_opt gen.R.avg_scanned_full;
+          Textable.fmt_int base.R.avg_scanned_non_gen;
+          Printf.sprintf "(%s %s %s %s)" pi pp pf pn;
+        ])
+    Profile.all;
+  t

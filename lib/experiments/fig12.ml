@@ -1,0 +1,50 @@
+(* Figure 12: generational characterisation, part 2 — percentage of bytes
+   and objects freed in partial collections (of the young generation), in
+   full collections and without generations (of all allocated objects). *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+let paper =
+  [
+    ("mtrt", "99.89", "99.54", "N/A", "52.3");
+    ("compress", "19.29", "40.43", "2.6", "2.3");
+    ("db", "97.66", "99.77", "22.2", "43.1");
+    ("jess", "98.02", "97.88", "87.2", "86.3");
+    ("javac", "71.25", "68.67", "44.7", "26.8");
+    ("jack", "91.63", "96.58", "90.8", "94.7");
+    ("anagram", "86.22", "93.43", "14.2", "13.2");
+  ]
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:"Figure 12: percentage of bytes/objects freed per collection kind"
+      [
+        "Benchmark";
+        "bytes% partial";
+        "objs% partial";
+        "objs% full";
+        "objs% w/o gen";
+        "(paper)";
+      ]
+  in
+  List.iter
+    (fun p ->
+      let name = p.Profile.name in
+      let _, pb, po, pf, pn = List.find (fun (n, _, _, _, _) -> n = name) paper in
+      let gen = Lab.run lab p in
+      let base = Lab.run lab ~mode:Lab.Non_gen p in
+      let fmt_full v = if gen.R.n_full = 0 then Textable.na else Textable.fmt_f1 v in
+      Textable.add_row t
+        [
+          name;
+          Textable.fmt_f1 gen.R.pct_bytes_freed_partial;
+          Textable.fmt_f1 gen.R.pct_objects_freed_partial;
+          fmt_full gen.R.pct_objects_freed_full;
+          Textable.fmt_f1 base.R.pct_objects_freed_non_gen;
+          Printf.sprintf "(%s %s %s %s)" pb po pf pn;
+        ])
+    Profile.all;
+  t

@@ -1,0 +1,45 @@
+(* Figure 13: elapsed time of collection cycles — average collector work
+   per partial, full and non-generational cycle.  Work units, not ms; the
+   paper's ms values are given for shape comparison (partials cheaper than
+   fulls "but not drastically less", Section 8.4). *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+let paper =
+  [
+    ("mtrt", "99", "N/A", "260");
+    ("compress", "17", "35", "31");
+    ("db", "80", "270", "215");
+    ("jess", "61", "116", "87");
+    ("javac", "145", "367", "249");
+    ("jack", "60", "95", "71");
+    ("anagram", "52", "429", "346");
+  ]
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:
+        "Figure 13: average collection-cycle cost (work units; paper ms in \
+         parentheses)"
+      [ "Benchmark"; "partial"; "full"; "w/o gen"; "(paper ms)" ]
+  in
+  List.iter
+    (fun p ->
+      let name = p.Profile.name in
+      let _, pp, pf, pn = List.find (fun (n, _, _, _) -> n = name) paper in
+      let gen = Lab.run lab p in
+      let base = Lab.run lab ~mode:Lab.Non_gen p in
+      let fmt_full v = if gen.R.n_full = 0 then Textable.na else Textable.fmt_int v in
+      Textable.add_row t
+        [
+          name;
+          Textable.fmt_int gen.R.avg_work_partial;
+          fmt_full gen.R.avg_work_full;
+          Textable.fmt_int base.R.avg_work_non_gen;
+          Printf.sprintf "(%s %s %s)" pp pf pn;
+        ])
+    Profile.all;
+  t

@@ -1,0 +1,38 @@
+(* Figure 14: average gain from collections — objects and space freed per
+   partial, full and non-generational cycle. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:"Figure 14: average gain from collections (objects / bytes freed)"
+      [
+        "Benchmark";
+        "objs partial";
+        "objs full";
+        "objs w/o gen";
+        "bytes partial";
+        "bytes full";
+        "bytes w/o gen";
+      ]
+  in
+  List.iter
+    (fun p ->
+      let gen = Lab.run lab p in
+      let base = Lab.run lab ~mode:Lab.Non_gen p in
+      let fmt_full v = if gen.R.n_full = 0 then Textable.na else Textable.fmt_int v in
+      Textable.add_row t
+        [
+          p.Profile.name;
+          Textable.fmt_int gen.R.avg_objects_freed_partial;
+          fmt_full gen.R.avg_objects_freed_full;
+          Textable.fmt_int base.R.avg_objects_freed_non_gen;
+          Textable.fmt_int gen.R.avg_bytes_freed_partial;
+          fmt_full gen.R.avg_bytes_freed_full;
+          Textable.fmt_int base.R.avg_bytes_freed_non_gen;
+        ])
+    Profile.all;
+  t

@@ -1,0 +1,43 @@
+(* Figure 15: average number of pages touched by a collection — partial,
+   full, and without generations, including all collector tables. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+let paper =
+  [
+    ("mtrt", "1489", "N/A", "3355");
+    ("compress", "76", "124", "109");
+    ("db", "944", "2794", "2827");
+    ("jess", "1304", "2227", "2048");
+    ("javac", "2607", "3709", "3080");
+    ("jack", "1199", "2052", "1767");
+    ("anagram", "1082", "4938", "5054");
+  ]
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:
+        "Figure 15: average pages touched per collection (paper values at 8x \
+         heap scale in parentheses)"
+      [ "Benchmark"; "partial"; "full"; "w/o gen"; "(paper)" ]
+  in
+  List.iter
+    (fun p ->
+      let name = p.Profile.name in
+      let _, pp, pf, pn = List.find (fun (n, _, _, _) -> n = name) paper in
+      let gen = Lab.run lab p in
+      let base = Lab.run lab ~mode:Lab.Non_gen p in
+      let fmt_full v = if gen.R.n_full = 0 then Textable.na else Textable.fmt_int v in
+      Textable.add_row t
+        [
+          name;
+          Textable.fmt_int gen.R.avg_pages_partial;
+          fmt_full gen.R.avg_pages_full;
+          Textable.fmt_int base.R.avg_pages_non_gen;
+          Printf.sprintf "(%s %s %s)" pp pf pn;
+        ])
+    Profile.all;
+  t

@@ -1,0 +1,33 @@
+(* Figure 16: tuning the size of the young generation for the
+   multithreaded Ray Tracer — % improvement with block marking (4096-byte
+   cards) and object marking (16-byte cards) for young sizes 1m-8m
+   (paper-equivalent labels; actual sizes are /8). *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:
+        "Figure 16: young-generation size tuning, multithreaded Ray Tracer \
+         (% improvement)"
+      ("Configuration"
+      :: List.map (fun n -> string_of_int n) Sweeps.raytracer_threads)
+  in
+  List.iter
+    (fun (marking, card) ->
+      List.iter
+        (fun (label, young) ->
+          let row =
+            List.map
+              (fun n ->
+                Sweeps.fmt_signed
+                  (Lab.improvement lab ~card ~young (Profile.raytracer ~threads:n)))
+              Sweeps.raytracer_threads
+          in
+          Textable.add_row t
+            (Printf.sprintf "%s marking, %s young" marking label :: row))
+        Sweeps.young_sizes)
+    [ ("block", Sweeps.block_marking); ("object", Sweeps.object_marking) ];
+  t

@@ -1,0 +1,36 @@
+(* Figure 17: tuning the size of the young generation for the SPECjvm
+   benchmarks and Anagram — % improvement under block and object marking
+   for young sizes 1m-8m (paper-equivalent labels). *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+
+let run lab =
+  let headers =
+    "Benchmark"
+    :: List.concat_map
+         (fun marking ->
+           List.map (fun (label, _) -> marking ^ " " ^ label) Sweeps.young_sizes)
+         [ "blk"; "obj" ]
+  in
+  let t =
+    Textable.create
+      ~title:
+        "Figure 17: young-generation size tuning (% improvement; block vs \
+         object marking)"
+      headers
+  in
+  List.iter
+    (fun p ->
+      let cells =
+        List.concat_map
+          (fun card ->
+            List.map
+              (fun (_, young) ->
+                Sweeps.fmt_signed (Lab.improvement lab ~card ~young p))
+              Sweeps.young_sizes)
+          [ Sweeps.block_marking; Sweeps.object_marking ]
+      in
+      Textable.add_row t (p.Profile.name :: cells))
+    Profile.all;
+  t

@@ -1,0 +1,40 @@
+(* Figures 18: the aging mechanism vs the non-generational collector —
+   % improvement with tenuring thresholds 4 and 6 across young sizes
+   (object marking).  Figure 19 continues with thresholds 8 and 10. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+
+let run_thresholds ~title thresholds lab =
+  let headers =
+    "Benchmark"
+    :: List.concat_map
+         (fun age ->
+           List.map
+             (fun (label, _) -> Printf.sprintf "age%d %s" age label)
+             Sweeps.young_sizes)
+         thresholds
+  in
+  let t = Textable.create ~title headers in
+  List.iter
+    (fun p ->
+      let cells =
+        List.concat_map
+          (fun age ->
+            List.map
+              (fun (_, young) ->
+                Sweeps.fmt_signed
+                  (Lab.improvement lab ~young ~mode:(Lab.Aging age) p))
+              Sweeps.young_sizes)
+          thresholds
+      in
+      Textable.add_row t (p.Profile.name :: cells))
+    Profile.all;
+  t
+
+let run lab =
+  run_thresholds
+    ~title:
+      "Figure 18: aging vs non-generational (% improvement), thresholds 4 and \
+       6, object marking"
+    [ 4; 6 ] lab

@@ -1,0 +1,8 @@
+(* Figure 19: the aging mechanism, thresholds 8 and 10 (see Fig18). *)
+
+let run lab =
+  Fig18.run_thresholds
+    ~title:
+      "Figure 19: aging vs non-generational (% improvement), thresholds 8 and \
+       10, object marking"
+    [ 8; 10 ] lab

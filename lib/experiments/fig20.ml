@@ -1,0 +1,32 @@
+(* Figure 20: the cost of the aging mechanism itself — % improvement of
+   aging with threshold 2 (equivalent tenuring policy to simple promotion)
+   over the simple promotion collector, across young sizes.  Mostly
+   negative: aging pays for the age table and the pointer-level card scans
+   without changing what gets promoted. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:
+        "Figure 20: aging (threshold 2) vs simple promotion (% improvement \
+         of aging; negative = aging overhead)"
+      ("Benchmark" :: List.map fst Sweeps.young_sizes)
+  in
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun (_, young) ->
+            let simple = Lab.run lab ~young ~mode:Lab.Gen p in
+            let aging = Lab.run lab ~young ~mode:(Lab.Aging 2) p in
+            Sweeps.fmt_signed
+              (R.improvement_pct ~baseline:simple aging ~multiprocessor:true))
+          Sweeps.young_sizes
+      in
+      Textable.add_row t (p.Profile.name :: cells))
+    Profile.all;
+  t

@@ -1,0 +1,25 @@
+(* Figure 21: % improvement of generational over non-generational
+   collection for card sizes 16..4096 bytes (young generation fixed at the
+   4m-equivalent). *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:
+        "Figure 21: % improvement per card size (16 B = object marking, \
+         4096 B = block marking)"
+      ("Benchmark" :: List.map (fun c -> string_of_int c) Sweeps.card_sizes)
+  in
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun card -> Sweeps.fmt_signed (Lab.improvement lab ~card p))
+          Sweeps.card_sizes
+      in
+      Textable.add_row t (p.Profile.name :: cells))
+    Profile.all;
+  t

@@ -1,0 +1,25 @@
+(* Figure 22: percentage of dirty cards among allocated cards (the cards
+   covered by each collection's allocation window), per card size. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:"Figure 22: % of dirty cards from allocated cards, per card size"
+      ("Benchmark" :: List.map (fun c -> string_of_int c) Sweeps.card_sizes)
+  in
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun card ->
+            let r = Lab.run lab ~card p in
+            Textable.fmt_f2 r.R.pct_dirty_cards)
+          Sweeps.card_sizes
+      in
+      Textable.add_row t (p.Profile.name :: cells))
+    Profile.all;
+  t

@@ -1,0 +1,27 @@
+(* Figure 23: area scanned due to dirty cards (bytes of objects examined
+   on dirty cards per partial collection), per card size. *)
+
+module Textable = Otfgc_support.Textable
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+let run lab =
+  let t =
+    Textable.create
+      ~title:
+        "Figure 23: area scanned for dirty cards per partial collection \
+         (bytes), per card size"
+      ("Benchmark" :: List.map (fun c -> string_of_int c) Sweeps.card_sizes)
+  in
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun card ->
+            let r = Lab.run lab ~card p in
+            Textable.fmt_int r.R.avg_card_scan_bytes)
+          Sweeps.card_sizes
+      in
+      Textable.add_row t (p.Profile.name :: cells))
+    Profile.all;
+  t

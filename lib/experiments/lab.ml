@@ -1,0 +1,64 @@
+module Heap = Otfgc_heap.Heap
+module Gc_config = Otfgc.Gc_config
+module Profile = Otfgc_workloads.Profile
+module Driver = Otfgc_workloads.Driver
+module Run_result = Otfgc_metrics.Run_result
+
+type mode = Gen | Non_gen | Aging of int | Gen_remset | Adaptive
+
+type t = {
+  scale : float;
+  seed : int;
+  cache : (string, Run_result.t) Hashtbl.t;
+}
+
+let create ?(scale = 1.0) ?(seed = 42) () =
+  { scale; seed; cache = Hashtbl.create 64 }
+
+let scale t = t.scale
+
+let default_card = 16
+let default_young = 512 * 1024
+
+let mode_tag = function
+  | Gen -> "gen"
+  | Non_gen -> "nongen"
+  | Aging n -> Printf.sprintf "aging%d" n
+  | Gen_remset -> "remset"
+  | Adaptive -> "adaptive"
+
+let gc_of_mode mode young =
+  match mode with
+  | Gen -> Gc_config.generational ~young_bytes:young ()
+  | Non_gen -> { Gc_config.non_generational with Gc_config.young_bytes = young }
+  | Aging n -> Gc_config.aging ~young_bytes:young ~oldest_age:n ()
+  | Gen_remset ->
+      Gc_config.generational ~young_bytes:young
+        ~intergen:Gc_config.Remembered_set ()
+  | Adaptive -> Gc_config.adaptive ~young_bytes:young ()
+
+let run t ?(card = default_card) ?(young = default_young) ?(mode = Gen) profile
+    =
+  (* The non-generational baseline neither marks nor scans cards, so the
+     card size cannot affect it: normalise it out of the cache key (one
+     baseline run serves a whole card-size sweep). *)
+  let card = match mode with Non_gen -> default_card | _ -> card in
+  let key =
+    Printf.sprintf "%s/%s/c%d/y%d" profile.Profile.name (mode_tag mode) card
+      young
+  in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+      let heap = { Driver.default_heap with Heap.card_size = card } in
+      let r =
+        Driver.run ~heap ~seed:t.seed ~scale:t.scale ~gc:(gc_of_mode mode young)
+          profile
+      in
+      Hashtbl.replace t.cache key r;
+      r
+
+let improvement t ?card ?young ?(mode = Gen) ?(multiprocessor = true) profile =
+  let candidate = run t ?card ?young ~mode profile in
+  let baseline = run t ?card ?young ~mode:Non_gen profile in
+  Run_result.improvement_pct ~baseline candidate ~multiprocessor

@@ -1,0 +1,45 @@
+(** Shared infrastructure for the reproduced experiments.
+
+    A lab memoises workload runs by configuration so that figures sharing
+    the same run (e.g. Figures 10–15 all read the default-configuration
+    runs) execute it once.  All knobs default to the paper's chosen
+    parameters: object marking (16-byte cards), 512 KB young generation
+    (the paper's 4 MB scaled by 8), simple promotion. *)
+
+type t
+
+val create : ?scale:float -> ?seed:int -> unit -> t
+(** [scale] multiplies every workload's allocation volume (default 1.0);
+    benchmarks use it to trade fidelity for speed. *)
+
+val scale : t -> float
+
+type mode = Gen | Non_gen | Aging of int | Gen_remset | Adaptive
+(** Collector selection; [Aging n] uses the paper's threshold convention
+    (old at age [n]); [Gen_remset] is the simple collector with
+    remembered-set inter-generational tracking (Section 3.1's road not
+    taken); [Adaptive] is the dynamic tenuring policy of Section 6's
+    future-work remark. *)
+
+val run :
+  t ->
+  ?card:int ->
+  ?young:int ->
+  ?mode:mode ->
+  Otfgc_workloads.Profile.t ->
+  Otfgc_metrics.Run_result.t
+(** Run (or recall) the profile under the given configuration.
+    Defaults: 16-byte cards, 512 KB young generation, [Gen]. *)
+
+val improvement :
+  t ->
+  ?card:int ->
+  ?young:int ->
+  ?mode:mode ->
+  ?multiprocessor:bool ->
+  Otfgc_workloads.Profile.t ->
+  float
+(** Percentage improvement of the selected generational configuration over
+    the non-generational baseline (same card/young settings), positive =
+    generations faster.  [multiprocessor] defaults to [true] (the paper's
+    4-way measurements); [false] selects the uniprocessor elapsed proxy. *)

@@ -1,0 +1,18 @@
+(** The catalogue of reproduced experiments: every table/figure of the
+    paper's evaluation section, keyed by its figure number. *)
+
+type entry = {
+  id : string;  (** e.g. ["fig9"] *)
+  title : string;
+  heavy : bool;
+      (** parameter sweeps (Figures 16–23) that run dozens of
+          configurations; the bench harness runs them at reduced scale *)
+  run : Lab.t -> Otfgc_support.Textable.t;
+}
+
+val all : entry list
+(** In figure order, 7 through 23, followed by the two ablations this
+    reproduction adds (cards vs remembered sets; dynamic tenuring). *)
+
+val find : string -> entry option
+(** Look up by id ("fig7" .. "fig23", "ablationA", "ablationB"). *)

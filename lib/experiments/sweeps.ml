@@ -1,0 +1,20 @@
+(* Shared sweep axes, labelled with the paper's parameter names.
+
+   Young-generation sizes are the paper's 1/2/4/8 MB scaled by 8 (the
+   whole simulation runs at 1/8 linear scale: 4 MB max heap vs 32 MB);
+   card sizes are NOT scaled — they are absolute object-granularity
+   choices (16 bytes = "object marking", 4096 = "block marking"). *)
+
+let kb = 1024
+
+let young_sizes =
+  [ ("1m", 128 * kb); ("2m", 256 * kb); ("4m", 512 * kb); ("8m", 1024 * kb) ]
+
+let card_sizes = [ 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+let block_marking = 4096
+let object_marking = 16
+
+let raytracer_threads = [ 2; 4; 6; 8; 10 ]
+
+let fmt_signed v = Printf.sprintf "%.1f" v

@@ -1,0 +1,15 @@
+type t = Bytes.t
+
+let create ~max_heap_bytes = Bytes.make (Layout.granules_of_bytes max_heap_bytes) '\000'
+
+let idx addr = Layout.granule_index addr
+
+let get t addr = Char.code (Bytes.get t (idx addr))
+
+let set t addr v =
+  let v = if v < 0 then 0 else if v > 255 then 255 else v in
+  Bytes.set t (idx addr) (Char.chr v)
+
+let incr t addr =
+  let v = get t addr in
+  if v < 255 then Bytes.set t (idx addr) (Char.chr (v + 1))

@@ -1,0 +1,19 @@
+(** Side table of object ages for the aging collector (Section 6).
+
+    One byte per granule (the paper keeps "a byte per age (although two or
+    three bits are usually enough)"), indexed by the object's start
+    address.  Kept outside the objects for sweep locality, exactly as the
+    paper argues. *)
+
+type t
+
+val create : max_heap_bytes:int -> t
+
+val get : t -> int -> int
+(** Age of the object starting at the given heap address. *)
+
+val set : t -> int -> int -> unit
+(** Ages are clamped to [0, 255]. *)
+
+val incr : t -> int -> unit
+(** Add one to the age (saturating at 255). *)

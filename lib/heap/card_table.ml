@@ -1,0 +1,33 @@
+type t = { card_size : int; shift : int; marks : Bytes.t }
+
+let create ~card_size ~max_heap_bytes =
+  if card_size < 16 || card_size > 4096 || card_size land (card_size - 1) <> 0
+  then invalid_arg "Card_table.create: card size must be a power of two in [16,4096]";
+  let n = (max_heap_bytes + card_size - 1) / card_size in
+  let shift =
+    let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 card_size 0
+  in
+  { card_size; shift; marks = Bytes.make n '\000' }
+
+let card_size t = t.card_size
+let n_cards t = Bytes.length t.marks
+let card_of_addr t addr = addr lsr t.shift
+
+let mark t addr = Bytes.set t.marks (addr lsr t.shift) '\001'
+let clear_card t card = Bytes.set t.marks card '\000'
+let mark_card t card = Bytes.set t.marks card '\001'
+let is_dirty t card = Bytes.get t.marks card <> '\000'
+let clear_all t = Bytes.fill t.marks 0 (Bytes.length t.marks) '\000'
+
+let dirty_count t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.marks;
+  !n
+
+let card_bounds t card = (card * t.card_size, (card + 1) * t.card_size)
+
+let iter_dirty t f =
+  for card = 0 to Bytes.length t.marks - 1 do
+    if is_dirty t card then f card
+  done

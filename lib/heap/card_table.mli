@@ -1,0 +1,52 @@
+(** Card-marking table (Section 3.1).
+
+    The heap is partitioned into fixed-size cards; the write barrier marks
+    a card dirty when a pointer slot on it is modified, and the collector
+    scans dirty cards for inter-generational pointers.  One mark byte per
+    card — the paper stresses that the byte must not share its cell with
+    any other datum, or every pointer store would need a compare-and-swap.
+
+    Card sizes are powers of two between 16 bytes ("object marking") and
+    4096 bytes ("block marking"), the range swept in Figures 21–23. *)
+
+type t
+
+val create : card_size:int -> max_heap_bytes:int -> t
+(** All cards initially clean.  [card_size] must be a power of two in
+    [16, 4096]. *)
+
+val card_size : t -> int
+
+val n_cards : t -> int
+(** Number of cards covering the maximum heap. *)
+
+val card_of_addr : t -> int -> int
+(** Index of the card containing a heap byte address. *)
+
+val mark : t -> int -> unit
+(** [mark t addr] dirties the card containing heap address [addr] (the
+    mutator's [MarkCard]). *)
+
+val clear_card : t -> int -> unit
+(** [clear_card t card] cleans card [card] (the collector's
+    [ClearCardMark]). *)
+
+val mark_card : t -> int -> unit
+(** Dirty a card by index (collector re-marking in the aging protocol's
+    step 3). *)
+
+val is_dirty : t -> int -> bool
+
+val clear_all : t -> unit
+(** Clean every card (full-collection initialisation of the simple
+    algorithm). *)
+
+val dirty_count : t -> int
+
+val card_bounds : t -> int -> int * int
+(** [card_bounds t card] is the [(first, last)] heap byte addresses covered
+    by the card (last is exclusive). *)
+
+val iter_dirty : t -> (int -> unit) -> unit
+(** Iterate indices of dirty cards in increasing order.  Callback may clear
+    or set marks; the iteration reads the table once per card in order. *)

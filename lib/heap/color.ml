@@ -1,0 +1,35 @@
+type t = Blue | C0 | C1 | Gray | Black
+
+let equal a b =
+  match (a, b) with
+  | Blue, Blue | C0, C0 | C1, C1 | Gray, Gray | Black, Black -> true
+  | _ -> false
+
+let to_string = function
+  | Blue -> "blue"
+  | C0 -> "c0"
+  | C1 -> "c1"
+  | Gray -> "gray"
+  | Black -> "black"
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+let to_byte = function
+  | Blue -> '\000'
+  | C0 -> '\001'
+  | C1 -> '\002'
+  | Gray -> '\003'
+  | Black -> '\004'
+
+let of_byte = function
+  | '\000' -> Blue
+  | '\001' -> C0
+  | '\002' -> C1
+  | '\003' -> Gray
+  | '\004' -> Black
+  | c -> invalid_arg (Printf.sprintf "Color.of_byte: %d" (Char.code c))
+
+let other = function
+  | C0 -> C1
+  | C1 -> C0
+  | c -> invalid_arg ("Color.other: not a toggling color: " ^ to_string c)

@@ -1,0 +1,25 @@
+(** Object colors for the on-the-fly tri-color collectors.
+
+    The paper uses five colors: [Blue] for free chunks, [Gray] and [Black]
+    for the classic tri-color trace, and a pair of colors whose roles as
+    "white" (clear color — candidates for reclamation) and "yellow"
+    (allocation color — objects created during the current cycle) are
+    exchanged by the color-toggle trick of Section 5.  We name the pair
+    {!C0} and {!C1}; which one is currently the clear color is runtime
+    state of each collector, not a property of the color itself. *)
+
+type t = Blue | C0 | C1 | Gray | Black
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_byte : t -> char
+(** Encoding used by the per-granule color table. *)
+
+val of_byte : char -> t
+(** Inverse of {!to_byte}.  Raises [Invalid_argument] on junk. *)
+
+val other : t -> t
+(** [other c] is the partner of a toggling color: [other C0 = C1] and vice
+    versa.  Raises [Invalid_argument] on non-toggling colors. *)

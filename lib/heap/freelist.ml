@@ -1,0 +1,92 @@
+(* Classes 0..62 hold blocks of exactly (class+1) granules (16 B .. 1008 B);
+   class 63 holds everything larger, searched first-fit. *)
+let n_exact = 63
+let n_classes = n_exact + 1
+
+let class_of_granules gr = if gr <= n_exact then gr - 1 else n_exact
+let class_of_bytes b = class_of_granules (Layout.granules_of_bytes b)
+
+type t = { space : Space.t; lists : int list array }
+
+let push_raw t addr =
+  let cls = class_of_granules (Space.block_size t.space addr / Layout.granule) in
+  t.lists.(cls) <- addr :: t.lists.(cls)
+
+let create space =
+  let t = { space; lists = Array.make n_classes [] } in
+  Space.iter_blocks space (fun addr kind _size ->
+      if kind = Space.Free then push_raw t addr);
+  t
+
+let push t addr =
+  if Space.kind_of t.space addr <> Space.Free then
+    invalid_arg "Freelist.push: block is not free";
+  push_raw t addr
+
+(* An entry is stale when coalescing absorbed its block (no longer a free
+   block start) or changed its size class. *)
+let valid t cls addr =
+  Space.is_block_start t.space addr
+  && Space.kind_of t.space addr = Space.Free
+  && class_of_granules (Space.block_size t.space addr / Layout.granule) = cls
+
+let rec pop_class t cls =
+  match t.lists.(cls) with
+  | [] -> None
+  | addr :: rest ->
+      t.lists.(cls) <- rest;
+      if valid t cls addr then Some addr else pop_class t cls
+
+(* First-fit inside the large class: scan for the first valid entry big
+   enough, compacting stale entries away as we go. *)
+let pop_large t ~granules =
+  let rec scan acc = function
+    | [] ->
+        t.lists.(n_exact) <- List.rev acc;
+        None
+    | addr :: rest ->
+        if not (valid t n_exact addr) then scan acc rest
+        else if Space.block_size t.space addr / Layout.granule >= granules then begin
+          t.lists.(n_exact) <- List.rev_append acc rest;
+          Some addr
+        end
+        else scan (addr :: acc) rest
+  in
+  scan [] t.lists.(n_exact)
+
+let pop t ~bytes_wanted =
+  let want_g = Layout.granules_of_bytes (Stdlib.max 1 bytes_wanted) in
+  let want_b = Layout.bytes_of_granules want_g in
+  let exact = if want_g <= n_exact then pop_class t (want_g - 1) else None in
+  match exact with
+  | Some addr -> Some addr
+  | None ->
+      (* Find a strictly larger block to split (or an exact large block). *)
+      let found = ref None in
+      let cls = ref (if want_g <= n_exact then want_g else n_exact) in
+      (* Classes want_g .. n_exact-1 hold blocks of (cls+1) granules. *)
+      while !found = None && !cls < n_exact do
+        (match pop_class t !cls with
+        | Some addr -> found := Some addr
+        | None -> ());
+        incr cls
+      done;
+      let found =
+        match !found with Some a -> Some a | None -> pop_large t ~granules:want_g
+      in
+      (match found with
+      | None -> None
+      | Some addr ->
+          let have = Space.block_size t.space addr in
+          if have > want_b then begin
+            let rest = Space.split t.space addr ~first_bytes:want_b in
+            push_raw t rest
+          end;
+          Some addr)
+
+let rebuild t =
+  Array.fill t.lists 0 n_classes [];
+  Space.iter_blocks t.space (fun addr kind _size ->
+      if kind = Space.Free then push_raw t addr)
+
+let entry_count t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.lists

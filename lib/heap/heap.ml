@@ -1,0 +1,189 @@
+type config = { initial_bytes : int; max_bytes : int; card_size : int }
+
+let default_config =
+  { initial_bytes = 1 lsl 20; max_bytes = 8 lsl 20; card_size = 16 }
+
+type t = {
+  config : config;
+  space : Space.t;
+  freelist : Freelist.t;
+  cards : Card_table.t;
+  ages : Age_table.t;
+  remset : Remset.t;
+  layout : Layout.tables;
+  colors : Bytes.t; (* one byte per granule, Color.to_byte encoding *)
+  slots : int array array; (* per start granule; [||] when not an object *)
+  datas : int array array; (* scalar (non-pointer) words, same indexing *)
+  mutable total_alloc_bytes : int;
+  mutable total_alloc_objects : int;
+}
+
+let nil = -1
+let no_slots : int array = [||]
+
+let create config =
+  if config.initial_bytes <= 0 || config.initial_bytes > config.max_bytes then
+    invalid_arg "Heap.create: need 0 < initial_bytes <= max_bytes";
+  let space = Space.create ~initial_bytes:config.initial_bytes ~max_bytes:config.max_bytes in
+  let n_granules = Layout.granules_of_bytes config.max_bytes in
+  {
+    config;
+    space;
+    freelist = Freelist.create space;
+    cards = Card_table.create ~card_size:config.card_size ~max_heap_bytes:config.max_bytes;
+    ages = Age_table.create ~max_heap_bytes:config.max_bytes;
+    remset = Remset.create ~max_heap_bytes:config.max_bytes;
+    layout = Layout.make_tables ~max_heap_bytes:config.max_bytes ~card_size:config.card_size;
+    colors = Bytes.make n_granules (Color.to_byte Color.Blue);
+    slots = Array.make n_granules no_slots;
+    datas = Array.make n_granules no_slots;
+    total_alloc_bytes = 0;
+    total_alloc_objects = 0;
+  }
+
+let config t = t.config
+let space t = t.space
+let cards t = t.cards
+let ages t = t.ages
+let remset t = t.remset
+let layout t = t.layout
+
+let gi = Layout.granule_index
+
+let color t addr = Color.of_byte (Bytes.get t.colors (gi addr))
+let set_color t addr c = Bytes.set t.colors (gi addr) (Color.to_byte c)
+
+let is_object t addr =
+  addr >= 0
+  && addr < Space.capacity t.space
+  && addr land (Layout.granule - 1) = 0
+  && Space.is_block_start t.space addr
+  && Space.kind_of t.space addr = Space.Allocated
+
+let size t addr = Space.block_size t.space addr
+let n_slots t addr = Array.length t.slots.(gi addr)
+
+let get_slot t x i = t.slots.(gi x).(i)
+let set_slot t x i y = t.slots.(gi x).(i) <- y
+
+let n_data t addr = Array.length t.datas.(gi addr)
+let get_data t x i = t.datas.(gi x).(i)
+let set_data t x i v = t.datas.(gi x).(i) <- v
+
+let iter_slots t x f =
+  let s = t.slots.(gi x) in
+  for i = 0 to Array.length s - 1 do
+    if s.(i) <> nil then f s.(i)
+  done
+
+let alloc t ~size ~n_slots ~color =
+  let min_size = 16 + (8 * n_slots) in
+  if size < min_size then
+    invalid_arg
+      (Printf.sprintf "Heap.alloc: size %d too small for %d slots" size n_slots);
+  match Freelist.pop t.freelist ~bytes_wanted:size with
+  | None -> None
+  | Some addr ->
+      Space.set_kind t.space addr Space.Allocated;
+      set_color t addr color;
+      Age_table.set t.ages addr 0;
+      t.slots.(gi addr) <- (if n_slots = 0 then no_slots else Array.make n_slots nil);
+      let real = Space.block_size t.space addr in
+      (* the bytes beyond the header and the pointer slots are scalar
+         fields, one 8-byte word each *)
+      let n_data = (real - 16 - (8 * n_slots)) / 8 in
+      t.datas.(gi addr) <- (if n_data = 0 then no_slots else Array.make n_data 0);
+      t.total_alloc_bytes <- t.total_alloc_bytes + real;
+      t.total_alloc_objects <- t.total_alloc_objects + 1;
+      Some addr
+
+let free t addr =
+  if not (is_object t addr) then
+    invalid_arg (Printf.sprintf "Heap.free: %d is not an allocated object" addr);
+  set_color t addr Color.Blue;
+  t.slots.(gi addr) <- no_slots;
+  t.datas.(gi addr) <- no_slots;
+  (* drop the remembered-set dedup flag, or a new object reusing this
+     granule could never be recorded again *)
+  Remset.forget t.remset addr;
+  Space.set_kind t.space addr Space.Free;
+  Freelist.push t.freelist addr
+
+let merge_free_prev t addr =
+  if Space.kind_of t.space addr <> Space.Free then
+    invalid_arg "Heap.merge_free_prev: block is not free";
+  match Space.prev_block t.space addr with
+  | Some p when Space.kind_of t.space p = Space.Free ->
+      ignore (Space.coalesce_with_next t.space p : bool);
+      Freelist.push t.freelist p;
+      p
+  | _ -> addr
+
+let grow t ~want_bytes =
+  match Space.grow t.space ~want_bytes with
+  | None -> false
+  | Some (addr, _size) ->
+      (* Newly added space may have merged with a trailing free block whose
+         freelist entry is now stale; push the merged block. *)
+      Freelist.push t.freelist addr;
+      true
+
+let iter_objects t f =
+  Space.iter_blocks t.space (fun addr kind _size ->
+      if kind = Space.Allocated then f addr)
+
+let objects_on_card t card =
+  let first, last = Card_table.card_bounds t.cards card in
+  let last = Stdlib.min last (Space.capacity t.space) in
+  if first >= Space.capacity t.space then []
+  else begin
+    let acc = ref [] in
+    (* Start from the first block whose start address is >= first: walk
+       granule-aligned addresses on the card. *)
+    let a = ref first in
+    while !a < last do
+      if Space.is_block_start t.space !a then begin
+        if Space.kind_of t.space !a = Space.Allocated then acc := !a :: !acc;
+        a := !a + Space.block_size t.space !a
+      end
+      else a := !a + Layout.granule
+    done;
+    List.rev !acc
+  end
+
+let capacity t = Space.capacity t.space
+let max_capacity t = Space.max_capacity t.space
+let allocated_bytes t = Space.allocated_bytes t.space
+let free_bytes t = Space.free_bytes t.space
+let total_allocated_bytes t = t.total_alloc_bytes
+let total_allocated_objects t = t.total_alloc_objects
+
+let reset_allocation_stats t =
+  t.total_alloc_bytes <- 0;
+  t.total_alloc_objects <- 0
+
+let object_count t =
+  let n = ref 0 in
+  iter_objects t (fun _ -> incr n);
+  !n
+
+let check ?(check_slots = true) t =
+  match Space.check t.space with
+  | Error _ as e -> e
+  | Ok () ->
+      let err = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+      Space.iter_blocks t.space (fun addr kind _size ->
+          match kind with
+          | Space.Free ->
+              if not (Color.equal (color t addr) Color.Blue) then
+                fail "free block %d is %s, expected blue" addr
+                  (Color.to_string (color t addr))
+          | Space.Allocated ->
+              if Color.equal (color t addr) Color.Blue then
+                fail "allocated object %d is blue" addr;
+              if check_slots then
+                iter_slots t addr (fun y ->
+                    if not (is_object t y) then
+                      fail "object %d has dangling slot -> %d" addr y));
+      (match !err with None -> Ok () | Some e -> Error e)

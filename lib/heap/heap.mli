@@ -1,0 +1,141 @@
+(** The simulated Java heap: block space + free lists + object slots +
+    color/age/card side tables.
+
+    Objects are non-moving blocks with a granule-aligned start address, a
+    byte size and a number of pointer slots.  Pointer slots hold object
+    addresses or {!nil}.  Colors live in a side table (one byte per
+    granule); the collectors read and write them through {!color} /
+    {!set_color}, which are single atomic steps under the simulator's
+    scheduling model.
+
+    This module performs no garbage collection itself — the collectors in
+    [lib/core] drive it — and no synchronisation: each exported operation
+    models one atomic action of the paper's machine model (individual
+    loads/stores are atomic; allocation is atomic because DLG mutators
+    allocate from thread-local buffers). *)
+
+type t
+
+type config = {
+  initial_bytes : int;  (** starting heap size (paper: 1 MB) *)
+  max_bytes : int;      (** hard maximum (paper: 32 MB) *)
+  card_size : int;      (** card-marking granularity, 16..4096 *)
+}
+
+val default_config : config
+(** 1 MB initial, 8 MB max, 16-byte cards — the simulator's scaled-down
+    defaults (see DESIGN.md section 4). *)
+
+val create : config -> t
+
+val config : t -> config
+val space : t -> Space.t
+val cards : t -> Card_table.t
+val ages : t -> Age_table.t
+
+(* The remembered set used when the collector is configured with
+   remembered-set inter-generational tracking instead of card marking. *)
+val remset : t -> Remset.t
+val layout : t -> Layout.tables
+
+val nil : int
+(** The null pointer ([-1]). *)
+
+(** {2 Allocation} *)
+
+val alloc : t -> size:int -> n_slots:int -> color:Color.t -> int option
+(** Allocate a block of at least [size] bytes (granule-rounded) with
+    [n_slots] pointer slots initialised to {!nil}, painted [color], age 0.
+    Returns the object's address, or [None] if no free block fits (the
+    caller decides whether to grow or to wait for the collector).
+    [n_slots * 8 + 16 <= size] must hold: slots are 8-byte fields behind a
+    16-byte header, as in the prototype JVM. *)
+
+val free : t -> int -> unit
+(** Reclaim the object at the given address: paint it {!Color.Blue},
+    release its slots and return its block to the free lists.  Does not
+    coalesce — sweep does, via {!merge_free_prev}. *)
+
+val merge_free_prev : t -> int -> int
+(** [merge_free_prev t addr] merges the free block at [addr] into its
+    predecessor if that predecessor is also free, returning the merged
+    block's start (and pushing it to the free lists); otherwise returns
+    [addr] unchanged.  Sweep calls this on every free block it passes, so
+    runs of free blocks coalesce leftward without ever disturbing block
+    boundaries ahead of the sweep cursor. *)
+
+val grow : t -> want_bytes:int -> bool
+(** Extend the heap towards [max_bytes]; [false] if already at maximum. *)
+
+(** {2 Objects} *)
+
+val is_object : t -> int -> bool
+(** Whether an allocated object starts at the given address. *)
+
+val size : t -> int -> int
+(** Byte size of the object (its whole block). *)
+
+val n_slots : t -> int -> int
+
+val get_slot : t -> int -> int -> int
+(** [get_slot t x i] is slot [i] of object [x] ([heap\[x,i\]]), possibly
+    {!nil}. *)
+
+val set_slot : t -> int -> int -> int -> unit
+(** [set_slot t x i y] performs the raw store [heap\[x,i\] <- y] with no
+    barrier — the collectors wrap it. *)
+
+val iter_slots : t -> int -> (int -> unit) -> unit
+(** Apply to every non-{!nil} slot value of the object. *)
+
+(** {2 Scalar fields}
+
+    The bytes of an object beyond its header and pointer slots are scalar
+    (non-pointer) 8-byte words — character data, numbers.  They carry no
+    write barrier: the collector never needs to see them (the paper's
+    barrier fires only on stores of references). *)
+
+val n_data : t -> int -> int
+(** Number of scalar words of the object. *)
+
+val get_data : t -> int -> int -> int
+val set_data : t -> int -> int -> int -> unit
+
+val color : t -> int -> Color.t
+val set_color : t -> int -> Color.t -> unit
+
+val iter_objects : t -> (int -> unit) -> unit
+(** Every allocated object address, in address order.  The callback must
+    not free objects at or after the current address (sweep uses the block
+    iteration below instead). *)
+
+val objects_on_card : t -> int -> int list
+(** Addresses of allocated objects whose start address lies on the given
+    card, in address order.  (An object "on a card" in the paper's sense:
+    the card scan walks objects starting on the card.) *)
+
+(** {2 Accounting} *)
+
+val capacity : t -> int
+val max_capacity : t -> int
+val allocated_bytes : t -> int
+val free_bytes : t -> int
+val total_allocated_bytes : t -> int
+(** Cumulative bytes ever allocated. *)
+
+val total_allocated_objects : t -> int
+
+val reset_allocation_stats : t -> unit
+(** Zero the cumulative allocation counters (end-of-warmup reset). *)
+
+val object_count : t -> int
+(** Currently live (allocated) object count; O(heap). *)
+
+val check : ?check_slots:bool -> t -> (unit, string) result
+(** Structural invariants: space consistency, free blocks are blue,
+    allocated objects are not blue and — with [check_slots] (default
+    [true]) — slot pointers reference allocated objects or nil.  The slot
+    check is only meaningful at quiescence after garbage has been fully
+    collected: an {e unreachable} object may legitimately point to an
+    already-reclaimed one mid-run (sweep order, floating garbage), which is
+    harmless precisely because nothing reachable can see it. *)

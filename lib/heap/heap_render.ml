@@ -1,0 +1,59 @@
+(* Per-granule states are folded into buckets; each bucket renders as one
+   character summarising what it holds. *)
+
+type gstate = Free | Young | Old | Gray
+
+let state_of_color = function
+  | Color.Blue -> Free
+  | Color.C0 | Color.C1 -> Young
+  | Color.Black -> Old
+  | Color.Gray -> Gray
+
+let ascii ?(width = 64) ?(rows = 16) heap =
+  if width < 8 then invalid_arg "Heap_render.ascii: width too small";
+  let space = Heap.space heap in
+  let capacity = Heap.capacity heap in
+  let n_granules = capacity / Layout.granule in
+  let states = Array.make (Stdlib.max n_granules 1) Free in
+  Space.iter_blocks space (fun addr kind size ->
+      let st =
+        match kind with
+        | Space.Free -> Free
+        | Space.Allocated -> state_of_color (Heap.color heap addr)
+      in
+      let first = addr / Layout.granule in
+      let last = (addr + size - 1) / Layout.granule in
+      for g = first to Stdlib.min last (n_granules - 1) do
+        states.(g) <- st
+      done);
+  let total_cells = Stdlib.min (width * rows) n_granules in
+  let per_bucket = Stdlib.max 1 ((n_granules + total_cells - 1) / total_cells) in
+  let n_buckets = (n_granules + per_bucket - 1) / per_bucket in
+  let bucket_char b =
+    let lo = b * per_bucket and hi = Stdlib.min ((b + 1) * per_bucket) n_granules in
+    let free = ref 0 and young = ref 0 and old = ref 0 and gray = ref 0 in
+    for g = lo to hi - 1 do
+      match states.(g) with
+      | Free -> incr free
+      | Young -> incr young
+      | Old -> incr old
+      | Gray -> incr gray
+    done;
+    if !gray > 0 then 'g'
+    else if !young > 0 && !old > 0 then '#'
+    else if !old > 0 then 'B'
+    else if !young > 0 then 'o'
+    else '.'
+  in
+  let b = Buffer.create (n_buckets + 256) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "heap %d KB (%d B/char)   . free  o young  B old  g gray  # mixed\n"
+       (capacity / 1024)
+       (per_bucket * Layout.granule));
+  for i = 0 to n_buckets - 1 do
+    Buffer.add_char b (bucket_char i);
+    if (i + 1) mod width = 0 then Buffer.add_char b '\n'
+  done;
+  if n_buckets mod width <> 0 then Buffer.add_char b '\n';
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** ASCII visualisation of the heap's block and color structure.
+
+    One character per bucket of granules (the bucket size is derived from
+    the requested width), chosen from the states present in the bucket:
+
+    - ['.'] free space
+    - ['o'] young objects (the toggling colors)
+    - ['B'] old (black) objects
+    - ['g'] gray objects (trace in progress)
+    - ['#'] mixed: the bucket contains both young and old objects
+
+    The legend row and a capacity header are included.  Used by the
+    heapscope example and handy in a debugger. *)
+
+val ascii : ?width:int -> ?rows:int -> Heap.t -> string
+(** [ascii ~width ~rows heap] renders the current capacity as at most
+    [rows] lines of [width] characters (defaults 64×16).  Pure read;
+    safe to call at any instant of a simulation. *)

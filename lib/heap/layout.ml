@@ -1,0 +1,41 @@
+let granule = 16
+let page_size = 4096
+
+let granules_of_bytes b = (b + granule - 1) / granule
+let bytes_of_granules g = g * granule
+let granule_index addr = addr / granule
+let page_of_addr addr = addr / page_size
+
+type tables = {
+  heap_base : int;
+  color_table_base : int;
+  age_table_base : int;
+  card_table_base : int;
+  remset_table_base : int;
+  virtual_span : int;
+}
+
+let make_tables ~max_heap_bytes ~card_size =
+  if max_heap_bytes <= 0 then invalid_arg "Layout.make_tables: empty heap";
+  if card_size < granule || card_size land (card_size - 1) <> 0 then
+    invalid_arg "Layout.make_tables: card size must be a power of two >= 16";
+  let n_granules = granules_of_bytes max_heap_bytes in
+  let n_cards = (max_heap_bytes + card_size - 1) / card_size in
+  let color_table_base = max_heap_bytes in
+  let age_table_base = color_table_base + n_granules in
+  let card_table_base = age_table_base + n_granules in
+  let remset_table_base = card_table_base + n_cards in
+  let virtual_span = remset_table_base + n_granules in
+  {
+    heap_base = 0;
+    color_table_base;
+    age_table_base;
+    card_table_base;
+    remset_table_base;
+    virtual_span;
+  }
+
+let color_entry_addr t a = t.color_table_base + granule_index a
+let age_entry_addr t a = t.age_table_base + granule_index a
+let card_entry_addr t ~card_size a = t.card_table_base + (a / card_size)
+let remset_entry_addr t a = t.remset_table_base + granule_index a

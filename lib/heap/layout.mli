@@ -1,0 +1,56 @@
+(** Address arithmetic shared by the heap, its side tables and the page
+    accounting.
+
+    The simulated heap is byte addressed.  Objects are allocated on
+    {!granule}-byte boundaries (16 bytes — the paper's minimum object size
+    and smallest card size), and page accounting uses {!page_size}-byte
+    pages (4 KB, as on the paper's AIX machines).
+
+    The collector's side tables (color table, age table, card table) are
+    given disjoint virtual address ranges above the heap so that "pages
+    touched by the collector, including all the tables it uses" (Figure 15)
+    can be measured with a single page set. *)
+
+val granule : int
+(** Allocation granularity in bytes: 16. *)
+
+val page_size : int
+(** 4096 bytes. *)
+
+val granules_of_bytes : int -> int
+(** Bytes rounded up to whole granules. *)
+
+val bytes_of_granules : int -> int
+
+val granule_index : int -> int
+(** [granule_index addr] is [addr / granule].  [addr] must be
+    granule-aligned for block starts but any byte address is accepted. *)
+
+val page_of_addr : int -> int
+(** Page number containing the given virtual byte address. *)
+
+type tables = {
+  heap_base : int;       (** always 0 *)
+  color_table_base : int;
+  age_table_base : int;
+  card_table_base : int;
+  remset_table_base : int;
+  virtual_span : int;    (** total bytes of virtual layout, for sizing page sets *)
+}
+
+val make_tables : max_heap_bytes:int -> card_size:int -> tables
+(** Compute the virtual layout for a heap of at most [max_heap_bytes]
+    bytes with the given card size: one color byte and one age byte per
+    granule, one card-mark byte per card. *)
+
+val color_entry_addr : tables -> int -> int
+(** Virtual address of the color-table byte covering heap address [a]. *)
+
+val age_entry_addr : tables -> int -> int
+(** Virtual address of the age-table byte covering heap address [a]. *)
+
+val card_entry_addr : tables -> card_size:int -> int -> int
+(** Virtual address of the card-mark byte covering heap address [a]. *)
+
+val remset_entry_addr : tables -> int -> int
+(** Virtual address of the remembered-set flag covering heap address [a]. *)

@@ -1,0 +1,40 @@
+type t = {
+  bits : Bytes.t; (* one "already remembered" flag per granule *)
+  mutable buffer : int list; (* recorded object addresses, newest first *)
+  mutable size : int;
+  mutable max_size : int;
+}
+
+let create ~max_heap_bytes =
+  { bits = Bytes.make (Layout.granules_of_bytes max_heap_bytes) '\000';
+    buffer = [];
+    size = 0;
+    max_size = 0 }
+
+let idx addr = Layout.granule_index addr
+
+let mem t addr = Bytes.get t.bits (idx addr) <> '\000'
+
+let record t addr =
+  if mem t addr then false
+  else begin
+    Bytes.set t.bits (idx addr) '\001';
+    t.buffer <- addr :: t.buffer;
+    t.size <- t.size + 1;
+    if t.size > t.max_size then t.max_size <- t.size;
+    true
+  end
+
+let size t = t.size
+let max_size t = t.max_size
+
+let drain t =
+  let entries = List.rev t.buffer in
+  List.iter (fun a -> Bytes.set t.bits (idx a) '\000') entries;
+  t.buffer <- [];
+  t.size <- 0;
+  entries
+
+let clear t = ignore (drain t : int list)
+
+let forget t addr = Bytes.set t.bits (idx addr) '\000'

@@ -1,0 +1,48 @@
+(** Remembered set — the alternative to card marking the paper weighs in
+    Section 3.1.
+
+    A remembered set records the exact objects into which the mutator has
+    stored pointers, instead of dirtying fixed-size cards.  The paper
+    rejected it for two reasons: pointer stores must stay minimal (the
+    deduplication test adds work to every store), and their JVM had no
+    spare header bit for the "already remembered" flag.  This simulator's
+    side tables have room, so the variant exists as an ablation: one
+    "remembered" bit per granule plus an append-only buffer of object
+    addresses.
+
+    The mutator-side operation is {!record}: test the bit, set it, append
+    the address — constant time, no scanning.  The collector drains the
+    buffer at the start of a partial collection and clears the bits; the
+    recorded addresses are exact, so there is no analogue of scanning a
+    card for the objects on it. *)
+
+type t
+
+val create : max_heap_bytes:int -> t
+(** Empty set covering a heap of at most [max_heap_bytes] bytes. *)
+
+val record : t -> int -> bool
+(** [record t addr] remembers the object starting at [addr].  Returns
+    [true] if it was newly added, [false] if it was already present
+    (deduplicated by the granule bit). *)
+
+val mem : t -> int -> bool
+(** Whether the object is currently remembered. *)
+
+val size : t -> int
+(** Number of distinct remembered objects. *)
+
+val drain : t -> int list
+(** All remembered object addresses in recording order; empties the set
+    and clears every bit. *)
+
+val clear : t -> unit
+(** Forget everything (full-collection initialisation). *)
+
+val forget : t -> int -> unit
+(** Drop the dedup flag for one address (called when the object is freed,
+    so a later object reusing the granule can be recorded afresh; any
+    stale buffer entry is skipped by the collector's liveness guard). *)
+
+val max_size : t -> int
+(** High-water mark of {!size} since creation (space-cost reporting). *)

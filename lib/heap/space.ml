@@ -1,0 +1,188 @@
+type kind = Free | Allocated
+
+type t = {
+  max_granules : int;
+  mutable cur_granules : int;
+  (* Per-granule kind: 0 interior, 1 free block start, 2 allocated start. *)
+  kinds : Bytes.t;
+  (* Block size in granules, valid at the first granule (header tag) and at
+     the last granule (footer tag) of every block. *)
+  sizes : int array;
+  mutable allocated_g : int;
+}
+
+let g = Layout.granule
+
+let interior = '\000'
+let free_start = '\001'
+let alloc_start = '\002'
+
+let set_tags t start size_g kind_byte =
+  Bytes.set t.kinds start kind_byte;
+  t.sizes.(start) <- size_g;
+  t.sizes.(start + size_g - 1) <- size_g;
+  (* The footer granule must read as interior unless the block is a single
+     granule (header and footer coincide). *)
+  if size_g > 1 then Bytes.set t.kinds (start + size_g - 1) interior
+
+let create ~initial_bytes ~max_bytes =
+  if initial_bytes <= 0 || initial_bytes > max_bytes then
+    invalid_arg "Space.create: need 0 < initial_bytes <= max_bytes";
+  let max_granules = Layout.granules_of_bytes max_bytes in
+  let cur_granules = Layout.granules_of_bytes initial_bytes in
+  let t =
+    {
+      max_granules;
+      cur_granules;
+      kinds = Bytes.make max_granules interior;
+      sizes = Array.make max_granules 0;
+      allocated_g = 0;
+    }
+  in
+  set_tags t 0 cur_granules free_start;
+  t
+
+let capacity t = Layout.bytes_of_granules t.cur_granules
+let max_capacity t = Layout.bytes_of_granules t.max_granules
+let allocated_bytes t = Layout.bytes_of_granules t.allocated_g
+let free_bytes t = capacity t - allocated_bytes t
+
+let gi addr =
+  if addr land (g - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Space: unaligned address %d" addr);
+  addr / g
+
+let is_block_start t addr =
+  let i = gi addr in
+  i < t.cur_granules && Bytes.get t.kinds i <> interior
+
+let kind_of t addr =
+  let i = gi addr in
+  match Bytes.get t.kinds i with
+  | c when c = free_start -> Free
+  | c when c = alloc_start -> Allocated
+  | _ -> invalid_arg (Printf.sprintf "Space.kind_of: %d is not a block start" addr)
+
+let block_size t addr =
+  let i = gi addr in
+  if Bytes.get t.kinds i = interior then
+    invalid_arg (Printf.sprintf "Space.block_size: %d is not a block start" addr);
+  Layout.bytes_of_granules t.sizes.(i)
+
+let find_block_start t a =
+  let i = ref (a / g) in
+  if !i >= t.cur_granules then
+    invalid_arg (Printf.sprintf "Space.find_block_start: %d out of range" a);
+  while Bytes.get t.kinds !i = interior do
+    decr i
+  done;
+  !i * g
+
+let set_kind t addr kind =
+  let i = gi addr in
+  let size_g = t.sizes.(i) in
+  (match (Bytes.get t.kinds i, kind) with
+  | c, Allocated when c = free_start -> t.allocated_g <- t.allocated_g + size_g
+  | c, Free when c = alloc_start -> t.allocated_g <- t.allocated_g - size_g
+  | c, _ when c = interior ->
+      invalid_arg (Printf.sprintf "Space.set_kind: %d is not a block start" addr)
+  | _ -> ());
+  Bytes.set t.kinds i (match kind with Free -> free_start | Allocated -> alloc_start)
+
+let split t addr ~first_bytes =
+  let i = gi addr in
+  if Bytes.get t.kinds i <> free_start then
+    invalid_arg "Space.split: not a free block";
+  let total_g = t.sizes.(i) in
+  let first_g = Layout.granules_of_bytes first_bytes in
+  if first_g <= 0 || first_g >= total_g then
+    invalid_arg "Space.split: size must leave a non-empty remainder";
+  let rest_g = total_g - first_g in
+  set_tags t i first_g free_start;
+  set_tags t (i + first_g) rest_g free_start;
+  (i + first_g) * g
+
+let next_block t addr =
+  let i = gi addr in
+  if Bytes.get t.kinds i = interior then
+    invalid_arg "Space.next_block: not a block start";
+  let j = i + t.sizes.(i) in
+  if j >= t.cur_granules then None else Some (j * g)
+
+let prev_block t addr =
+  let i = gi addr in
+  if Bytes.get t.kinds i = interior then
+    invalid_arg "Space.prev_block: not a block start";
+  if i = 0 then None
+  else
+    let footer = t.sizes.(i - 1) in
+    Some ((i - footer) * g)
+
+let coalesce_with_next t addr =
+  let i = gi addr in
+  if Bytes.get t.kinds i <> free_start then
+    invalid_arg "Space.coalesce_with_next: not a free block";
+  match next_block t addr with
+  | Some nxt when Bytes.get t.kinds (gi nxt) = free_start ->
+      let merged = t.sizes.(i) + t.sizes.(gi nxt) in
+      (* Erase the old header of the absorbed block before rewriting tags. *)
+      Bytes.set t.kinds (gi nxt) interior;
+      set_tags t i merged free_start;
+      true
+  | _ -> false
+
+let grow t ~want_bytes =
+  if t.cur_granules >= t.max_granules then None
+  else begin
+    let want_g = Stdlib.max 1 (Layout.granules_of_bytes want_bytes) in
+    let add_g = Stdlib.min want_g (t.max_granules - t.cur_granules) in
+    let start = t.cur_granules in
+    t.cur_granules <- t.cur_granules + add_g;
+    set_tags t start add_g free_start;
+    (* Deliberately no merging with a trailing free block: growth can race
+       with a concurrent sweep whose cursor relies on existing block
+       boundaries never disappearing ahead of it.  The next sweep merges
+       the seam. *)
+    Some (start * g, Layout.bytes_of_granules add_g)
+  end
+
+let iter_blocks t f =
+  let i = ref 0 in
+  while !i < t.cur_granules do
+    let size_g = t.sizes.(!i) in
+    let kind = if Bytes.get t.kinds !i = free_start then Free else Allocated in
+    f (!i * g) kind (Layout.bytes_of_granules size_g);
+    i := !i + size_g
+  done
+
+let check t =
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec walk i acc_alloc =
+    if i = t.cur_granules then
+      if acc_alloc <> t.allocated_g then
+        err "allocated accounting: counted %d, recorded %d" acc_alloc t.allocated_g
+      else Ok ()
+    else if i > t.cur_granules then err "block overruns capacity at granule %d" i
+    else
+      let k = Bytes.get t.kinds i in
+      if k = interior then err "granule %d: expected block start" i
+      else
+        let size_g = t.sizes.(i) in
+        let* () =
+          if size_g <= 0 then err "granule %d: non-positive size" i
+          else if t.sizes.(i + size_g - 1) <> size_g then
+            err "granule %d: footer tag mismatch" i
+          else Ok ()
+        in
+        let* () =
+          let ok = ref (Ok ()) in
+          for j = i + 1 to i + size_g - 2 do
+            if Bytes.get t.kinds j <> interior && !ok = Ok () then
+              ok := err "granule %d: interior granule marked as block start" j
+          done;
+          !ok
+        in
+        walk (i + size_g) (acc_alloc + if k = alloc_start then size_g else 0)
+  in
+  walk 0 0

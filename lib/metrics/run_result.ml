@@ -1,0 +1,174 @@
+open Otfgc
+module Heap = Otfgc_heap.Heap
+
+type t = {
+  workload : string;
+  mode : string;
+  elapsed_multi : int;
+  elapsed_uni : int;
+  mutator_work : int;
+  collector_work : int;
+  stall_work : int;
+  total_alloc_bytes : int;
+  total_alloc_objects : int;
+  final_capacity : int;
+  n_partial : int;
+  n_full : int;
+  n_non_gen : int;
+  pct_time_gc : float;
+  avg_intergen_scanned : float;
+  avg_scanned_partial : float;
+  avg_scanned_full : float;
+  avg_scanned_non_gen : float;
+  pct_bytes_freed_partial : float;
+  pct_objects_freed_partial : float;
+  pct_objects_freed_full : float;
+  pct_objects_freed_non_gen : float;
+  avg_work_partial : float;
+  avg_work_full : float;
+  avg_work_non_gen : float;
+  avg_objects_freed_partial : float;
+  avg_objects_freed_full : float;
+  avg_objects_freed_non_gen : float;
+  avg_bytes_freed_partial : float;
+  avg_bytes_freed_full : float;
+  avg_bytes_freed_non_gen : float;
+  avg_pages_partial : float;
+  avg_pages_full : float;
+  avg_pages_non_gen : float;
+  pct_dirty_cards : float;
+  avg_card_scan_bytes : float;
+}
+
+let fi = float_of_int
+
+(* Percentage of objects/bytes freed relative to what was collectible:
+   for partial collections the young census at cycle start, for full and
+   non-generational collections everything allocated (freed + survivors). *)
+let pct_freed_partial cycles ~bytes =
+  let num = ref 0. and den = ref 0. and n = ref 0 in
+  List.iter
+    (fun c ->
+      if c.Gc_stats.kind = Gc_stats.Partial then begin
+        incr n;
+        if bytes then begin
+          num := !num +. fi c.Gc_stats.bytes_freed;
+          den := !den +. fi c.Gc_stats.young_bytes_at_start
+        end
+        else begin
+          num := !num +. fi c.Gc_stats.objects_freed;
+          den := !den +. fi c.Gc_stats.young_objects_at_start
+        end
+      end)
+    cycles;
+  if !den = 0. then 0. else Float.min 100. (!num /. !den *. 100.)
+
+let pct_freed_whole cycles kind =
+  let num = ref 0. and den = ref 0. in
+  List.iter
+    (fun c ->
+      if c.Gc_stats.kind = kind then begin
+        num := !num +. fi c.Gc_stats.objects_freed;
+        den :=
+          !den +. fi (c.Gc_stats.objects_freed + c.Gc_stats.live_objects_at_end)
+      end)
+    cycles;
+  if !den = 0. then 0. else !num /. !den *. 100.
+
+let of_runtime ~workload rt =
+  let st = Runtime.state rt in
+  let stats = Runtime.stats rt in
+  let cost = Runtime.cost rt in
+  let cycles = Gc_stats.cycles stats in
+  let mean kind f = Gc_stats.mean stats kind f in
+  let heap = Runtime.heap rt in
+  let elapsed_multi = Cost.elapsed_multi cost in
+  {
+    workload;
+    mode = Gc_config.mode_name st.State.cfg.Gc_config.mode;
+    elapsed_multi;
+    elapsed_uni = Cost.elapsed_uni cost;
+    mutator_work = Cost.mutator_work cost;
+    collector_work = Cost.collector_work cost;
+    stall_work = Cost.stall_work cost;
+    total_alloc_bytes = Heap.total_allocated_bytes heap;
+    total_alloc_objects = Heap.total_allocated_objects heap;
+    final_capacity = Heap.capacity heap;
+    n_partial = Gc_stats.count stats Gc_stats.Partial;
+    n_full = Gc_stats.count stats Gc_stats.Full;
+    n_non_gen = Gc_stats.count stats Gc_stats.Non_gen;
+    pct_time_gc =
+      (if elapsed_multi = 0 then 0.
+       else
+         List.fold_left (fun acc c -> acc +. fi c.Gc_stats.active_span) 0. cycles
+         /. fi elapsed_multi *. 100.);
+    avg_intergen_scanned =
+      mean Gc_stats.Partial (fun c -> fi c.Gc_stats.intergen_scanned);
+    avg_scanned_partial =
+      mean Gc_stats.Partial (fun c -> fi c.Gc_stats.objects_traced);
+    avg_scanned_full = mean Gc_stats.Full (fun c -> fi c.Gc_stats.objects_traced);
+    avg_scanned_non_gen =
+      mean Gc_stats.Non_gen (fun c -> fi c.Gc_stats.objects_traced);
+    pct_bytes_freed_partial = pct_freed_partial cycles ~bytes:true;
+    pct_objects_freed_partial = pct_freed_partial cycles ~bytes:false;
+    pct_objects_freed_full = pct_freed_whole cycles Gc_stats.Full;
+    pct_objects_freed_non_gen = pct_freed_whole cycles Gc_stats.Non_gen;
+    avg_work_partial = mean Gc_stats.Partial (fun c -> fi c.Gc_stats.work);
+    avg_work_full = mean Gc_stats.Full (fun c -> fi c.Gc_stats.work);
+    avg_work_non_gen = mean Gc_stats.Non_gen (fun c -> fi c.Gc_stats.work);
+    avg_objects_freed_partial =
+      mean Gc_stats.Partial (fun c -> fi c.Gc_stats.objects_freed);
+    avg_objects_freed_full =
+      mean Gc_stats.Full (fun c -> fi c.Gc_stats.objects_freed);
+    avg_objects_freed_non_gen =
+      mean Gc_stats.Non_gen (fun c -> fi c.Gc_stats.objects_freed);
+    avg_bytes_freed_partial =
+      mean Gc_stats.Partial (fun c -> fi c.Gc_stats.bytes_freed);
+    avg_bytes_freed_full = mean Gc_stats.Full (fun c -> fi c.Gc_stats.bytes_freed);
+    avg_bytes_freed_non_gen =
+      mean Gc_stats.Non_gen (fun c -> fi c.Gc_stats.bytes_freed);
+    avg_pages_partial = mean Gc_stats.Partial (fun c -> fi c.Gc_stats.pages_touched);
+    avg_pages_full = mean Gc_stats.Full (fun c -> fi c.Gc_stats.pages_touched);
+    avg_pages_non_gen =
+      mean Gc_stats.Non_gen (fun c -> fi c.Gc_stats.pages_touched);
+    pct_dirty_cards =
+      (* dirty marks can sit outside the allocation window (old-region
+         stores), so clamp the ratio the way the paper's counters would *)
+      mean Gc_stats.Partial (fun c ->
+          if c.Gc_stats.total_cards = 0 then 0.
+          else
+            Float.min 100.
+              (fi c.Gc_stats.dirty_cards /. fi c.Gc_stats.total_cards *. 100.));
+    avg_card_scan_bytes =
+      mean Gc_stats.Partial (fun c -> fi c.Gc_stats.card_scan_bytes);
+  }
+
+let elapsed t ~multiprocessor =
+  fi (if multiprocessor then t.elapsed_multi else t.elapsed_uni)
+
+let improvement_pct ~baseline t ~multiprocessor =
+  Otfgc_support.Stats.improvement_pct
+    ~baseline:(elapsed baseline ~multiprocessor)
+    ~candidate:(elapsed t ~multiprocessor)
+
+let pp ppf t =
+  let f = Format.fprintf in
+  f ppf "@[<v>workload: %s (%s)@," t.workload t.mode;
+  f ppf "elapsed: multi=%d uni=%d (mutator=%d collector=%d stall=%d)@,"
+    t.elapsed_multi t.elapsed_uni t.mutator_work t.collector_work t.stall_work;
+  f ppf "allocated: %d bytes, %d objects; final capacity %d@,"
+    t.total_alloc_bytes t.total_alloc_objects t.final_capacity;
+  f ppf "collections: %d partial, %d full, %d non-gen; GC active %.1f%%@,"
+    t.n_partial t.n_full t.n_non_gen t.pct_time_gc;
+  f ppf "scanned/cycle: intergen=%.0f partial=%.0f full=%.0f nongen=%.0f@,"
+    t.avg_intergen_scanned t.avg_scanned_partial t.avg_scanned_full
+    t.avg_scanned_non_gen;
+  f ppf "freed: partial %.1f%% objects (%.1f%% bytes), full %.1f%%, nongen %.1f%%@,"
+    t.pct_objects_freed_partial t.pct_bytes_freed_partial
+    t.pct_objects_freed_full t.pct_objects_freed_non_gen;
+  f ppf "cycle work: partial=%.0f full=%.0f nongen=%.0f@," t.avg_work_partial
+    t.avg_work_full t.avg_work_non_gen;
+  f ppf "pages/cycle: partial=%.0f full=%.0f nongen=%.0f@," t.avg_pages_partial
+    t.avg_pages_full t.avg_pages_non_gen;
+  f ppf "cards: %.2f%% dirty, %.0f bytes scanned/partial@]" t.pct_dirty_cards
+    t.avg_card_scan_bytes

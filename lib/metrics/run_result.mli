@@ -1,0 +1,64 @@
+(** Summary of one complete workload run — every quantity the paper's
+    evaluation (Figures 7–23) reports, derived from the runtime's cost
+    ledger and per-cycle statistics at the end of the run. *)
+
+type t = {
+  workload : string;
+  mode : string;
+  (* cost ledger *)
+  elapsed_multi : int;  (** saturated-SMP elapsed proxy (Section 8.1) *)
+  elapsed_uni : int;    (** uniprocessor elapsed proxy *)
+  mutator_work : int;
+  collector_work : int;
+  stall_work : int;
+  (* volume *)
+  total_alloc_bytes : int;
+  total_alloc_objects : int;
+  final_capacity : int;
+  (* cycle counts (Figure 10) *)
+  n_partial : int;
+  n_full : int;
+  n_non_gen : int;
+  pct_time_gc : float;  (** collector work / elapsed_multi * 100 *)
+  (* scanning (Figure 11) *)
+  avg_intergen_scanned : float;   (** per partial collection *)
+  avg_scanned_partial : float;
+  avg_scanned_full : float;
+  avg_scanned_non_gen : float;
+  (* reclamation percentages (Figure 12) *)
+  pct_bytes_freed_partial : float;   (** of young bytes at cycle start *)
+  pct_objects_freed_partial : float; (** of young objects at cycle start *)
+  pct_objects_freed_full : float;    (** of allocated objects in the heap *)
+  pct_objects_freed_non_gen : float;
+  (* cycle cost (Figure 13) *)
+  avg_work_partial : float;
+  avg_work_full : float;
+  avg_work_non_gen : float;
+  (* gain per cycle (Figure 14) *)
+  avg_objects_freed_partial : float;
+  avg_objects_freed_full : float;
+  avg_objects_freed_non_gen : float;
+  avg_bytes_freed_partial : float;
+  avg_bytes_freed_full : float;
+  avg_bytes_freed_non_gen : float;
+  (* locality (Figure 15) *)
+  avg_pages_partial : float;
+  avg_pages_full : float;
+  avg_pages_non_gen : float;
+  (* card behaviour (Figures 22 and 23) *)
+  pct_dirty_cards : float;      (** dirty / covering cards, mean per partial *)
+  avg_card_scan_bytes : float;  (** area scanned on dirty cards per partial *)
+}
+
+val of_runtime : workload:string -> Otfgc.Runtime.t -> t
+(** Summarise a finished run. *)
+
+val elapsed : t -> multiprocessor:bool -> float
+(** The elapsed-time proxy selected by the experiment. *)
+
+val improvement_pct : baseline:t -> t -> multiprocessor:bool -> float
+(** Percentage improvement of this run over a (non-generational) baseline
+    run, positive = faster, as reported throughout Section 8. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump (used by the CLI). *)

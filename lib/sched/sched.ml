@@ -1,0 +1,190 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+type state =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, unit) continuation
+  | Running
+  | Finished
+
+type proc = { id : int; name : string; daemon : bool; mutable state : state }
+
+type pid = int
+
+type policy = Round_robin | Random of Otfgc_support.Rng.t
+
+let round_robin = Round_robin
+let random_policy rng = Random rng
+
+exception Stalled of string
+
+type t = {
+  policy : policy;
+  quantum : int;
+  mutable procs : proc array;
+  mutable nprocs : int;
+  mutable current : proc option;
+  mutable rr_cursor : int;
+  mutable step_count : int;
+  mutable on_switch : (string -> unit) option;
+}
+
+(* The scheduler running a process is recorded here so that [yield] (which
+   has no scheduler argument by design — barrier code deep inside the heap
+   must not thread it through) can find the current process.  Schedulers
+   never nest. *)
+let active : t option ref = ref None
+
+let create ?(policy = Round_robin) ?(quantum = 1) () =
+  if quantum < 1 then invalid_arg "Sched.create: quantum must be >= 1";
+  {
+    policy;
+    quantum;
+    procs = Array.make 8 { id = -1; name = ""; daemon = true; state = Finished };
+    nprocs = 0;
+    current = None;
+    rr_cursor = 0;
+    step_count = 0;
+    on_switch = None;
+  }
+
+let spawn t ?(daemon = false) ~name fn =
+  let id = t.nprocs in
+  let p = { id; name; daemon; state = Not_started fn } in
+  if t.nprocs = Array.length t.procs then begin
+    let bigger = Array.make (2 * t.nprocs) p in
+    Array.blit t.procs 0 bigger 0 t.nprocs;
+    t.procs <- bigger
+  end;
+  t.procs.(t.nprocs) <- p;
+  t.nprocs <- t.nprocs + 1;
+  id
+
+let current_proc () =
+  match !active with
+  | Some t -> (
+      match t.current with
+      | Some p -> p
+      | None -> failwith "Sched.yield: no process is running")
+  | None -> failwith "Sched.yield: called outside of Sched.run"
+
+let yield () =
+  ignore (current_proc ());
+  perform Yield
+
+let wait_until p =
+  while not (p ()) do
+    yield ()
+  done
+
+let self_name () = (current_proc ()).name
+
+let steps t = t.step_count
+
+let finished t pid = match t.procs.(pid).state with Finished -> true | _ -> false
+
+let set_on_switch t hook = t.on_switch <- hook
+
+let runnable p = match p.state with Not_started _ | Suspended _ -> true | _ -> false
+
+(* Number of runnable processes; also used to decide run termination. *)
+let pending t =
+  let n = ref 0 in
+  for i = 0 to t.nprocs - 1 do
+    let p = t.procs.(i) in
+    if (not p.daemon) && p.state <> Finished then incr n
+  done;
+  !n
+
+let pick t =
+  match t.policy with
+  | Round_robin ->
+      let n = t.nprocs in
+      let found = ref None in
+      let i = ref 0 in
+      while !found = None && !i < n do
+        let idx = (t.rr_cursor + !i) mod n in
+        if runnable t.procs.(idx) then begin
+          found := Some t.procs.(idx);
+          t.rr_cursor <- (idx + 1) mod n
+        end;
+        incr i
+      done;
+      !found
+  | Random rng ->
+      let candidates = ref [] in
+      for i = t.nprocs - 1 downto 0 do
+        if runnable t.procs.(i) then candidates := t.procs.(i) :: !candidates
+      done;
+      (match !candidates with
+      | [] -> None
+      | l ->
+          let arr = Array.of_list l in
+          Some (Otfgc_support.Rng.pick rng arr))
+
+(* Resume [p] for one step: either start its body under a fresh deep
+   handler, or continue its stored continuation.  Control comes back here
+   when the process yields (handler stores the new continuation) or
+   finishes. *)
+let resume t p =
+  t.current <- Some p;
+  (match t.on_switch with Some f -> f p.name | None -> ());
+  (match p.state with
+  | Not_started fn ->
+      p.state <- Running;
+      match_with
+        (fun () ->
+          fn ();
+          p.state <- Finished)
+        ()
+        {
+          retc = (fun () -> ());
+          exnc =
+            (fun e ->
+              Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ()));
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield ->
+                  Some
+                    (fun (k : (a, _) continuation) -> p.state <- Suspended k)
+              | _ -> None);
+        }
+  | Suspended k ->
+      p.state <- Running;
+      continue k ()
+  | Running | Finished -> assert false);
+  t.current <- None
+
+let run ?(max_steps = max_int) t =
+  (match !active with
+  | Some _ -> failwith "Sched.run: schedulers cannot nest"
+  | None -> active := Some t);
+  Fun.protect
+    ~finally:(fun () -> active := None)
+    (fun () ->
+      let continue_run = ref true in
+      while !continue_run do
+        if pending t = 0 then continue_run := false
+        else begin
+          if t.step_count >= max_steps then
+            raise
+              (Stalled
+                 (Printf.sprintf "no termination after %d scheduling steps"
+                    t.step_count));
+          match pick t with
+          | None ->
+              (* Only daemons are runnable but a non-daemon hasn't finished:
+                 that non-daemon must be Running, which is impossible here. *)
+              failwith "Sched.run: non-daemon process neither runnable nor finished"
+          | Some p ->
+              t.step_count <- t.step_count + 1;
+              let q = ref t.quantum in
+              while !q > 0 && runnable p do
+                resume t p;
+                decr q
+              done
+        end
+      done)

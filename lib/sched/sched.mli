@@ -1,0 +1,76 @@
+(** Deterministic cooperative scheduler over OCaml effect handlers.
+
+    The paper's collector runs concurrently with mutator threads and its
+    correctness argument is about interleavings of individual loads and
+    stores.  Instead of OS threads — which make those interleavings neither
+    controllable nor reproducible — every simulated thread is a cooperative
+    process that calls {!yield} at each shared-memory access.  A seeded
+    scheduler then chooses which process advances at every step, so a whole
+    multi-threaded GC run is a pure function of its seed, and property
+    tests can drive adversarial schedules at will.
+
+    Typical use:
+    {[
+      let s = Sched.create ~policy:(Sched.random_policy (Rng.make 42)) () in
+      let _m = Sched.spawn s ~name:"mutator" (fun () -> ... Sched.yield () ...) in
+      let _c = Sched.spawn s ~daemon:true ~name:"collector" collector_loop in
+      Sched.run s
+    ]} *)
+
+type t
+(** A scheduler instance. *)
+
+type pid
+(** Process identifier, unique within one scheduler. *)
+
+type policy
+(** Strategy for choosing the next runnable process. *)
+
+val round_robin : policy
+(** Cycle through runnable processes in spawn order.  Fastest and fully
+    deterministic; the default for benchmark runs. *)
+
+val random_policy : Otfgc_support.Rng.t -> policy
+(** Pick uniformly among runnable processes using the given generator.
+    Used by property tests to explore interleavings. *)
+
+exception Stalled of string
+(** Raised by {!run} when [max_steps] is exceeded — in this simulator that
+    means a livelock (e.g. a handshake that never completes). *)
+
+val create : ?policy:policy -> ?quantum:int -> unit -> t
+(** [create ~policy ~quantum ()] makes an empty scheduler.  [quantum]
+    (default 1) is how many consecutive yields a scheduled process may run
+    before the policy picks again; larger quanta trade interleaving
+    fineness for speed. *)
+
+val spawn : t -> ?daemon:bool -> name:string -> (unit -> unit) -> pid
+(** Register a process.  [daemon] processes (default [false]) do not keep
+    {!run} alive: the run ends when every non-daemon process has finished.
+    Processes may spawn further processes while running. *)
+
+val yield : unit -> unit
+(** Give the scheduler a chance to switch to another process.  Must be
+    called from inside a spawned process; calling it elsewhere raises
+    [Failure]. *)
+
+val wait_until : (unit -> bool) -> unit
+(** [wait_until p] yields repeatedly until [p ()] holds.  [p] is checked
+    before the first yield. *)
+
+val self_name : unit -> string
+(** Name of the currently running process (for trace messages). *)
+
+val run : ?max_steps:int -> t -> unit
+(** Execute until all non-daemon processes finish.  A process raising an
+    exception aborts the run and re-raises it.  Raises {!Stalled} after
+    [max_steps] scheduling steps (default [max_int]). *)
+
+val steps : t -> int
+(** Number of scheduling steps performed so far. *)
+
+val finished : t -> pid -> bool
+(** Whether the given process has run to completion. *)
+
+val set_on_switch : t -> (string -> unit) option -> unit
+(** Debug hook invoked with the process name at every context switch. *)

@@ -1,0 +1,26 @@
+open Otfgc
+module Heap = Otfgc_heap.Heap
+
+let cons rt m ~head ~tail =
+  let cell = Runtime.alloc rt m ~size:32 ~n_slots:2 in
+  Mutator.push m cell;
+  if head <> Heap.nil then Runtime.store rt m ~x:cell ~i:0 ~y:head;
+  if tail <> Heap.nil then Runtime.store rt m ~x:cell ~i:1 ~y:tail;
+  ignore (Mutator.pop m : int);
+  cell
+
+let head rt m cell = Runtime.load rt m ~x:cell ~i:0
+let tail rt m cell = Runtime.load rt m ~x:cell ~i:1
+
+let length rt m cell =
+  let rec go acc c = if c = Heap.nil then acc else go (acc + 1) (tail rt m c) in
+  go 0 cell
+
+let iter rt m f cell =
+  let rec go c =
+    if c <> Heap.nil then begin
+      f (head rt m c);
+      go (tail rt m c)
+    end
+  in
+  go cell

@@ -1,0 +1,24 @@
+(** Heap-allocated singly-linked lists (cons cells).
+
+    A cell has two pointer slots: slot 0 = head (the element), slot 1 =
+    tail (next cell or nil).  All operations go through the runtime's
+    barriered stores, so lists are safe to build and walk while the
+    on-the-fly collector runs.
+
+    Rooting: {!cons} roots its result internally while linking; the caller
+    must root the returned cell before its next runtime operation.
+    Traversals only follow reachable cells, which the collector keeps
+    alive. *)
+
+val cons : Otfgc.Runtime.t -> Otfgc.Mutator.t -> head:int -> tail:int -> int
+(** New cell.  [head]/[tail] must be rooted by the caller (or nil). *)
+
+val head : Otfgc.Runtime.t -> Otfgc.Mutator.t -> int -> int
+val tail : Otfgc.Runtime.t -> Otfgc.Mutator.t -> int -> int
+
+val length : Otfgc.Runtime.t -> Otfgc.Mutator.t -> int -> int
+(** Cells until nil, following tails. *)
+
+val iter :
+  Otfgc.Runtime.t -> Otfgc.Mutator.t -> (int -> unit) -> int -> unit
+(** Apply to each element (head pointer), front to back. *)

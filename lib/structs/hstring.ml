@@ -1,0 +1,63 @@
+open Otfgc
+
+let chars_per_word = 8
+
+let words_for len = 1 + ((len + chars_per_word - 1) / chars_per_word)
+
+let alloc rt m s =
+  let len = String.length s in
+  let size = 16 + (8 * words_for len) in
+  let a = Runtime.alloc rt m ~size ~n_slots:0 in
+  (* park it on the stack while the contents are written: every
+     store_data below is a scheduling point *)
+  Mutator.push m a;
+  Runtime.store_data rt m ~x:a ~i:0 ~v:len;
+  let word = ref 0 in
+  let acc = ref 0 in
+  String.iteri
+    (fun i c ->
+      acc := !acc lor (Char.code c lsl (8 * (i mod chars_per_word)));
+      if i mod chars_per_word = chars_per_word - 1 || i = len - 1 then begin
+        incr word;
+        Runtime.store_data rt m ~x:a ~i:!word ~v:!acc;
+        acc := 0
+      end)
+    s;
+  ignore (Mutator.pop m : int);
+  a
+
+let length rt m a = Runtime.load_data rt m ~x:a ~i:0
+
+let to_string rt m a =
+  let len = length rt m a in
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    let w = Runtime.load_data rt m ~x:a ~i:(1 + (i / chars_per_word)) in
+    Bytes.set b i (Char.chr ((w lsr (8 * (i mod chars_per_word))) land 0xff))
+  done;
+  Bytes.to_string b
+
+let equal rt m a b =
+  if a = b then true
+  else begin
+    let la = length rt m a and lb = length rt m b in
+    la = lb
+    &&
+    let words = (la + chars_per_word - 1) / chars_per_word in
+    let rec go i =
+      i > words
+      || Runtime.load_data rt m ~x:a ~i = Runtime.load_data rt m ~x:b ~i
+         && go (i + 1)
+    in
+    go 1
+  end
+
+let hash rt m a =
+  let len = length rt m a in
+  let words = (len + chars_per_word - 1) / chars_per_word in
+  let h = ref 0x3bf29ce484222325 in
+  for i = 1 to words do
+    let w = Runtime.load_data rt m ~x:a ~i in
+    h := (!h lxor w) * 0x100000001b3
+  done;
+  !h land max_int

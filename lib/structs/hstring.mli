@@ -1,0 +1,26 @@
+(** Heap-allocated immutable strings.
+
+    A string is a single heap object with no pointer slots: word 0 holds
+    the length in characters, the remaining scalar words pack 8 characters
+    each.  Strings are immutable after {!alloc}, so reading them needs no
+    synchronisation with the collector, exactly like Java's [String].
+
+    Rooting: {!alloc} returns an unrooted address — the caller must move
+    it into a register or stack slot before its next runtime operation
+    (see the {!Otfgc.Runtime.alloc} contract).  Read operations are safe
+    on any reachable string. *)
+
+val alloc : Otfgc.Runtime.t -> Otfgc.Mutator.t -> string -> int
+(** Allocate a heap string with the given contents. *)
+
+val length : Otfgc.Runtime.t -> Otfgc.Mutator.t -> int -> int
+(** Character count of the heap string at the given address. *)
+
+val to_string : Otfgc.Runtime.t -> Otfgc.Mutator.t -> int -> string
+(** Copy the heap string out (reads every word through the runtime). *)
+
+val equal : Otfgc.Runtime.t -> Otfgc.Mutator.t -> int -> int -> bool
+(** Content equality of two heap strings. *)
+
+val hash : Otfgc.Runtime.t -> Otfgc.Mutator.t -> int -> int
+(** FNV-style content hash, stable across heaps (used by {!Htable}). *)

@@ -1,0 +1,48 @@
+open Otfgc
+module Heap = Otfgc_heap.Heap
+
+let create rt m ~buckets =
+  if buckets < 1 || buckets > 500 then
+    invalid_arg "Htable.create: buckets must be in 1..500";
+  Runtime.alloc rt m ~size:(16 + (8 * buckets)) ~n_slots:buckets
+
+let bucket_of rt m ~table ~key =
+  Hstring.hash rt m key mod Heap.n_slots (Runtime.heap rt) table
+
+let add rt m ~table ~key ~value =
+  let b = bucket_of rt m ~table ~key in
+  let entry = Runtime.alloc rt m ~size:48 ~n_slots:3 in
+  Mutator.push m entry;
+  let first = Runtime.load rt m ~x:table ~i:b in
+  if first <> Heap.nil then Runtime.store rt m ~x:entry ~i:0 ~y:first;
+  Runtime.store rt m ~x:entry ~i:1 ~y:key;
+  if value <> Heap.nil then Runtime.store rt m ~x:entry ~i:2 ~y:value;
+  Runtime.store rt m ~x:table ~i:b ~y:entry;
+  ignore (Mutator.pop m : int)
+
+let find rt m ~table ~key =
+  let b = bucket_of rt m ~table ~key in
+  let rec go e =
+    if e = Heap.nil then None
+    else
+      let k = Runtime.load rt m ~x:e ~i:1 in
+      if Hstring.equal rt m k key then Some (Runtime.load rt m ~x:e ~i:2)
+      else go (Runtime.load rt m ~x:e ~i:0)
+  in
+  go (Runtime.load rt m ~x:table ~i:b)
+
+let mem rt m ~table ~key = find rt m ~table ~key <> None
+
+let count rt m ~table =
+  let n = Heap.n_slots (Runtime.heap rt) table in
+  let total = ref 0 in
+  for b = 0 to n - 1 do
+    let rec go e =
+      if e <> Heap.nil then begin
+        incr total;
+        go (Runtime.load rt m ~x:e ~i:0)
+      end
+    in
+    go (Runtime.load rt m ~x:table ~i:b)
+  done;
+  !total

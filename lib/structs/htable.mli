@@ -1,0 +1,33 @@
+(** Heap-allocated hash table with {!Hstring} keys.
+
+    Layout: the table is one bucket object whose pointer slots are chains
+    of entry objects; an entry has slots [0 = next entry; 1 = key (heap
+    string); 2 = value (any object or nil)].  The bucket count is fixed at
+    creation (no concurrent resize — the JDK 1.1 Hashtable the paper's
+    benchmarks used also resized under a lock; a fixed table keeps the
+    example honest without one).
+
+    All pointer stores go through the write barrier, so insertions while
+    the collector runs are exactly the inter-generational-pointer workload
+    the paper studies: a long-lived table pointing at young entries.
+
+    Rooting: operations use the mutator stack for temporaries; the caller
+    roots the table itself and any value it passes or receives. *)
+
+val create : Otfgc.Runtime.t -> Otfgc.Mutator.t -> buckets:int -> int
+(** New empty table with the given bucket count (1..500). *)
+
+val add :
+  Otfgc.Runtime.t -> Otfgc.Mutator.t -> table:int -> key:int -> value:int -> unit
+(** Prepend an entry mapping [key] (a rooted heap string) to [value].
+    Does not replace existing bindings ({!find} returns the newest). *)
+
+val find :
+  Otfgc.Runtime.t -> Otfgc.Mutator.t -> table:int -> key:int -> int option
+(** Value of the newest binding whose key equals [key] by content, if
+    any. *)
+
+val mem : Otfgc.Runtime.t -> Otfgc.Mutator.t -> table:int -> key:int -> bool
+
+val count : Otfgc.Runtime.t -> Otfgc.Mutator.t -> table:int -> int
+(** Total entries (walks every chain). *)

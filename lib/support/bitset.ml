@@ -1,0 +1,66 @@
+type t = { words : Bytes.t; capacity : int }
+
+(* One byte per 8 elements; Bytes gives us cheap blit/fill. *)
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make ((n + 7) / 8) '\000'; capacity = n }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) t.words;
+  !n
+
+let iter f t =
+  for byte = 0 to Bytes.length t.words - 1 do
+    let b = Char.code (Bytes.get t.words byte) in
+    if b <> 0 then
+      for bit = 0 to 7 do
+        if b land (1 lsl bit) <> 0 then f ((byte lsl 3) lor bit)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let union_into ~dst src =
+  if dst.capacity <> src.capacity then
+    invalid_arg "Bitset.union_into: capacity mismatch";
+  for i = 0 to Bytes.length dst.words - 1 do
+    let b = Char.code (Bytes.get dst.words i) lor Char.code (Bytes.get src.words i) in
+    Bytes.set dst.words i (Char.chr b)
+  done
+
+let copy t = { words = Bytes.copy t.words; capacity = t.capacity }
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])

@@ -1,0 +1,36 @@
+(** Dense mutable bitsets over [0 .. capacity-1].
+
+    Used for page-touch tracking and sweep bookkeeping, where the universe
+    is small, dense and known up front. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over the universe [0 .. n-1]. *)
+
+val capacity : t -> int
+(** Size of the universe. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val cardinal : t -> int
+(** Number of elements currently in the set; O(capacity/64). *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every element of [src] to [dst].  The two
+    sets must have the same capacity. *)
+
+val copy : t -> t
+
+val to_list : t -> int list
+(** Elements in increasing order. *)

@@ -1,0 +1,44 @@
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { count = 0; sum = 0.; min_v = nan; max_v = nan }
+
+let add t x =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  if t.count = 1 then begin
+    t.min_v <- x;
+    t.max_v <- x
+  end
+  else begin
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+let min t = t.min_v
+let max t = t.max_v
+
+let merge a b =
+  if a.count = 0 then { b with count = b.count }
+  else if b.count = 0 then { a with count = a.count }
+  else
+    {
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+    }
+
+let improvement_pct ~baseline ~candidate =
+  if baseline = 0. then 0. else (baseline -. candidate) /. baseline *. 100.
+
+let pct part whole = if whole = 0. then 0. else part /. whole *. 100.

@@ -1,0 +1,34 @@
+(** Streaming statistics accumulators.
+
+    The experiment harness reports averages over collections and over
+    repeated runs; these accumulators avoid retaining samples. *)
+
+type t
+(** Accumulates count, sum, min, max and mean of a stream of floats. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** Mean of the samples so far; [0.] if empty. *)
+
+val min : t -> float
+(** Smallest sample; [nan] if empty. *)
+
+val max : t -> float
+(** Largest sample; [nan] if empty. *)
+
+val merge : t -> t -> t
+(** Combined accumulator, as if all samples of both streams were added. *)
+
+val improvement_pct : baseline:float -> candidate:float -> float
+(** [improvement_pct ~baseline ~candidate] is the percentage by which
+    [candidate] improves on [baseline] for a lower-is-better metric:
+    [(baseline - candidate) / baseline * 100.].  [0.] when the baseline is
+    zero. *)
+
+val pct : float -> float -> float
+(** [pct part whole] is [part/whole*100.], or [0.] when [whole = 0.]. *)

@@ -1,0 +1,76 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ?title headers =
+  let headers = Array.of_list headers in
+  let aligns = Array.make (Array.length headers) Right in
+  if Array.length aligns > 0 then aligns.(0) <- Left;
+  { title; headers; aligns; rows = [] }
+
+let set_align t i a = t.aligns.(i) <- a
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  let len = List.length cells in
+  if len > n then invalid_arg "Textable.add_row: too many cells";
+  let row = Array.make n "" in
+  List.iteri (fun i c -> row.(i) <- c) cells;
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) row)
+    rows;
+  let pad align width s =
+    let fill = width - String.length s in
+    if fill <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make fill ' '
+      | Right -> String.make fill ' ' ^ s
+  in
+  let line cells =
+    let b = Buffer.create 128 in
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_string b "  ";
+      Buffer.add_string b (pad t.aligns.(i) widths.(i) cells.(i))
+    done;
+    Buffer.contents b
+  in
+  let b = Buffer.create 1024 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string b title;
+      Buffer.add_char b '\n'
+  | None -> ());
+  Buffer.add_string b (line t.headers);
+  Buffer.add_char b '\n';
+  let total = Array.fold_left (fun acc w -> acc + w + 2) (-2) widths in
+  Buffer.add_string b (String.make (Stdlib.max total 1) '-');
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b (line row);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_pct v = Printf.sprintf "%.1f" v
+let fmt_f1 v = Printf.sprintf "%.1f" v
+let fmt_f2 v = Printf.sprintf "%.2f" v
+let fmt_int v = Printf.sprintf "%.0f" v
+let na = "N/A"

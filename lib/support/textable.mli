@@ -1,0 +1,44 @@
+(** Plain-text table rendering for reproduced paper figures.
+
+    Every experiment prints its result as a table shaped like the paper's;
+    this module centralises alignment and number formatting so all figures
+    look uniform in [bench] output and in EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers.
+    Columns are right-aligned except the first, which is left-aligned. *)
+
+val set_align : t -> int -> align -> unit
+(** Override the alignment of column [i]. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** The table as a string, with a separator under the header and the title
+    (if any) above. *)
+
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)
+
+(** {2 Cell formatting helpers} *)
+
+val fmt_pct : float -> string
+(** Signed percentage with one decimal, e.g. ["-3.7"] or ["17.2"]. *)
+
+val fmt_f1 : float -> string
+(** One decimal place. *)
+
+val fmt_f2 : float -> string
+(** Two decimal places. *)
+
+val fmt_int : float -> string
+(** Rounded to the nearest integer. *)
+
+val na : string
+(** The ["N/A"] cell used when a benchmark performs no full collection. *)

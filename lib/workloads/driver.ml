@@ -1,0 +1,70 @@
+open Otfgc
+module Heap = Otfgc_heap.Heap
+module Sched = Otfgc_sched.Sched
+module Rng = Otfgc_support.Rng
+module Run_result = Otfgc_metrics.Run_result
+
+let default_heap =
+  { Heap.initial_bytes = 1 lsl 20; max_bytes = 4 lsl 20; card_size = 16 }
+
+let run ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0) ~gc profile =
+  Profile.validate profile;
+  let rt = Runtime.create ~heap_config:heap ~gc_config:gc () in
+  Runtime.set_fine_grained rt false;
+  let master = Rng.make seed in
+  let sched = Sched.create ~policy:(Sched.random_policy (Rng.split master)) () in
+  ignore (Runtime.spawn_collector rt sched);
+  (* Model the paper's 4-way SMP when oversubscribed: the collector keeps
+     a CPU to itself while N > 3 mutators share the remaining three, so it
+     runs ~N/3 times faster than any single mutator. *)
+  let n_threads = profile.Profile.threads in
+  if n_threads > 3 then
+    (Runtime.state rt).Otfgc.State.collector_speed <-
+      8 * n_threads / 3;
+  let quota =
+    Stdlib.max 1 (int_of_float (float_of_int profile.Profile.total_alloc *. scale))
+  in
+  (* Warmup barrier: every thread builds its long-lived data, then one
+     thread runs a full collection (promoting the prebuilt data to the old
+     generation) and resets the measurement ledgers — the standard warmup
+     lap, so build-phase promotion does not pollute the reported partial
+     collection statistics. *)
+  let n = profile.Profile.threads in
+  let prebuilt = ref 0 in
+  let warm = ref false in
+  let sync_point_for i m () =
+    incr prebuilt;
+    if i = 0 then begin
+      Sched.wait_until (fun () ->
+          Runtime.cooperate rt m;
+          !prebuilt = n);
+      ignore (Runtime.collect_and_wait rt m ~full:true : Otfgc.Gc_stats.cycle);
+      Otfgc.Gc_stats.reset (Runtime.stats rt);
+      Otfgc.Cost.reset (Runtime.cost rt);
+      Heap.reset_allocation_stats (Runtime.heap rt);
+      (Runtime.state rt).Otfgc.State.bytes_since_gc <- 0;
+      warm := true
+    end
+    else
+      Sched.wait_until (fun () ->
+          Runtime.cooperate rt m;
+          !warm)
+  in
+  for i = 0 to n - 1 do
+    let name = Printf.sprintf "%s-t%d" profile.Profile.name i in
+    let m = Runtime.new_mutator rt ~name () in
+    let rng = Rng.split master in
+    ignore
+      (Sched.spawn sched ~name (fun () ->
+           Engine.run_thread rt m rng ~profile ~quota
+             ~sync_point:(sync_point_for i m) ();
+           Runtime.retire_mutator rt m))
+  done;
+  Sched.run sched;
+  Run_result.of_runtime ~workload:profile.Profile.name rt
+
+let run_pair ?heap ?seed ?scale ~gc profile =
+  let candidate = run ?heap ?seed ?scale ~gc profile in
+  let baseline_gc = { gc with Gc_config.mode = Gc_config.Non_generational } in
+  let baseline = run ?heap ?seed ?scale ~gc:baseline_gc profile in
+  (candidate, baseline)

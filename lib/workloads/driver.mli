@@ -1,0 +1,36 @@
+(** Run a workload profile against a collector configuration and summarise
+    the outcome.
+
+    One call = one "benchmark run" of the paper: a fresh simulated heap, a
+    collector daemon, [profile.threads] mutator threads running the
+    {!Engine}, deterministic scheduling from [seed].  The simulation runs
+    in coarse-grained mode (no micro-step yields) — races are the test
+    suite's job; benchmark runs only need the work/page/card accounting. *)
+
+val default_heap : Otfgc_heap.Heap.config
+(** 1 MB initial, 4 MB maximum — the paper's 1→32 MB scaled by 8, matching
+    the 512 KB default young generation (the paper's 4 MB / 8). *)
+
+val run :
+  ?heap:Otfgc_heap.Heap.config ->
+  ?seed:int ->
+  ?scale:float ->
+  gc:Otfgc.Gc_config.t ->
+  Profile.t ->
+  Otfgc_metrics.Run_result.t
+(** [run ~gc profile] executes the workload to completion and returns its
+    summary.  [scale] (default 1.0) multiplies the allocation volume —
+    experiments use it to shorten sweeps.  [seed] (default 42) fixes the
+    scheduler and workload randomness; [heap] overrides the heap geometry
+    (e.g. the card-size sweeps of Figures 21–23). *)
+
+val run_pair :
+  ?heap:Otfgc_heap.Heap.config ->
+  ?seed:int ->
+  ?scale:float ->
+  gc:Otfgc.Gc_config.t ->
+  Profile.t ->
+  Otfgc_metrics.Run_result.t * Otfgc_metrics.Run_result.t
+(** [(generational_or_other, non_generational_baseline)] under identical
+    parameters — the comparison every figure reports.  The baseline uses
+    {!Otfgc.Gc_config.non_generational} with the same trigger settings. *)

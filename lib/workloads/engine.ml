@@ -1,0 +1,162 @@
+open Otfgc
+module Heap = Otfgc_heap.Heap
+module Rng = Otfgc_support.Rng
+
+(* Register conventions (the mutator's "machine registers"): *)
+let reg_long = 0 (* head of the long-table spine *)
+let reg_ring = 1 (* head of the ring spine *)
+let reg_new = 2 (* object allocated this iteration *)
+let reg_tmp = 3 (* spine nodes under construction, loaded values *)
+let reg_prev = 4 (* previous iteration's object, for initialising stores *)
+
+let slots_per_node = 7
+let node_slots = slots_per_node + 1 (* slot 0 is the next pointer *)
+let node_size = 16 + (8 * node_slots)
+
+(* A spine of fixed-arity nodes addressed as a flat array of entries.
+   [nodes] mirrors the spine for O(1) entry lookup; every node stays
+   reachable from [head_reg], so the mirror never dangles. *)
+type table = {
+  head_reg : int;
+  capacity : int;
+  mutable nodes : int array;
+  mutable n_nodes : int;
+  mutable count : int; (* total puts (ring) / filled entries (long) *)
+}
+
+let mk_table ~head_reg ~capacity =
+  { head_reg; capacity; nodes = Array.make 8 Heap.nil; n_nodes = 0; count = 0 }
+
+type ctx = {
+  rt : Runtime.t;
+  m : Mutator.t;
+  rng : Rng.t;
+  profile : Profile.t;
+  mutable allocated : int;
+}
+
+let alloc_raw ctx ~size ~n_slots =
+  let a = Runtime.alloc ctx.rt ctx.m ~size ~n_slots in
+  ctx.allocated <- ctx.allocated + Heap.size (Runtime.heap ctx.rt) a;
+  a
+
+let add_node ctx tbl =
+  let node = alloc_raw ctx ~size:node_size ~n_slots:node_slots in
+  Mutator.set_reg ctx.m reg_tmp node;
+  let head = Mutator.get_reg ctx.m tbl.head_reg in
+  if head <> Heap.nil then Runtime.store ctx.rt ctx.m ~x:node ~i:0 ~y:head;
+  Mutator.set_reg ctx.m tbl.head_reg node;
+  Mutator.clear_reg ctx.m reg_tmp;
+  if tbl.n_nodes = Array.length tbl.nodes then begin
+    let bigger = Array.make (2 * tbl.n_nodes) Heap.nil in
+    Array.blit tbl.nodes 0 bigger 0 tbl.n_nodes;
+    tbl.nodes <- bigger
+  end;
+  tbl.nodes.(tbl.n_nodes) <- node;
+  tbl.n_nodes <- tbl.n_nodes + 1
+
+let entry_location tbl idx = (tbl.nodes.(idx / slots_per_node), 1 + (idx mod slots_per_node))
+
+let store_entry ctx tbl idx y =
+  let node, slot = entry_location tbl idx in
+  Runtime.store ctx.rt ctx.m ~x:node ~i:slot ~y
+
+let load_entry ctx tbl idx =
+  let node, slot = entry_location tbl idx in
+  Runtime.load ctx.rt ctx.m ~x:node ~i:slot
+
+(* Long table: fill to capacity, then overwrite (evict) a random entry —
+   the evicted object has been promoted by then and dies in the old
+   generation. *)
+let long_put ctx tbl y =
+  let idx =
+    if tbl.count < tbl.capacity then begin
+      let i = tbl.count in
+      if i / slots_per_node >= tbl.n_nodes then add_node ctx tbl;
+      tbl.count <- i + 1;
+      i
+    end
+    else Rng.int ctx.rng tbl.capacity
+  in
+  store_entry ctx tbl idx y
+
+(* Ring: FIFO overwrite — an entry dies after exactly [capacity] further
+   ring insertions, which calibrates "age at death" against the
+   young-generation trigger. *)
+let ring_put ctx tbl y =
+  let i = tbl.count in
+  let idx = i mod tbl.capacity in
+  if i < tbl.capacity && idx / slots_per_node >= tbl.n_nodes then add_node ctx tbl;
+  tbl.count <- i + 1;
+  store_entry ctx tbl idx y
+
+(* Old-to-old pointer traffic: copy one long entry over another.  This
+   dirties cards in the old generation without creating young references —
+   the cost the paper blames for _202_jess's slowdown. *)
+let old_mutate ctx tbl =
+  let filled = Stdlib.min tbl.count tbl.capacity in
+  if filled >= 2 then begin
+    let src = Rng.int ctx.rng filled in
+    let dst =
+      if ctx.profile.Profile.concentrated_mutation then
+        Rng.int ctx.rng (Stdlib.max 1 (filled / 10))
+      else Rng.int ctx.rng filled
+    in
+    let v = load_entry ctx tbl src in
+    Mutator.set_reg ctx.m reg_tmp v;
+    store_entry ctx tbl dst v;
+    Mutator.clear_reg ctx.m reg_tmp
+  end
+
+(* Initialising stores: fill up to two slots of the fresh object with
+   pointers to recent objects, dirtying young cards the way real
+   constructors do. *)
+let init_stores ctx a n_slots =
+  let n = Stdlib.min n_slots 2 in
+  for i = 0 to n - 1 do
+    if Rng.chance ctx.rng ctx.profile.Profile.p_init_store then begin
+      let y =
+        match Rng.int ctx.rng 3 with
+        | 0 -> Mutator.get_reg ctx.m reg_prev
+        | 1 -> Mutator.get_reg ctx.m reg_ring
+        | _ -> Mutator.get_reg ctx.m reg_long
+      in
+      if y <> Heap.nil then Runtime.store ctx.rt ctx.m ~x:a ~i ~y
+    end
+  done
+
+let run_thread rt m rng ~profile ~quota ?(sync_point = fun () -> ()) () =
+  let open Profile in
+  let ctx = { rt; m; rng; profile; allocated = 0 } in
+  let long = mk_table ~head_reg:reg_long ~capacity:profile.long_target in
+  let ring = mk_table ~head_reg:reg_ring ~capacity:profile.ring_entries in
+  let classes = Array.map (fun c -> (c, c.weight)) profile.sizes in
+  let alloc_class () =
+    let c = Rng.pick_weighted rng classes in
+    let a = alloc_raw ctx ~size:c.size ~n_slots:c.slots in
+    Mutator.set_reg m reg_new a;
+    (a, c.slots)
+  in
+  if profile.prebuild_long then
+    while long.count < long.capacity do
+      let a, _ = alloc_class () in
+      long_put ctx long a;
+      Mutator.clear_reg m reg_new
+    done;
+  sync_point ();
+  ctx.allocated <- 0;
+  while ctx.allocated < quota do
+    if profile.work > 0 then Runtime.work rt m profile.work;
+    let a, n_slots = alloc_class () in
+    init_stores ctx a n_slots;
+    let r = Rng.float rng 1.0 in
+    if r < profile.p_immediate then ()
+    else if r < profile.p_immediate +. profile.p_ring then ring_put ctx ring a
+    else long_put ctx long a;
+    (* keep it briefly as "prev" for the next iteration's initialising
+       stores, then it is on its own *)
+    Mutator.set_reg m reg_prev a;
+    Mutator.clear_reg m reg_new;
+    if profile.old_mutation > 0. && Rng.chance rng profile.old_mutation then
+      old_mutate ctx long
+  done

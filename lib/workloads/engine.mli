@@ -1,0 +1,36 @@
+(** The synthetic mutator: turns a {!Profile.t} into allocation and
+    pointer-store behaviour for one thread.
+
+    Heap shape per thread (everything reachable from two registers, per
+    the runtime's rooting contract):
+
+    - a {e long table}: a linked spine of 80-byte nodes, seven entry slots
+      each, holding the long-lived objects; once [long_target] entries
+      exist, each insertion overwrites a random entry (tenured death);
+    - a {e ring}: the same structure used as a FIFO — the cursor overwrites
+      the oldest entry, so ring objects die after exactly [ring_entries]
+      further ring insertions;
+    - new objects are partially initialised with pointers to recent
+      objects, so young cards get dirtied the way real initialising stores
+      dirty them;
+    - with probability [old_mutation] an iteration overwrites a pointer
+      inside the long table with another long entry (old-to-old traffic:
+      dirty cards that carry no inter-generational pointer), targeting a
+      small cluster of nodes when [concentrated_mutation] is set. *)
+
+val run_thread :
+  Otfgc.Runtime.t ->
+  Otfgc.Mutator.t ->
+  Otfgc_support.Rng.t ->
+  profile:Profile.t ->
+  quota:int ->
+  ?sync_point:(unit -> unit) ->
+  unit ->
+  unit
+(** Run the workload until this thread has allocated [quota] bytes (not
+    counting the prebuild phase).  [sync_point] is invoked once, between
+    the prebuild phase and the measured main loop — the driver uses it as
+    a warmup barrier (wait for all threads, run a full collection, reset
+    the measurement ledgers, exactly like a benchmark harness's warmup
+    lap).  Must be called from the mutator's process.  Does not retire the
+    mutator. *)

@@ -1,0 +1,255 @@
+type size_class = { size : int; slots : int; weight : float }
+
+type t = {
+  name : string;
+  description : string;
+  total_alloc : int;
+  sizes : size_class array;
+  p_immediate : float;
+  p_ring : float;
+  p_long : float;
+  ring_entries : int;
+  long_target : int;
+  prebuild_long : bool;
+  old_mutation : float;
+  concentrated_mutation : bool;
+  p_init_store : float;
+  work : int;
+  threads : int;
+}
+
+let _kb = 1024
+let mb = 1024 * 1024
+
+let validate t =
+  let sum = t.p_immediate +. t.p_ring +. t.p_long in
+  if abs_float (sum -. 1.0) > 1e-6 then
+    invalid_arg (Printf.sprintf "Profile %s: lifetime mix sums to %f" t.name sum);
+  if t.total_alloc <= 0 then invalid_arg "Profile: total_alloc must be positive";
+  if t.threads < 1 then invalid_arg "Profile: threads must be >= 1";
+  if Array.length t.sizes = 0 then invalid_arg "Profile: no size classes";
+  Array.iter
+    (fun c ->
+      if c.size < 16 + (8 * c.slots) then
+        invalid_arg (Printf.sprintf "Profile %s: size class too small" t.name))
+    t.sizes;
+  if t.ring_entries < 1 then invalid_arg "Profile: ring_entries must be >= 1";
+  if t.p_init_store < 0. || t.p_init_store > 1. then
+    invalid_arg "Profile: p_init_store must be in [0,1]";
+  if t.long_target < 1 then invalid_arg "Profile: long_target must be >= 1"
+
+(* All volumes are scaled ~1/8 from the paper's runs (32 MB max heap / 4 MB
+   young generation there; 8 MB / 512 KB young here).  Ring sizes are set
+   against the 512 KB young-generation default: a ring whose contents
+   outlive one allocation window emulates "dies soon after promotion". *)
+
+let mtrt =
+  {
+    name = "mtrt";
+    description =
+      "_227_mtrt: two render threads over a prebuilt scene (~30k live \
+       objects); nearly all allocation dies young, few inter-generational \
+       pointers";
+    total_alloc = 9 * mb;
+    sizes =
+      [|
+        { size = 32; slots = 2; weight = 0.65 };
+        { size = 48; slots = 3; weight = 0.30 };
+        { size = 112; slots = 4; weight = 0.05 };
+      |];
+    p_immediate = 0.918;
+    p_ring = 0.08;
+    p_long = 0.002;
+    ring_entries = 200;
+    long_target = 15_000;
+    prebuild_long = true;
+    old_mutation = 0.0003;
+    concentrated_mutation = false;
+    p_init_store = 0.02;
+    work = 380;
+    threads = 2;
+  }
+
+let compress =
+  {
+    name = "compress";
+    description =
+      "_201_compress: a handful of huge, long-lived compression buffers \
+       (~8 KB scaled); compute-bound, objects do not die young and fulls \
+       reclaim them in bulk";
+    total_alloc = 10 * mb;
+    sizes =
+      [|
+        { size = 7936; slots = 2; weight = 0.30 };
+        { size = 40; slots = 2; weight = 0.70 };
+      |];
+    p_immediate = 0.30;
+    p_ring = 0.55;
+    p_long = 0.15;
+    ring_entries = 250;
+    long_target = 250;
+    prebuild_long = false;
+    old_mutation = 0.0001;
+    concentrated_mutation = true;
+    p_init_store = 0.005;
+    work = 6000;
+    threads = 1;
+  }
+
+let db =
+  {
+    name = "db";
+    description =
+      "_209_db: large resident database (~37k objects) built up front, \
+       then queries whose objects die young; dirty objects concentrated";
+    total_alloc = 5 * mb;
+    sizes =
+      [|
+        { size = 40; slots = 2; weight = 0.8 }; { size = 64; slots = 4; weight = 0.2 };
+      |];
+    p_immediate = 0.96;
+    p_ring = 0.03;
+    p_long = 0.01;
+    ring_entries = 60;
+    long_target = 30_000;
+    prebuild_long = true;
+    old_mutation = 0.004;
+    concentrated_mutation = true;
+    p_init_store = 0.25;
+    work = 3800;
+    threads = 1;
+  }
+
+let jess =
+  {
+    name = "jess";
+    description =
+      "_202_jess: a slice of facts survives one collection, gets promoted \
+       and dies; old-generation pointers modified constantly";
+    total_alloc = 20 * mb;
+    sizes =
+      [|
+        { size = 40; slots = 3; weight = 0.8 }; { size = 72; slots = 5; weight = 0.2 };
+      |];
+    p_immediate = 0.955;
+    p_ring = 0.04;
+    p_long = 0.005;
+    ring_entries = 550;
+    long_target = 3200;
+    prebuild_long = true;
+    old_mutation = 0.2;
+    concentrated_mutation = false;
+    p_init_store = 0.15;
+    work = 150;
+    threads = 1;
+  }
+
+let javac =
+  {
+    name = "javac";
+    description =
+      "_213_javac: large mixed working set; a third of young objects \
+       survive their first collection, busy old generation";
+    total_alloc = 18 * mb;
+    sizes =
+      [|
+        { size = 48; slots = 3; weight = 0.7 };
+        { size = 96; slots = 6; weight = 0.2 };
+        { size = 256; slots = 8; weight = 0.1 };
+      |];
+    p_immediate = 0.67;
+    p_ring = 0.30;
+    p_long = 0.03;
+    ring_entries = 1800;
+    long_target = 11_000;
+    prebuild_long = true;
+    old_mutation = 0.008;
+    concentrated_mutation = false;
+    p_init_store = 0.12;
+    work = 300;
+    threads = 1;
+  }
+
+let jack =
+  {
+    name = "jack";
+    description =
+      "_228_jack: parser generator; mostly young deaths but tenured \
+       objects die shortly after promotion";
+    total_alloc = 20 * mb;
+    sizes =
+      [|
+        { size = 40; slots = 2; weight = 0.85 }; { size = 80; slots = 4; weight = 0.15 };
+      |];
+    p_immediate = 0.962;
+    p_ring = 0.03;
+    p_long = 0.008;
+    ring_entries = 450;
+    long_target = 1400;
+    prebuild_long = true;
+    old_mutation = 0.05;
+    concentrated_mutation = false;
+    p_init_store = 0.20;
+    work = 420;
+    threads = 1;
+  }
+
+let anagram =
+  {
+    name = "anagram";
+    description =
+      "Anagram: recursive permutation generator over a prebuilt dictionary \
+       (~34k live objects); string churn, no compute between allocations, \
+       collection-intensive";
+    total_alloc = 28 * mb;
+    sizes =
+      [|
+        { size = 24; slots = 1; weight = 0.7 }; { size = 40; slots = 2; weight = 0.3 };
+      |];
+    p_immediate = 0.9397;
+    p_ring = 0.06;
+    p_long = 0.0003;
+    ring_entries = 150;
+    long_target = 34_000;
+    prebuild_long = true;
+    old_mutation = 0.00005;
+    concentrated_mutation = true;
+    p_init_store = 0.01;
+    work = 50;
+    threads = 1;
+  }
+
+let raytracer ~threads =
+  if threads < 1 then invalid_arg "Profile.raytracer: threads must be >= 1";
+  {
+    name = Printf.sprintf "raytracer-%d" threads;
+    description =
+      "multithreaded Ray Tracer (Section 8.2): parameterised render \
+       threads over a 300x300 scene; per-thread scene fragments and caches \
+       make the live set grow with the thread count";
+    total_alloc = 3 * mb;
+    sizes =
+      [|
+        { size = 32; slots = 2; weight = 0.65 };
+        { size = 48; slots = 3; weight = 0.30 };
+        { size = 112; slots = 4; weight = 0.05 };
+      |];
+    p_immediate = 0.918;
+    p_ring = 0.08;
+    p_long = 0.002;
+    ring_entries = 200;
+    long_target = 3000;
+    prebuild_long = true;
+    old_mutation = 0.0004;
+    concentrated_mutation = false;
+    p_init_store = 0.02;
+    work = 300;
+    threads;
+  }
+
+let spec_benchmarks = [ mtrt; compress; db; jess; javac; jack ]
+let all = spec_benchmarks @ [ anagram ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let () = List.iter validate (raytracer ~threads:2 :: all)

@@ -1,0 +1,96 @@
+(** Synthetic workload profiles emulating the paper's benchmarks.
+
+    The SPECjvm98 suite, the IBM Anagram program and the multithreaded Ray
+    Tracer cannot be run here, but the paper characterises each benchmark's
+    {e generational signature} precisely (Figures 10–12 and 22): how much
+    is allocated, what fraction dies before its first collection, whether
+    objects die soon after being promoted, how large the long-lived set
+    is, how often pointers in the old generation are modified, and whether
+    dirty objects are concentrated or scattered.  A profile encodes that
+    signature; the {!Engine} turns it into allocation and pointer-store
+    behaviour.  EXPERIMENTS.md records how well the reproduced shapes
+    match.
+
+    Object lifetimes come from a three-way mixture:
+    - {e immediate}: dropped as soon as created (dies before any
+      collection);
+    - {e ring}: enters a FIFO overwrite ring of [ring_entries] slots and
+      dies after one lap — sizing the ring against the young-generation
+      trigger decides whether these die young or "soon after promotion"
+      (the _202_jess/_228_jack pathology);
+    - {e long}: enters the long-lived table; once the table is full each
+      insertion evicts a random entry (tenured death). *)
+
+type size_class = { size : int; slots : int; weight : float }
+(** An allocation site: object size in bytes, pointer slots, mix weight. *)
+
+type t = {
+  name : string;
+  description : string;
+  total_alloc : int;
+      (** bytes each thread allocates before finishing (whole-run volume
+          is [threads * total_alloc], scaled ~1/8 from the paper's runs) *)
+  sizes : size_class array;
+  p_immediate : float;
+  p_ring : float;
+  p_long : float;  (** the three probabilities sum to 1 *)
+  ring_entries : int;
+  long_target : int;
+      (** entries in the long-lived table before eviction starts *)
+  prebuild_long : bool;
+      (** build the long table eagerly at startup (the _209_db pattern:
+          load the database, then run queries) *)
+  old_mutation : float;
+      (** per-iteration probability of overwriting a pointer inside the
+          long (old) table with another old pointer — the source of dirty
+          cards without inter-generational pointers *)
+  concentrated_mutation : bool;
+      (** mutate a small cluster of old objects (dirty objects concentrated
+          in the heap) rather than uniformly scattered ones *)
+  p_init_store : float;
+      (** probability that a slot of a fresh object receives an
+          initialising pointer store — the source of dirty cards in the
+          young region; calibrated per benchmark against Figure 22's
+          dirty-card percentages *)
+  work : int;  (** pure-compute units per iteration *)
+  threads : int;
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent profiles (used by tests). *)
+
+(** {2 The paper's benchmarks} *)
+
+(* _227_mtrt: two render threads, almost all young *)
+val mtrt : t
+
+(* _201_compress: few huge buffers, compute-bound *)
+val compress : t
+
+(* _209_db: big resident database + young queries *)
+val db : t
+
+(* _202_jess: dies right after promotion + hot old pointers *)
+val jess : t
+
+(* _213_javac: large mixed working set *)
+val javac : t
+
+(* _228_jack: mostly young, tenured objects die in fulls *)
+val jack : t
+
+(* Anagram: collection-intensive string churn *)
+val anagram : t
+
+val raytracer : threads:int -> t
+(** The multithreaded Ray Tracer of Section 8.2: [threads] render threads
+    over a larger scene. *)
+
+val spec_benchmarks : t list
+(** The six SPECjvm profiles, in the paper's reporting order. *)
+
+val all : t list
+(** Every fixed profile (SPECjvm + anagram + mtrt). *)
+
+val find : string -> t option
+(** Look up a fixed profile by name. *)

@@ -1,0 +1,203 @@
+(* Differential testing across collectors, plus full-collection semantics
+   that only the aging variant has.
+
+   The same deterministic mutator program must leave exactly the same live
+   object graph under all three collectors: addresses may differ (cycles
+   interleave allocation differently), but the reachable object count and
+   reachable byte volume are functions of the program alone. *)
+
+open Otfgc
+module Heap = Otfgc_heap.Heap
+module Color = Otfgc_heap.Color
+module Card_table = Otfgc_heap.Card_table
+module Age_table = Otfgc_heap.Age_table
+module Sched = Otfgc_sched.Sched
+module Rng = Otfgc_support.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let kb = 1024
+
+(* Address-independent random program: all decisions depend only on the
+   RNG and on register shapes, which are identical across collectors. *)
+let program_op rng rt m =
+  let reg () = Rng.int rng 8 in
+  match Rng.int rng 100 with
+  | n when n < 40 ->
+      let n_slots = Rng.int_in rng 0 3 in
+      let size = 16 + (8 * n_slots) + (16 * Rng.int rng 3) in
+      let a = Runtime.alloc rt m ~size ~n_slots in
+      Mutator.set_reg m (reg ()) a
+  | n when n < 70 ->
+      let x = Mutator.get_reg m (reg ()) in
+      if x <> Heap.nil && Heap.n_slots (Runtime.heap rt) x > 0 then
+        Runtime.store rt m ~x
+          ~i:(Rng.int rng (Heap.n_slots (Runtime.heap rt) x))
+          ~y:(Mutator.get_reg m (reg ()))
+  | n when n < 85 ->
+      let x = Mutator.get_reg m (reg ()) in
+      if x <> Heap.nil && Heap.n_slots (Runtime.heap rt) x > 0 then begin
+        let v =
+          Runtime.load rt m ~x ~i:(Rng.int rng (Heap.n_slots (Runtime.heap rt) x))
+        in
+        Mutator.set_reg m (reg ()) v
+      end
+  | n when n < 95 -> Mutator.clear_reg m (reg ())
+  | _ -> Runtime.work rt m 3
+
+(* Run the program to quiescence under [gc]; return (live objects, live
+   bytes) after two quiescent full collections. *)
+let run_to_quiescence ~gc ~seed =
+  let rt =
+    Runtime.create
+      ~heap_config:{ Heap.initial_bytes = 8 * kb; max_bytes = 32 * kb; card_size = 16 }
+      ~gc_config:gc ()
+  in
+  let sched = Sched.create ~policy:(Sched.random_policy (Rng.make (seed + 9000))) () in
+  ignore (Runtime.spawn_collector rt sched);
+  let m = Runtime.new_mutator rt ~name:"m" () in
+  let result = ref (0, 0) in
+  ignore
+    (Sched.spawn sched ~name:"m" (fun () ->
+         let rng = Rng.make seed in
+         for _ = 1 to 700 do
+           program_op rng rt m
+         done;
+         ignore (Runtime.collect_and_wait rt m ~full:true);
+         ignore (Runtime.collect_and_wait rt m ~full:true);
+         (* capture while this mutator's roots are still live *)
+         let heap = Runtime.heap rt in
+         let objects = Heap.object_count heap in
+         check "quiescent heap is fully collected" true
+           (objects = Oracle.live_count (Runtime.state rt));
+         result := (objects, Heap.allocated_bytes heap);
+         Runtime.retire_mutator rt m));
+  Sched.run ~max_steps:80_000_000 sched;
+  !result
+
+let test_collectors_agree () =
+  for seed = 0 to 7 do
+    let gen = run_to_quiescence ~gc:(Gc_config.generational ~young_bytes:(2 * kb) ()) ~seed in
+    let nongen = run_to_quiescence ~gc:Gc_config.non_generational ~seed in
+    let aging =
+      run_to_quiescence ~gc:(Gc_config.aging ~young_bytes:(2 * kb) ~oldest_age:3 ()) ~seed
+    in
+    if not (gen = nongen && nongen = aging) then
+      Alcotest.failf
+        "collectors disagree on seed %d: gen=(%d,%d) nongen=(%d,%d) aging=(%d,%d)"
+        seed (fst gen) (snd gen) (fst nongen) (snd nongen) (fst aging) (snd aging)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Aging-specific full-collection semantics (Section 6)                *)
+(* ------------------------------------------------------------------ *)
+
+let with_aging_runtime body =
+  let rt =
+    Runtime.create
+      ~heap_config:{ Heap.initial_bytes = 16 * kb; max_bytes = 64 * kb; card_size = 16 }
+      ~gc_config:(Gc_config.aging ~oldest_age:2 ())
+      ()
+  in
+  let sched = Sched.create ~policy:(Sched.random_policy (Rng.make 31)) () in
+  ignore (Runtime.spawn_collector rt sched);
+  let m = Runtime.new_mutator rt ~name:"m" () in
+  ignore
+    (Sched.spawn sched ~name:"m" (fun () ->
+         body rt m;
+         Runtime.retire_mutator rt m));
+  Sched.run ~max_steps:50_000_000 sched
+
+let test_aging_full_preserves_dirty_bits () =
+  (* Section 6: InitFullCollection does not clear the dirty bits — they
+     still flag inter-generational pointers for later partials. *)
+  with_aging_runtime (fun rt m ->
+      let heap = Runtime.heap rt in
+      let o = Runtime.alloc rt m ~size:32 ~n_slots:1 in
+      Mutator.set_reg m 0 o;
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      (* o is old now (threshold 2); store a young pointer: card dirty *)
+      let y = Runtime.alloc rt m ~size:32 ~n_slots:0 in
+      Runtime.store rt m ~x:o ~i:0 ~y;
+      let cards = Heap.cards heap in
+      let c = Card_table.card_of_addr cards o in
+      check "dirty before full" true (Card_table.is_dirty cards c);
+      ignore (Runtime.collect_and_wait rt m ~full:true);
+      check "still dirty after aging full" true (Card_table.is_dirty cards c);
+      (* and the young target survived the full via the root-reachable o *)
+      check "young target alive" true (Heap.is_object heap y))
+
+let test_simple_full_clears_dirty_bits () =
+  (* The simple algorithm's InitFullCollection clears every card mark. *)
+  let rt =
+    Runtime.create
+      ~heap_config:{ Heap.initial_bytes = 16 * kb; max_bytes = 64 * kb; card_size = 16 }
+      ~gc_config:(Gc_config.generational ())
+      ()
+  in
+  let sched = Sched.create ~policy:(Sched.random_policy (Rng.make 32)) () in
+  ignore (Runtime.spawn_collector rt sched);
+  let m = Runtime.new_mutator rt ~name:"m" () in
+  ignore
+    (Sched.spawn sched ~name:"m" (fun () ->
+         let heap = Runtime.heap rt in
+         let o = Runtime.alloc rt m ~size:32 ~n_slots:1 in
+         Mutator.set_reg m 0 o;
+         ignore (Runtime.collect_and_wait rt m ~full:false);
+         let y = Runtime.alloc rt m ~size:32 ~n_slots:0 in
+         Runtime.store rt m ~x:o ~i:0 ~y;
+         let cards = Heap.cards heap in
+         let c = Card_table.card_of_addr cards o in
+         check "dirty before full" true (Card_table.is_dirty cards c);
+         ignore (Runtime.collect_and_wait rt m ~full:true);
+         check "cleared by simple full" false (Card_table.is_dirty cards c);
+         check "young target alive (traced by full)" true (Heap.is_object heap y);
+         Runtime.retire_mutator rt m));
+  Sched.run ~max_steps:50_000_000 sched
+
+let test_aging_full_keeps_old_objects_old () =
+  (* Old objects stay old through a full collection: they are retraced and
+     the sweep leaves them black with their age intact. *)
+  with_aging_runtime (fun rt m ->
+      let heap = Runtime.heap rt in
+      let o = Runtime.alloc rt m ~size:32 ~n_slots:0 in
+      Mutator.set_reg m 0 o;
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      check "tenured" true (Color.equal (Heap.color heap o) Color.Black);
+      let age_before = Age_table.get (Heap.ages heap) o in
+      ignore (Runtime.collect_and_wait rt m ~full:true);
+      check "still black after full" true
+        (Color.equal (Heap.color heap o) Color.Black);
+      check_int "age preserved" age_before (Age_table.get (Heap.ages heap) o))
+
+let test_aging_threshold_one_promotes_like_simple () =
+  (* oldest_age = 2 in the paper's convention = promote after surviving
+     one collection, the simple policy. *)
+  with_aging_runtime (fun rt m ->
+      let heap = Runtime.heap rt in
+      let a = Runtime.alloc rt m ~size:32 ~n_slots:0 in
+      Mutator.set_reg m 0 a;
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      check "promoted after one survival" true
+        (Color.equal (Heap.color heap a) Color.Black))
+
+let suites =
+  [
+    ( "differential",
+      [
+        Alcotest.test_case "collectors agree on live graphs" `Slow
+          test_collectors_agree;
+      ] );
+    ( "aging.full",
+      [
+        Alcotest.test_case "dirty bits preserved" `Quick
+          test_aging_full_preserves_dirty_bits;
+        Alcotest.test_case "simple full clears cards" `Quick
+          test_simple_full_clears_dirty_bits;
+        Alcotest.test_case "old stays old" `Quick
+          test_aging_full_keeps_old_objects_old;
+        Alcotest.test_case "threshold 2 = simple" `Quick
+          test_aging_threshold_one_promotes_like_simple;
+      ] );
+  ]

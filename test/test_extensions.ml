@@ -1,0 +1,236 @@
+(* Tests for the two extensions beyond the paper's implementation:
+   remembered-set inter-generational tracking (Section 3.1's road not
+   taken) and adaptive tenuring (Section 6's future-work remark). *)
+
+open Otfgc
+module Heap = Otfgc_heap.Heap
+module Color = Otfgc_heap.Color
+module Remset = Otfgc_heap.Remset
+module Sched = Otfgc_sched.Sched
+module Rng = Otfgc_support.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let kb = 1024
+
+(* ------------------------------------------------------------------ *)
+(* Remset data structure                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_remset_record_dedup () =
+  let rs = Remset.create ~max_heap_bytes:kb in
+  check "first record is new" true (Remset.record rs 32);
+  check "second record deduplicated" false (Remset.record rs 32);
+  check "member" true (Remset.mem rs 32);
+  check "non-member" false (Remset.mem rs 64);
+  check_int "size" 1 (Remset.size rs)
+
+let test_remset_drain_clears () =
+  let rs = Remset.create ~max_heap_bytes:kb in
+  ignore (Remset.record rs 16);
+  ignore (Remset.record rs 48);
+  ignore (Remset.record rs 16);
+  Alcotest.(check (list int)) "recording order, deduplicated" [ 16; 48 ]
+    (Remset.drain rs);
+  check_int "empty after drain" 0 (Remset.size rs);
+  check "bits cleared" true (Remset.record rs 16);
+  check_int "high water" 2 (Remset.max_size rs)
+
+let test_remset_forget_allows_rerecord () =
+  let rs = Remset.create ~max_heap_bytes:kb in
+  ignore (Remset.record rs 32);
+  Remset.forget rs 32;
+  check "re-recordable after forget" true (Remset.record rs 32);
+  (* the stale first entry remains in the buffer; drain shows both *)
+  check_int "stale entry retained" 2 (List.length (Remset.drain rs))
+
+let test_remset_heap_free_forgets () =
+  let heap =
+    Heap.create { Heap.initial_bytes = kb; max_bytes = kb; card_size = 16 }
+  in
+  let a = Option.get (Heap.alloc heap ~size:32 ~n_slots:1 ~color:Color.C0) in
+  ignore (Remset.record (Heap.remset heap) a);
+  Heap.free heap a;
+  (* the granule's dedup flag must drop with the object *)
+  let b = Option.get (Heap.alloc heap ~size:32 ~n_slots:1 ~color:Color.C0) in
+  check_int "address reused" a b;
+  check "new object recordable" true (Remset.record (Heap.remset heap) b)
+
+(* ------------------------------------------------------------------ *)
+(* Remset collector end-to-end                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_runtime ~gc body =
+  let rt =
+    Runtime.create
+      ~heap_config:{ Heap.initial_bytes = 16 * kb; max_bytes = 64 * kb; card_size = 16 }
+      ~gc_config:gc ()
+  in
+  let sched = Sched.create ~policy:(Sched.random_policy (Rng.make 11)) () in
+  ignore (Runtime.spawn_collector rt sched);
+  let m = Runtime.new_mutator rt ~name:"m" () in
+  ignore
+    (Sched.spawn sched ~name:"m" (fun () ->
+         body rt m;
+         Runtime.retire_mutator rt m));
+  Sched.run ~max_steps:50_000_000 sched
+
+let remset_gc = Gc_config.generational ~intergen:Gc_config.Remembered_set ()
+
+let test_remset_intergen_pointer_keeps_young_alive () =
+  with_runtime ~gc:remset_gc (fun rt m ->
+      let heap = Runtime.heap rt in
+      let old = Runtime.alloc rt m ~size:32 ~n_slots:1 in
+      Mutator.set_reg m 0 old;
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      check "old promoted" true (Color.equal (Heap.color heap old) Color.Black);
+      (* young object referenced only through the old object *)
+      let young = Runtime.alloc rt m ~size:32 ~n_slots:0 in
+      Runtime.store rt m ~x:old ~i:0 ~y:young;
+      check "store recorded the old object" true
+        (Remset.mem (Heap.remset heap) old);
+      let cycle = Runtime.collect_and_wait rt m ~full:false in
+      check "remset seeded the trace" true (cycle.Gc_stats.intergen_scanned >= 1);
+      check "young survived via remset" true (Heap.is_object heap young);
+      check "set drained by the scan" false (Remset.mem (Heap.remset heap) old))
+
+let test_remset_young_garbage_still_collected () =
+  with_runtime ~gc:remset_gc (fun rt m ->
+      let g = Runtime.alloc rt m ~size:32 ~n_slots:0 in
+      ignore m;
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      check "garbage reclaimed" false (Heap.is_object (Runtime.heap rt) g))
+
+let test_remset_full_collection_clears_set () =
+  with_runtime ~gc:remset_gc (fun rt m ->
+      let heap = Runtime.heap rt in
+      let old = Runtime.alloc rt m ~size:32 ~n_slots:1 in
+      Mutator.set_reg m 0 old;
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      let young = Runtime.alloc rt m ~size:32 ~n_slots:0 in
+      Runtime.store rt m ~x:old ~i:0 ~y:young;
+      ignore (Runtime.collect_and_wait rt m ~full:true);
+      check "set cleared by full collection" true
+        (Remset.size (Heap.remset heap) = 0);
+      check "young traced by full anyway" true (Heap.is_object heap young))
+
+let test_remset_rejected_for_aging () =
+  check "config validation" true
+    (match
+       Runtime.create
+         ~gc_config:
+           { (Gc_config.aging ~oldest_age:4 ()) with
+             Gc_config.intergen = Gc_config.Remembered_set;
+           }
+         ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_remset_churn_safe () =
+  (* mixed churn under the remset collector, oracle-checked at the end *)
+  with_runtime ~gc:remset_gc (fun rt m ->
+      for i = 1 to 3000 do
+        let node = Runtime.alloc rt m ~size:48 ~n_slots:2 in
+        Mutator.set_reg m 1 node;
+        let head = Mutator.get_reg m 0 in
+        if head <> Heap.nil then Runtime.store rt m ~x:node ~i:0 ~y:head;
+        Mutator.set_reg m 0 node;
+        Mutator.clear_reg m 1;
+        if i mod 100 = 0 then Mutator.clear_reg m 0
+      done;
+      ignore (Runtime.collect_and_wait rt m ~full:true);
+      match Oracle.check_safety (Runtime.state rt) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "remset collector lost an object: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive tenuring                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_adaptive_threshold_rises_under_survival () =
+  (* a workload whose young objects all survive drives the threshold up *)
+  with_runtime ~gc:(Gc_config.adaptive ~young_bytes:(2 * kb) ()) (fun rt m ->
+      let st = Runtime.state rt in
+      check_int "starts at 1" 1 st.State.tenure_threshold;
+      for _ = 1 to 200 do
+        (* everything stays reachable: low death rate *)
+        let node = Runtime.alloc rt m ~size:48 ~n_slots:2 in
+        Mutator.set_reg m 1 node;
+        let head = Mutator.get_reg m 0 in
+        if head <> Heap.nil then Runtime.store rt m ~x:node ~i:0 ~y:head;
+        Mutator.set_reg m 0 node;
+        Mutator.clear_reg m 1
+      done;
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      check "threshold rose (many survivors)" true (st.State.tenure_threshold > 1))
+
+let test_adaptive_threshold_falls_when_all_die () =
+  with_runtime ~gc:(Gc_config.adaptive ~young_bytes:(2 * kb) ()) (fun rt m ->
+      let st = Runtime.state rt in
+      st.State.tenure_threshold <- 5;
+      for _ = 1 to 200 do
+        (* pure garbage: everything dies young *)
+        ignore (Runtime.alloc rt m ~size:48 ~n_slots:0)
+      done;
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      check "threshold fell (nothing survives)" true (st.State.tenure_threshold < 5))
+
+let test_adaptive_threshold_bounded () =
+  with_runtime ~gc:(Gc_config.adaptive ~young_bytes:kb ()) (fun rt m ->
+      let st = Runtime.state rt in
+      for round = 1 to 12 do
+        for _ = 1 to 80 do
+          let node = Runtime.alloc rt m ~size:48 ~n_slots:2 in
+          Mutator.set_reg m 1 node;
+          let head = Mutator.get_reg m 0 in
+          if head <> Heap.nil then Runtime.store rt m ~x:node ~i:0 ~y:head;
+          Mutator.set_reg m 0 node;
+          Mutator.clear_reg m 1
+        done;
+        ignore (Runtime.collect_and_wait rt m ~full:false);
+        if round mod 3 = 0 then Mutator.clear_reg m 0;
+        check "threshold within [1,7]" true
+          (st.State.tenure_threshold >= 1 && st.State.tenure_threshold <= 7)
+      done)
+
+let test_adaptive_collects_garbage () =
+  with_runtime ~gc:(Gc_config.adaptive ()) (fun rt m ->
+      for _ = 1 to 2000 do
+        ignore (Runtime.alloc rt m ~size:64 ~n_slots:1)
+      done;
+      ignore (Runtime.collect_and_wait rt m ~full:true);
+      ignore (Runtime.collect_and_wait rt m ~full:true);
+      check_int "all garbage reclaimed" 0 (Heap.object_count (Runtime.heap rt)))
+
+let suites =
+  [
+    ( "remset.unit",
+      [
+        Alcotest.test_case "record/dedup" `Quick test_remset_record_dedup;
+        Alcotest.test_case "drain clears" `Quick test_remset_drain_clears;
+        Alcotest.test_case "forget" `Quick test_remset_forget_allows_rerecord;
+        Alcotest.test_case "heap free forgets" `Quick test_remset_heap_free_forgets;
+      ] );
+    ( "remset.collector",
+      [
+        Alcotest.test_case "inter-gen pointer roots" `Quick
+          test_remset_intergen_pointer_keeps_young_alive;
+        Alcotest.test_case "young garbage collected" `Quick
+          test_remset_young_garbage_still_collected;
+        Alcotest.test_case "full clears set" `Quick
+          test_remset_full_collection_clears_set;
+        Alcotest.test_case "rejected for aging" `Quick test_remset_rejected_for_aging;
+        Alcotest.test_case "churn safe" `Quick test_remset_churn_safe;
+      ] );
+    ( "adaptive",
+      [
+        Alcotest.test_case "threshold rises" `Quick
+          test_adaptive_threshold_rises_under_survival;
+        Alcotest.test_case "threshold falls" `Quick
+          test_adaptive_threshold_falls_when_all_die;
+        Alcotest.test_case "threshold bounded" `Quick test_adaptive_threshold_bounded;
+        Alcotest.test_case "collects garbage" `Quick test_adaptive_collects_garbage;
+      ] );
+  ]

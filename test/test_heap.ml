@@ -1,0 +1,543 @@
+(* Tests for the simulated heap substrate: layout arithmetic, the block
+   space with boundary tags, segregated free lists with stale-entry
+   tolerance, object allocation, card and age tables, page accounting. *)
+
+open Otfgc_heap
+module Rng = Otfgc_support.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let kb = 1024
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout_granules () =
+  check_int "granule" 16 Layout.granule;
+  check_int "round up" 2 (Layout.granules_of_bytes 17);
+  check_int "exact" 1 (Layout.granules_of_bytes 16);
+  check_int "bytes" 48 (Layout.bytes_of_granules 3);
+  check_int "page" 1 (Layout.page_of_addr 4096);
+  check_int "page 0" 0 (Layout.page_of_addr 4095)
+
+let test_layout_tables_disjoint () =
+  let t = Layout.make_tables ~max_heap_bytes:(64 * kb) ~card_size:16 in
+  check "color table above heap" true (t.Layout.color_table_base >= 64 * kb);
+  check "age above color" true (t.Layout.age_table_base > t.Layout.color_table_base);
+  check "cards above age" true (t.Layout.card_table_base > t.Layout.age_table_base);
+  check "span covers all" true (t.Layout.virtual_span > t.Layout.card_table_base)
+
+let test_layout_entry_addrs () =
+  let t = Layout.make_tables ~max_heap_bytes:(64 * kb) ~card_size:256 in
+  check_int "color of granule 2" (t.Layout.color_table_base + 2)
+    (Layout.color_entry_addr t 32);
+  check_int "card of addr 512" (t.Layout.card_table_base + 2)
+    (Layout.card_entry_addr t ~card_size:256 512)
+
+let test_layout_bad_card_size () =
+  check "rejects non-power-of-two" true
+    (match Layout.make_tables ~max_heap_bytes:kb ~card_size:48 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Space                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mk_space ?(initial = 4 * kb) ?(max = 16 * kb) () =
+  Space.create ~initial_bytes:initial ~max_bytes:max
+
+let test_space_initial () =
+  let s = mk_space () in
+  check_int "capacity" (4 * kb) (Space.capacity s);
+  check_int "max" (16 * kb) (Space.max_capacity s);
+  check "one free block" true (Space.kind_of s 0 = Space.Free);
+  check_int "block covers all" (4 * kb) (Space.block_size s 0);
+  check_int "nothing allocated" 0 (Space.allocated_bytes s);
+  check "invariants" true (Space.check s = Ok ())
+
+let test_space_split_and_kinds () =
+  let s = mk_space () in
+  let rest = Space.split s 0 ~first_bytes:64 in
+  check_int "rest addr" 64 rest;
+  check_int "first size" 64 (Space.block_size s 0);
+  check_int "rest size" (4 * kb - 64) (Space.block_size s rest);
+  Space.set_kind s 0 Space.Allocated;
+  check "allocated" true (Space.kind_of s 0 = Space.Allocated);
+  check_int "accounting" 64 (Space.allocated_bytes s);
+  check_int "free accounting" (4 * kb - 64) (Space.free_bytes s);
+  check "invariants" true (Space.check s = Ok ())
+
+let test_space_iteration () =
+  let s = mk_space () in
+  let rest = Space.split s 0 ~first_bytes:32 in
+  let _rest2 = Space.split s rest ~first_bytes:48 in
+  Space.set_kind s rest Space.Allocated;
+  let blocks = ref [] in
+  Space.iter_blocks s (fun a k sz -> blocks := (a, k, sz) :: !blocks);
+  Alcotest.(check int) "three blocks" 3 (List.length !blocks);
+  check "middle allocated" true
+    (match List.rev !blocks with
+    | [ (0, Space.Free, 32); (32, Space.Allocated, 48); (80, Space.Free, _) ] ->
+        true
+    | _ -> false)
+
+let test_space_next_prev () =
+  let s = mk_space () in
+  let rest = Space.split s 0 ~first_bytes:32 in
+  check "next of 0" true (Space.next_block s 0 = Some rest);
+  check "prev of rest" true (Space.prev_block s rest = Some 0);
+  check "prev of 0" true (Space.prev_block s 0 = None);
+  check "next of last" true (Space.next_block s rest = None)
+
+let test_space_coalesce () =
+  let s = mk_space () in
+  let b = Space.split s 0 ~first_bytes:32 in
+  let _c = Space.split s b ~first_bytes:32 in
+  check "merge" true (Space.coalesce_with_next s 0);
+  check_int "merged size" 64 (Space.block_size s 0);
+  check "merge rest" true (Space.coalesce_with_next s 0);
+  check_int "all merged" (4 * kb) (Space.block_size s 0);
+  check "no more merges" false (Space.coalesce_with_next s 0);
+  check "invariants" true (Space.check s = Ok ())
+
+let test_space_no_merge_with_allocated () =
+  let s = mk_space () in
+  let b = Space.split s 0 ~first_bytes:32 in
+  Space.set_kind s b Space.Allocated;
+  check "no merge into allocated" false (Space.coalesce_with_next s 0);
+  check "invariants" true (Space.check s = Ok ())
+
+let test_space_grow () =
+  let s = mk_space ~initial:(4 * kb) ~max:(8 * kb) () in
+  (match Space.grow s ~want_bytes:(2 * kb) with
+  | Some (addr, size) ->
+      check_int "grown at end" (4 * kb) addr;
+      check_int "grown size" (2 * kb) size
+  | None -> Alcotest.fail "grow failed");
+  check_int "capacity" (6 * kb) (Space.capacity s);
+  (* growth clamps at max *)
+  (match Space.grow s ~want_bytes:(64 * kb) with
+  | Some (_, size) -> check_int "clamped" (2 * kb) size
+  | None -> Alcotest.fail "grow failed");
+  check "at max now" true (Space.grow s ~want_bytes:16 = None);
+  check "invariants" true (Space.check s = Ok ())
+
+let test_space_find_block_start () =
+  let s = mk_space () in
+  let b = Space.split s 0 ~first_bytes:64 in
+  check_int "interior resolves" 0 (Space.find_block_start s 40);
+  check_int "start resolves" b (Space.find_block_start s b)
+
+let test_space_single_granule_blocks () =
+  let s = mk_space () in
+  let rest = Space.split s 0 ~first_bytes:16 in
+  check_int "one granule" 16 (Space.block_size s 0);
+  let rest2 = Space.split s rest ~first_bytes:16 in
+  check_int "second one granule" 16 (Space.block_size s rest);
+  ignore rest2;
+  check "prev over single" true (Space.prev_block s rest = Some 0);
+  check "merge singles" true (Space.coalesce_with_next s 0);
+  check_int "merged" 32 (Space.block_size s 0);
+  check "invariants" true (Space.check s = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Freelist                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_freelist_exact_fit () =
+  let s = mk_space () in
+  let fl = Freelist.create s in
+  match Freelist.pop fl ~bytes_wanted:64 with
+  | None -> Alcotest.fail "no block"
+  | Some addr ->
+      check_int "block size granule-exact" 64 (Space.block_size s addr);
+      check "still free until claimed" true (Space.kind_of s addr = Space.Free)
+
+let test_freelist_split_remainder () =
+  let s = mk_space () in
+  let fl = Freelist.create s in
+  (match Freelist.pop fl ~bytes_wanted:64 with
+  | Some addr ->
+      Space.set_kind s addr Space.Allocated;
+      (* remainder should be allocatable *)
+      (match Freelist.pop fl ~bytes_wanted:128 with
+      | Some addr2 ->
+          check "disjoint" true (addr2 >= addr + 64 || addr2 + 128 <= addr)
+      | None -> Alcotest.fail "remainder lost")
+  | None -> Alcotest.fail "no block");
+  check "invariants" true (Space.check s = Ok ())
+
+let test_freelist_exhaustion () =
+  let s = Space.create ~initial_bytes:64 ~max_bytes:64 in
+  let fl = Freelist.create s in
+  (match Freelist.pop fl ~bytes_wanted:64 with
+  | Some a -> Space.set_kind s a Space.Allocated
+  | None -> Alcotest.fail "first alloc failed");
+  check "exhausted" true (Freelist.pop fl ~bytes_wanted:16 = None)
+
+let test_freelist_push_pop_roundtrip () =
+  let s = Space.create ~initial_bytes:64 ~max_bytes:64 in
+  let fl = Freelist.create s in
+  let a = Option.get (Freelist.pop fl ~bytes_wanted:64) in
+  Space.set_kind s a Space.Allocated;
+  Space.set_kind s a Space.Free;
+  Freelist.push fl a;
+  check "pop returns pushed" true (Freelist.pop fl ~bytes_wanted:64 = Some a)
+
+let test_freelist_stale_entries_skipped () =
+  let s = mk_space () in
+  let fl = Freelist.create s in
+  let a = Option.get (Freelist.pop fl ~bytes_wanted:32) in
+  let b = Option.get (Freelist.pop fl ~bytes_wanted:32) in
+  check "adjacent" true (b = a + 32 || a = b + 32);
+  (* push both as free, then coalesce behind the list's back *)
+  Freelist.push fl a;
+  Freelist.push fl b;
+  let lo = Stdlib.min a b in
+  check "merged" true (Space.coalesce_with_next s lo);
+  (* the two 32-byte entries are stale; a 64-byte request must still be
+     satisfiable via the merged block or the big remainder *)
+  (match Freelist.pop fl ~bytes_wanted:64 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "stale entries broke allocation");
+  check "invariants" true (Space.check s = Ok ())
+
+let test_freelist_large_class () =
+  let s = Space.create ~initial_bytes:(64 * kb) ~max_bytes:(64 * kb) in
+  let fl = Freelist.create s in
+  (* larger than the largest exact class (63 granules = 1008 B) *)
+  match Freelist.pop fl ~bytes_wanted:(8 * kb) with
+  | Some addr -> check_int "big block" (8 * kb) (Space.block_size s addr)
+  | None -> Alcotest.fail "large allocation failed"
+
+let test_freelist_class_of_bytes () =
+  check_int "16 bytes -> class 0" 0 (Freelist.class_of_bytes 16);
+  check_int "17 bytes -> class 1" 1 (Freelist.class_of_bytes 17);
+  check_int "1008 bytes -> class 62" 62 (Freelist.class_of_bytes 1008);
+  check_int "big -> large class" 63 (Freelist.class_of_bytes 4096)
+
+let prop_freelist_random_alloc_free =
+  QCheck.Test.make ~name:"freelist/space random alloc-free keeps invariants"
+    ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let s = Space.create ~initial_bytes:(8 * kb) ~max_bytes:(8 * kb) in
+      let fl = Freelist.create s in
+      let live = ref [] in
+      for _ = 1 to 200 do
+        if Rng.bool rng || !live = [] then begin
+          let size = 16 * Rng.int_in rng 1 8 in
+          match Freelist.pop fl ~bytes_wanted:size with
+          | Some a ->
+              Space.set_kind s a Space.Allocated;
+              live := a :: !live
+          | None -> ()
+        end
+        else begin
+          let n = Rng.int rng (List.length !live) in
+          let a = List.nth !live n in
+          live := List.filteri (fun i _ -> i <> n) !live;
+          Space.set_kind s a Space.Free;
+          Freelist.push fl a
+        end
+      done;
+      Space.check s = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_heap ?(initial = 16 * kb) ?(max = 64 * kb) ?(card = 16) () =
+  Heap.create { Heap.initial_bytes = initial; max_bytes = max; card_size = card }
+
+let test_heap_alloc_basic () =
+  let h = mk_heap () in
+  match Heap.alloc h ~size:48 ~n_slots:2 ~color:Color.C0 with
+  | None -> Alcotest.fail "alloc failed"
+  | Some a ->
+      check "is object" true (Heap.is_object h a);
+      check_int "size" 48 (Heap.size h a);
+      check_int "slots" 2 (Heap.n_slots h a);
+      check "color" true (Color.equal (Heap.color h a) Color.C0);
+      check_int "age zero" 0 (Age_table.get (Heap.ages h) a);
+      check_int "slot nil" Heap.nil (Heap.get_slot h a 0);
+      check_int "accounting" 48 (Heap.allocated_bytes h);
+      check_int "cumulative" 48 (Heap.total_allocated_bytes h);
+      check_int "objects" 1 (Heap.total_allocated_objects h)
+
+let test_heap_alloc_size_check () =
+  let h = mk_heap () in
+  check "slots need room" true
+    (match Heap.alloc h ~size:16 ~n_slots:2 ~color:Color.C0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_heap_slots_roundtrip () =
+  let h = mk_heap () in
+  let a = Option.get (Heap.alloc h ~size:48 ~n_slots:2 ~color:Color.C0) in
+  let b = Option.get (Heap.alloc h ~size:32 ~n_slots:1 ~color:Color.C0) in
+  Heap.set_slot h a 0 b;
+  Heap.set_slot h a 1 b;
+  check_int "slot stored" b (Heap.get_slot h a 0);
+  let seen = ref 0 in
+  Heap.iter_slots h a (fun y ->
+      incr seen;
+      check_int "iter value" b y);
+  check_int "iter count" 2 !seen;
+  check "check ok" true (Heap.check h = Ok ())
+
+let test_heap_free_recycles () =
+  let h = mk_heap () in
+  let a = Option.get (Heap.alloc h ~size:64 ~n_slots:0 ~color:Color.C0) in
+  Heap.free h a;
+  check "freed not object" false (Heap.is_object h a);
+  check "blue" true (Color.equal (Heap.color h a) Color.Blue);
+  check_int "accounting back to zero" 0 (Heap.allocated_bytes h);
+  let b = Option.get (Heap.alloc h ~size:64 ~n_slots:0 ~color:Color.C1) in
+  check_int "address reused" a b
+
+let test_heap_free_validation () =
+  let h = mk_heap () in
+  check "free of non-object rejected" true
+    (match Heap.free h 0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_heap_merge_free_prev () =
+  let h = mk_heap ~initial:kb ~max:kb () in
+  let a = Option.get (Heap.alloc h ~size:64 ~n_slots:0 ~color:Color.C0) in
+  let b = Option.get (Heap.alloc h ~size:64 ~n_slots:0 ~color:Color.C0) in
+  check "adjacent allocation" true (b = a + 64);
+  Heap.free h a;
+  Heap.free h b;
+  let merged = Heap.merge_free_prev h b in
+  check_int "merged into predecessor" a merged;
+  check_int "merged size" 128 (Space.block_size (Heap.space h) a);
+  check "check ok" true (Heap.check h = Ok ())
+
+let test_heap_grow () =
+  let h = mk_heap ~initial:kb ~max:(2 * kb) () in
+  check_int "initial cap" kb (Heap.capacity h);
+  check "grows" true (Heap.grow h ~want_bytes:kb);
+  check_int "grown" (2 * kb) (Heap.capacity h);
+  check "cannot grow past max" false (Heap.grow h ~want_bytes:kb);
+  (* new space is allocatable *)
+  check "new space usable" true
+    (Heap.alloc h ~size:(2 * kb - 32) ~n_slots:0 ~color:Color.C0 <> None
+    || Heap.alloc h ~size:kb ~n_slots:0 ~color:Color.C0 <> None)
+
+let test_heap_exhaustion_returns_none () =
+  let h = mk_heap ~initial:128 ~max:128 () in
+  let _a = Option.get (Heap.alloc h ~size:128 ~n_slots:0 ~color:Color.C0) in
+  check "exhausted" true (Heap.alloc h ~size:16 ~n_slots:0 ~color:Color.C0 = None)
+
+let test_heap_objects_on_card () =
+  let h = mk_heap ~card:64 () in
+  let a = Option.get (Heap.alloc h ~size:16 ~n_slots:0 ~color:Color.C0) in
+  let b = Option.get (Heap.alloc h ~size:16 ~n_slots:0 ~color:Color.C0) in
+  let c = Option.get (Heap.alloc h ~size:64 ~n_slots:0 ~color:Color.C0) in
+  (* a, b and two granules of padding fill card 0; c starts on card 1 *)
+  let d = Option.get (Heap.alloc h ~size:16 ~n_slots:0 ~color:Color.C0) in
+  ignore d;
+  let card0 = Card_table.card_of_addr (Heap.cards h) a in
+  let objs = Heap.objects_on_card h card0 in
+  check "a on card" true (List.mem a objs);
+  check "b on card" true (List.mem b objs);
+  check "c not on card 0" true
+    (Card_table.card_of_addr (Heap.cards h) c <> card0 || List.mem c objs)
+
+let test_heap_iter_objects_order () =
+  let h = mk_heap () in
+  let a = Option.get (Heap.alloc h ~size:32 ~n_slots:0 ~color:Color.C0) in
+  let b = Option.get (Heap.alloc h ~size:32 ~n_slots:0 ~color:Color.C0) in
+  let seen = ref [] in
+  Heap.iter_objects h (fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "address order" [ a; b ] (List.rev !seen);
+  check_int "object count" 2 (Heap.object_count h)
+
+let test_heap_check_detects_dangling () =
+  let h = mk_heap () in
+  let a = Option.get (Heap.alloc h ~size:32 ~n_slots:1 ~color:Color.C0) in
+  let b = Option.get (Heap.alloc h ~size:32 ~n_slots:0 ~color:Color.C0) in
+  Heap.set_slot h a 0 b;
+  Heap.free h b;
+  check "dangling caught" true (Heap.check h <> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Card table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cards_basic () =
+  let t = Card_table.create ~card_size:256 ~max_heap_bytes:(4 * kb) in
+  check_int "count" 16 (Card_table.n_cards t);
+  check_int "card of addr" 3 (Card_table.card_of_addr t 800);
+  check "clean initially" false (Card_table.is_dirty t 3);
+  Card_table.mark t 800;
+  check "dirty after mark" true (Card_table.is_dirty t 3);
+  check_int "dirty count" 1 (Card_table.dirty_count t);
+  Card_table.clear_card t 3;
+  check "clean after clear" false (Card_table.is_dirty t 3)
+
+let test_cards_bounds () =
+  let t = Card_table.create ~card_size:16 ~max_heap_bytes:kb in
+  let lo, hi = Card_table.card_bounds t 2 in
+  check_int "lo" 32 lo;
+  check_int "hi" 48 hi
+
+let test_cards_clear_all_and_iter () =
+  let t = Card_table.create ~card_size:16 ~max_heap_bytes:kb in
+  Card_table.mark t 0;
+  Card_table.mark t 100;
+  Card_table.mark t 1000;
+  let seen = ref [] in
+  Card_table.iter_dirty t (fun c -> seen := c :: !seen);
+  check_int "three dirty" 3 (List.length !seen);
+  check "ascending" true (!seen = List.rev (List.sort compare !seen));
+  Card_table.clear_all t;
+  check_int "none dirty" 0 (Card_table.dirty_count t)
+
+let test_cards_size_validation () =
+  check "rejects 8" true
+    (match Card_table.create ~card_size:8 ~max_heap_bytes:kb with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "rejects 8192" true
+    (match Card_table.create ~card_size:8192 ~max_heap_bytes:kb with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Age table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_ages () =
+  let t = Age_table.create ~max_heap_bytes:kb in
+  check_int "fresh" 0 (Age_table.get t 64);
+  Age_table.incr t 64;
+  Age_table.incr t 64;
+  check_int "incremented" 2 (Age_table.get t 64);
+  check_int "neighbour untouched" 0 (Age_table.get t 80);
+  Age_table.set t 64 300;
+  check_int "clamped" 255 (Age_table.get t 64);
+  Age_table.incr t 64;
+  check_int "saturates" 255 (Age_table.get t 64)
+
+(* ------------------------------------------------------------------ *)
+(* Page set                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pages_basic () =
+  let tables = Layout.make_tables ~max_heap_bytes:(64 * kb) ~card_size:16 in
+  let p = Page_set.create tables in
+  check_int "empty" 0 (Page_set.count p);
+  Page_set.touch_range p 0 1;
+  Page_set.touch_range p 100 1;
+  check_int "same page" 1 (Page_set.count p);
+  Page_set.touch_range p 4096 1;
+  check_int "two pages" 2 (Page_set.count p);
+  Page_set.touch_range p 0 8193;
+  check_int "range covers three" 3 (Page_set.count p);
+  Page_set.reset p;
+  check_int "reset" 0 (Page_set.count p)
+
+let test_pages_tables_distinct () =
+  let tables = Layout.make_tables ~max_heap_bytes:(64 * kb) ~card_size:16 in
+  let p = Page_set.create tables in
+  Page_set.touch_heap_object p ~addr:0 ~size:16;
+  Page_set.touch_color p 0;
+  Page_set.touch_age p 0;
+  Page_set.touch_card p ~card_size:16 0;
+  (* heap page + color page + age page + card page are all distinct *)
+  check_int "four distinct pages" 4 (Page_set.count p)
+
+(* ------------------------------------------------------------------ *)
+(* Color                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_color_byte_roundtrip () =
+  List.iter
+    (fun c ->
+      check "roundtrip" true (Color.equal c (Color.of_byte (Color.to_byte c))))
+    [ Color.Blue; Color.C0; Color.C1; Color.Gray; Color.Black ]
+
+let test_color_other () =
+  check "other c0" true (Color.equal (Color.other Color.C0) Color.C1);
+  check "other c1" true (Color.equal (Color.other Color.C1) Color.C0);
+  check "other black rejected" true
+    (match Color.other Color.Black with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suites =
+  [
+    ( "heap.layout",
+      [
+        Alcotest.test_case "granules" `Quick test_layout_granules;
+        Alcotest.test_case "tables disjoint" `Quick test_layout_tables_disjoint;
+        Alcotest.test_case "entry addrs" `Quick test_layout_entry_addrs;
+        Alcotest.test_case "bad card size" `Quick test_layout_bad_card_size;
+      ] );
+    ( "heap.space",
+      [
+        Alcotest.test_case "initial" `Quick test_space_initial;
+        Alcotest.test_case "split and kinds" `Quick test_space_split_and_kinds;
+        Alcotest.test_case "iteration" `Quick test_space_iteration;
+        Alcotest.test_case "next/prev" `Quick test_space_next_prev;
+        Alcotest.test_case "coalesce" `Quick test_space_coalesce;
+        Alcotest.test_case "no merge with allocated" `Quick
+          test_space_no_merge_with_allocated;
+        Alcotest.test_case "grow" `Quick test_space_grow;
+        Alcotest.test_case "find block start" `Quick test_space_find_block_start;
+        Alcotest.test_case "single granule blocks" `Quick
+          test_space_single_granule_blocks;
+      ] );
+    ( "heap.freelist",
+      [
+        Alcotest.test_case "exact fit" `Quick test_freelist_exact_fit;
+        Alcotest.test_case "split remainder" `Quick test_freelist_split_remainder;
+        Alcotest.test_case "exhaustion" `Quick test_freelist_exhaustion;
+        Alcotest.test_case "push/pop roundtrip" `Quick
+          test_freelist_push_pop_roundtrip;
+        Alcotest.test_case "stale entries" `Quick test_freelist_stale_entries_skipped;
+        Alcotest.test_case "large class" `Quick test_freelist_large_class;
+        Alcotest.test_case "class_of_bytes" `Quick test_freelist_class_of_bytes;
+        QCheck_alcotest.to_alcotest prop_freelist_random_alloc_free;
+      ] );
+    ( "heap.heap",
+      [
+        Alcotest.test_case "alloc basic" `Quick test_heap_alloc_basic;
+        Alcotest.test_case "alloc size check" `Quick test_heap_alloc_size_check;
+        Alcotest.test_case "slots roundtrip" `Quick test_heap_slots_roundtrip;
+        Alcotest.test_case "free recycles" `Quick test_heap_free_recycles;
+        Alcotest.test_case "free validation" `Quick test_heap_free_validation;
+        Alcotest.test_case "merge free prev" `Quick test_heap_merge_free_prev;
+        Alcotest.test_case "grow" `Quick test_heap_grow;
+        Alcotest.test_case "exhaustion" `Quick test_heap_exhaustion_returns_none;
+        Alcotest.test_case "objects on card" `Quick test_heap_objects_on_card;
+        Alcotest.test_case "iter objects" `Quick test_heap_iter_objects_order;
+        Alcotest.test_case "check detects dangling" `Quick
+          test_heap_check_detects_dangling;
+      ] );
+    ( "heap.cards",
+      [
+        Alcotest.test_case "basic" `Quick test_cards_basic;
+        Alcotest.test_case "bounds" `Quick test_cards_bounds;
+        Alcotest.test_case "clear all / iter" `Quick test_cards_clear_all_and_iter;
+        Alcotest.test_case "size validation" `Quick test_cards_size_validation;
+      ] );
+    ("heap.ages", [ Alcotest.test_case "ages" `Quick test_ages ]);
+    ( "heap.pages",
+      [
+        Alcotest.test_case "basic" `Quick test_pages_basic;
+        Alcotest.test_case "tables distinct" `Quick test_pages_tables_distinct;
+      ] );
+    ( "heap.color",
+      [
+        Alcotest.test_case "byte roundtrip" `Quick test_color_byte_roundtrip;
+        Alcotest.test_case "other" `Quick test_color_other;
+      ] );
+  ]

@@ -1,0 +1,21 @@
+(* Entry point aggregating all test suites; see the sibling test_*.ml
+   modules. *)
+
+let () =
+  Alcotest.run "otfgc"
+    (List.concat
+       [
+         Test_support.suites;
+         Test_sched.suites;
+         Test_heap.suites;
+         Test_collector.suites;
+         Test_props.suites;
+         Test_races.suites;
+         Test_core_units.suites;
+         Test_differential.suites;
+         Test_extensions.suites;
+         Test_observability.suites;
+         Test_runtime.suites;
+         Test_structs.suites;
+         Test_workloads.suites;
+       ])

@@ -1,0 +1,169 @@
+(* Tests for the observability surface: the collector's phase-event log
+   and the ASCII heap renderer. *)
+
+open Otfgc
+module Heap = Otfgc_heap.Heap
+module Color = Otfgc_heap.Color
+module Heap_render = Otfgc_heap.Heap_render
+module Sched = Otfgc_sched.Sched
+module Rng = Otfgc_support.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let kb = 1024
+
+(* Run a short generational workload with the log enabled; return the
+   events. *)
+let collect_events ~gc =
+  let rt =
+    Runtime.create
+      ~heap_config:{ Heap.initial_bytes = 16 * kb; max_bytes = 64 * kb; card_size = 16 }
+      ~gc_config:gc ()
+  in
+  let st = Runtime.state rt in
+  Event_log.set_enabled st.State.events true;
+  let sched = Sched.create ~policy:(Sched.random_policy (Rng.make 3)) () in
+  ignore (Runtime.spawn_collector rt sched);
+  let m = Runtime.new_mutator rt ~name:"m" () in
+  ignore
+    (Sched.spawn sched ~name:"m" (fun () ->
+         let a = Runtime.alloc rt m ~size:32 ~n_slots:1 in
+         Mutator.set_reg m 0 a;
+         for _ = 1 to 50 do
+           ignore (Runtime.alloc rt m ~size:32 ~n_slots:0)
+         done;
+         ignore (Runtime.collect_and_wait rt m ~full:false);
+         ignore (Runtime.collect_and_wait rt m ~full:true);
+         Runtime.retire_mutator rt m));
+  Sched.run ~max_steps:50_000_000 sched;
+  Event_log.events st.State.events
+
+let index_of pred events =
+  let rec go i = function
+    | [] -> None
+    | e :: rest -> if pred e.Event_log.phase then Some i else go (i + 1) rest
+  in
+  go 0 events
+
+let test_phase_ordering () =
+  let events = collect_events ~gc:(Gc_config.generational ()) in
+  check "events recorded" true (List.length events > 6);
+  let idx p = index_of p events in
+  let start = idx (function Event_log.Cycle_start _ -> true | _ -> false) in
+  let hs1 =
+    idx (function Event_log.Handshake_posted Status.Sync1 -> true | _ -> false)
+  in
+  let toggle = idx (function Event_log.Colors_toggled -> true | _ -> false) in
+  let trace = idx (function Event_log.Trace_complete _ -> true | _ -> false) in
+  let sweep = idx (function Event_log.Sweep_complete _ -> true | _ -> false) in
+  let ends = idx (function Event_log.Cycle_end -> true | _ -> false) in
+  let get = function Some i -> i | None -> Alcotest.fail "missing phase" in
+  check "start < hs1" true (get start < get hs1);
+  check "hs1 < toggle" true (get hs1 < get toggle);
+  check "toggle < trace" true (get toggle < get trace);
+  check "trace < sweep" true (get trace < get sweep);
+  check "sweep < end" true (get sweep < get ends)
+
+let test_timestamps_monotonic () =
+  let events = collect_events ~gc:(Gc_config.generational ()) in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a.Event_log.at <= b.Event_log.at && mono rest
+    | _ -> true
+  in
+  check "timestamps non-decreasing" true (mono events)
+
+let test_full_cycle_has_init () =
+  let events = collect_events ~gc:(Gc_config.generational ()) in
+  check "InitFullCollection logged for the full cycle" true
+    (List.exists
+       (fun e -> e.Event_log.phase = Event_log.Init_full_done)
+       events)
+
+let test_disabled_by_default () =
+  let rt = Runtime.create () in
+  let st = Runtime.state rt in
+  check "off by default" false (Event_log.enabled st.State.events);
+  Event_log.emit st.State.events ~at:0 Event_log.Cycle_end;
+  check_int "disabled emit is dropped" 0
+    (List.length (Event_log.events st.State.events))
+
+let test_timeline_renders () =
+  let events_log = Event_log.create () in
+  Event_log.set_enabled events_log true;
+  Event_log.emit events_log ~at:10
+    (Event_log.Cycle_start { kind = Gc_stats.Partial; full = false });
+  Event_log.emit events_log ~at:20 (Event_log.Trace_complete { traced = 7 });
+  let s = Format.asprintf "%a" Event_log.pp_timeline events_log in
+  check "two lines" true
+    (List.length (String.split_on_char '\n' (String.trim s)) = 2);
+  Event_log.clear events_log;
+  check_int "cleared" 0 (List.length (Event_log.events events_log))
+
+(* ------------------------------------------------------------------ *)
+(* Heap renderer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_render_empty_heap () =
+  let heap =
+    Heap.create { Heap.initial_bytes = 64 * kb; max_bytes = 64 * kb; card_size = 16 }
+  in
+  let s = Heap_render.ascii ~width:32 ~rows:8 heap in
+  check "has header" true (contains s "heap 64 KB");
+  check "all free" true (contains s "....");
+  (* the map body (everything after the legend line) is free space only *)
+  let body =
+    match String.index_opt s '\n' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  check "no objects drawn" false
+    (String.exists (fun c -> c <> '.' && c <> '\n') body)
+
+let test_render_shows_generations () =
+  let heap =
+    Heap.create { Heap.initial_bytes = 64 * kb; max_bytes = 64 * kb; card_size = 16 }
+  in
+  (* an old region then a young region, big enough to dominate buckets *)
+  for _ = 1 to 64 do
+    ignore (Heap.alloc heap ~size:256 ~n_slots:0 ~color:Color.Black)
+  done;
+  for _ = 1 to 64 do
+    ignore (Heap.alloc heap ~size:256 ~n_slots:0 ~color:Color.C0)
+  done;
+  let s = Heap_render.ascii ~width:32 ~rows:16 heap in
+  check "old region rendered" true (contains s "BB");
+  check "young region rendered" true (contains s "oo");
+  check "free tail rendered" true (contains s "..")
+
+let test_render_width_validation () =
+  let heap =
+    Heap.create { Heap.initial_bytes = kb; max_bytes = kb; card_size = 16 }
+  in
+  check "narrow width rejected" true
+    (match Heap_render.ascii ~width:4 heap with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suites =
+  [
+    ( "observability.events",
+      [
+        Alcotest.test_case "phase ordering" `Quick test_phase_ordering;
+        Alcotest.test_case "timestamps monotonic" `Quick test_timestamps_monotonic;
+        Alcotest.test_case "full cycle init" `Quick test_full_cycle_has_init;
+        Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+        Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
+      ] );
+    ( "observability.render",
+      [
+        Alcotest.test_case "empty heap" `Quick test_render_empty_heap;
+        Alcotest.test_case "generations visible" `Quick test_render_shows_generations;
+        Alcotest.test_case "width validation" `Quick test_render_width_validation;
+      ] );
+  ]

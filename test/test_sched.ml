@@ -1,0 +1,204 @@
+(* Tests for the effects-based deterministic scheduler: interleaving,
+   determinism, daemons, stall detection, quantum behaviour. *)
+
+open Otfgc_sched
+module Rng = Otfgc_support.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_single_process () =
+  let s = Sched.create () in
+  let hits = ref 0 in
+  let p =
+    Sched.spawn s ~name:"p" (fun () ->
+        for _ = 1 to 5 do
+          incr hits;
+          Sched.yield ()
+        done)
+  in
+  Sched.run s;
+  check_int "ran to completion" 5 !hits;
+  check "finished" true (Sched.finished s p)
+
+let test_round_robin_interleaving () =
+  let s = Sched.create ~policy:Sched.round_robin () in
+  let log = Buffer.create 16 in
+  let mk name =
+    ignore
+      (Sched.spawn s ~name (fun () ->
+           for _ = 1 to 3 do
+             Buffer.add_string log name;
+             Sched.yield ()
+           done))
+  in
+  mk "a";
+  mk "b";
+  Sched.run s;
+  Alcotest.(check string) "strict alternation" "ababab" (Buffer.contents log)
+
+let test_random_policy_deterministic () =
+  let trace seed =
+    let s = Sched.create ~policy:(Sched.random_policy (Rng.make seed)) () in
+    let log = Buffer.create 64 in
+    let mk name =
+      ignore
+        (Sched.spawn s ~name (fun () ->
+             for _ = 1 to 10 do
+               Buffer.add_string log name;
+               Sched.yield ()
+             done))
+    in
+    mk "a";
+    mk "b";
+    mk "c";
+    Sched.run s;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same seed same schedule" (trace 5) (trace 5);
+  check "different seed differs" true (trace 5 <> trace 6)
+
+let test_daemon_does_not_block_exit () =
+  let s = Sched.create () in
+  let spins = ref 0 in
+  ignore
+    (Sched.spawn s ~daemon:true ~name:"daemon" (fun () ->
+         while true do
+           incr spins;
+           Sched.yield ()
+         done));
+  ignore (Sched.spawn s ~name:"worker" (fun () -> Sched.yield ()));
+  Sched.run s;
+  check "daemon ran but did not block exit" true (!spins > 0)
+
+let test_wait_until () =
+  let s = Sched.create () in
+  let flag = ref false in
+  let woke = ref false in
+  ignore
+    (Sched.spawn s ~name:"waiter" (fun () ->
+         Sched.wait_until (fun () -> !flag);
+         woke := true));
+  ignore
+    (Sched.spawn s ~name:"setter" (fun () ->
+         for _ = 1 to 3 do
+           Sched.yield ()
+         done;
+         flag := true));
+  Sched.run s;
+  check "waiter woke after flag" true !woke
+
+let test_stall_detection () =
+  let s = Sched.create () in
+  ignore
+    (Sched.spawn s ~name:"livelock" (fun () -> Sched.wait_until (fun () -> false)));
+  check "raises Stalled" true
+    (match Sched.run ~max_steps:1000 s with
+    | () -> false
+    | exception Sched.Stalled _ -> true)
+
+let test_exception_propagates () =
+  let s = Sched.create () in
+  ignore (Sched.spawn s ~name:"boom" (fun () -> failwith "boom"));
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () -> Sched.run s)
+
+let test_yield_outside_process () =
+  check "yield outside run fails" true
+    (match Sched.yield () with
+    | () -> false
+    | exception Failure _ -> true)
+
+let test_spawn_during_run () =
+  let s = Sched.create () in
+  let child_ran = ref false in
+  ignore
+    (Sched.spawn s ~name:"parent" (fun () ->
+         ignore
+           (Sched.spawn s ~name:"child" (fun () -> child_ran := true));
+         Sched.yield ()));
+  Sched.run s;
+  check "child spawned mid-run executes" true !child_ran
+
+let test_self_name () =
+  let s = Sched.create () in
+  let seen = ref "" in
+  ignore (Sched.spawn s ~name:"iam" (fun () -> seen := Sched.self_name ()));
+  Sched.run s;
+  Alcotest.(check string) "self name" "iam" !seen
+
+let test_quantum_batches () =
+  (* With quantum 3, a process should run 3 yields before the other gets a
+     turn. *)
+  let s = Sched.create ~policy:Sched.round_robin ~quantum:3 () in
+  let log = Buffer.create 16 in
+  let mk name =
+    ignore
+      (Sched.spawn s ~name (fun () ->
+           for _ = 1 to 6 do
+             Buffer.add_string log name;
+             Sched.yield ()
+           done))
+  in
+  mk "a";
+  mk "b";
+  Sched.run s;
+  Alcotest.(check string) "batched" "aaabbbaaabbb" (Buffer.contents log)
+
+let test_on_switch_hook () =
+  let s = Sched.create () in
+  let switches = ref [] in
+  Sched.set_on_switch s (Some (fun n -> switches := n :: !switches));
+  ignore (Sched.spawn s ~name:"x" (fun () -> Sched.yield ()));
+  Sched.run s;
+  check "hook fired" true (List.length !switches >= 1);
+  check "hook saw name" true (List.for_all (( = ) "x") !switches)
+
+let test_steps_counted () =
+  let s = Sched.create () in
+  ignore
+    (Sched.spawn s ~name:"p" (fun () ->
+         for _ = 1 to 4 do
+           Sched.yield ()
+         done));
+  Sched.run s;
+  check "steps positive" true (Sched.steps s > 0)
+
+let prop_random_schedules_complete =
+  QCheck.Test.make ~name:"random schedules always complete all processes"
+    ~count:50 QCheck.(pair small_int (int_bound 5))
+    (fun (seed, extra) ->
+      let s = Sched.create ~policy:(Sched.random_policy (Rng.make seed)) () in
+      let n = 2 + extra in
+      let done_count = ref 0 in
+      for i = 0 to n - 1 do
+        ignore
+          (Sched.spawn s ~name:(string_of_int i) (fun () ->
+               for _ = 1 to 5 do
+                 Sched.yield ()
+               done;
+               incr done_count))
+      done;
+      Sched.run s;
+      !done_count = n)
+
+let suites =
+  [
+    ( "sched",
+      [
+        Alcotest.test_case "single process" `Quick test_single_process;
+        Alcotest.test_case "round robin" `Quick test_round_robin_interleaving;
+        Alcotest.test_case "random deterministic" `Quick
+          test_random_policy_deterministic;
+        Alcotest.test_case "daemons" `Quick test_daemon_does_not_block_exit;
+        Alcotest.test_case "wait_until" `Quick test_wait_until;
+        Alcotest.test_case "stall detection" `Quick test_stall_detection;
+        Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "yield outside" `Quick test_yield_outside_process;
+        Alcotest.test_case "spawn during run" `Quick test_spawn_during_run;
+        Alcotest.test_case "self name" `Quick test_self_name;
+        Alcotest.test_case "quantum" `Quick test_quantum_batches;
+        Alcotest.test_case "on_switch hook" `Quick test_on_switch_hook;
+        Alcotest.test_case "steps counted" `Quick test_steps_counted;
+        QCheck_alcotest.to_alcotest prop_random_schedules_complete;
+      ] );
+  ]

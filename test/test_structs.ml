@@ -1,0 +1,243 @@
+(* Tests for the heap data-structure library (strings, lists, hash
+   tables) — including their behaviour across concurrent collections. *)
+
+open Otfgc
+open Otfgc_structs
+module Heap = Otfgc_heap.Heap
+module Sched = Otfgc_sched.Sched
+module Rng = Otfgc_support.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* Run [body] with a runtime, collector daemon and one mutator. *)
+let session ?(gc = Gc_config.generational ~young_bytes:(8 * 1024) ()) body =
+  let rt =
+    Runtime.create
+      ~heap_config:
+        { Heap.initial_bytes = 64 * 1024; max_bytes = 256 * 1024; card_size = 16 }
+      ~gc_config:gc ()
+  in
+  let sched = Sched.create ~policy:(Sched.random_policy (Rng.make 17)) () in
+  ignore (Runtime.spawn_collector rt sched);
+  let m = Runtime.new_mutator rt ~name:"m" () in
+  ignore
+    (Sched.spawn sched ~name:"m" (fun () ->
+         body rt m;
+         Runtime.retire_mutator rt m));
+  Sched.run ~max_steps:80_000_000 sched
+
+(* ------------------------------------------------------------------ *)
+(* Hstring                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_hstring_roundtrip () =
+  session (fun rt m ->
+      List.iter
+        (fun s ->
+          let h = Hstring.alloc rt m s in
+          Mutator.set_reg m 0 h;
+          check_int (s ^ " length") (String.length s) (Hstring.length rt m h);
+          check_str (s ^ " contents") s (Hstring.to_string rt m h))
+        [ ""; "a"; "abcdefg"; "exactly8"; "morethaneightchars"; "tangles" ])
+
+let test_hstring_equal_and_hash () =
+  session (fun rt m ->
+      let a = Hstring.alloc rt m "tangles" in
+      Mutator.set_reg m 0 a;
+      let b = Hstring.alloc rt m "tangles" in
+      Mutator.set_reg m 1 b;
+      let c = Hstring.alloc rt m "tangled" in
+      Mutator.set_reg m 2 c;
+      check "same content equal" true (Hstring.equal rt m a b);
+      check "physical equal" true (Hstring.equal rt m a a);
+      check "different content" false (Hstring.equal rt m a c);
+      check "equal strings hash equal" true
+        (Hstring.hash rt m a = Hstring.hash rt m b);
+      check "hash non-negative" true (Hstring.hash rt m c >= 0))
+
+let test_hstring_survives_collection () =
+  session (fun rt m ->
+      let h = Hstring.alloc rt m "persistent-data" in
+      Mutator.set_reg m 0 h;
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      ignore (Runtime.collect_and_wait rt m ~full:true);
+      check_str "contents intact after collections" "persistent-data"
+        (Hstring.to_string rt m h))
+
+(* ------------------------------------------------------------------ *)
+(* Hlist                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_hlist_build_and_iter () =
+  session (fun rt m ->
+      (* list of heap strings "w0".."w9", built front to back *)
+      let cells = ref Heap.nil in
+      for i = 9 downto 0 do
+        let s = Hstring.alloc rt m (Printf.sprintf "w%d" i) in
+        Mutator.set_reg m 1 s;
+        let cell = Hlist.cons rt m ~head:s ~tail:!cells in
+        Mutator.set_reg m 0 cell;
+        Mutator.clear_reg m 1;
+        cells := cell
+      done;
+      check_int "length" 10 (Hlist.length rt m !cells);
+      let collected = ref [] in
+      Hlist.iter rt m
+        (fun s -> collected := Hstring.to_string rt m s :: !collected)
+        !cells;
+      Alcotest.(check (list string))
+        "front to back" (List.init 10 (Printf.sprintf "w%d"))
+        (List.rev !collected))
+
+let test_hlist_survives_churn () =
+  session (fun rt m ->
+      let s = Hstring.alloc rt m "anchor" in
+      Mutator.set_reg m 1 s;
+      let cell = Hlist.cons rt m ~head:s ~tail:Heap.nil in
+      Mutator.set_reg m 0 cell;
+      Mutator.clear_reg m 1;
+      (* churn enough to force several partial collections *)
+      for _ = 1 to 2000 do
+        ignore (Runtime.alloc rt m ~size:32 ~n_slots:0)
+      done;
+      check_int "still one cell" 1 (Hlist.length rt m (Mutator.get_reg m 0));
+      check_str "head intact" "anchor"
+        (Hstring.to_string rt m (Hlist.head rt m (Mutator.get_reg m 0))))
+
+(* ------------------------------------------------------------------ *)
+(* Htable                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_htable_add_find () =
+  session (fun rt m ->
+      let table = Htable.create rt m ~buckets:7 in
+      Mutator.set_reg m 0 table;
+      (* 40 keys into 7 buckets: plenty of collisions *)
+      for i = 0 to 39 do
+        let key = Hstring.alloc rt m (Printf.sprintf "key-%d" i) in
+        Mutator.push m key;
+        let v = Hstring.alloc rt m (Printf.sprintf "val-%d" i) in
+        Mutator.push m v;
+        Htable.add rt m ~table ~key ~value:v;
+        ignore (Mutator.pop m : int);
+        ignore (Mutator.pop m : int)
+      done;
+      check_int "count" 40 (Htable.count rt m ~table);
+      for i = 0 to 39 do
+        let probe = Hstring.alloc rt m (Printf.sprintf "key-%d" i) in
+        Mutator.push m probe;
+        (match Htable.find rt m ~table ~key:probe with
+        | None -> Alcotest.failf "key-%d missing" i
+        | Some v ->
+            check_str "value" (Printf.sprintf "val-%d" i)
+              (Hstring.to_string rt m v));
+        ignore (Mutator.pop m : int)
+      done;
+      let missing = Hstring.alloc rt m "absent" in
+      Mutator.set_reg m 1 missing;
+      check "absent key" false (Htable.mem rt m ~table ~key:missing))
+
+let test_htable_newest_binding_wins () =
+  session (fun rt m ->
+      let table = Htable.create rt m ~buckets:3 in
+      Mutator.set_reg m 0 table;
+      let key = Hstring.alloc rt m "dup" in
+      Mutator.set_reg m 1 key;
+      let v1 = Hstring.alloc rt m "first" in
+      Mutator.set_reg m 2 v1;
+      Htable.add rt m ~table ~key ~value:v1;
+      let v2 = Hstring.alloc rt m "second" in
+      Mutator.set_reg m 3 v2;
+      Htable.add rt m ~table ~key ~value:v2;
+      match Htable.find rt m ~table ~key with
+      | Some v -> check_str "newest wins" "second" (Hstring.to_string rt m v)
+      | None -> Alcotest.fail "key missing")
+
+let test_htable_under_collection_pressure () =
+  (* the anagram pattern: resident table + probe churn across many
+     partials, verified under all three collector families *)
+  List.iter
+    (fun gc ->
+      session ~gc (fun rt m ->
+          let table = Htable.create rt m ~buckets:31 in
+          Mutator.set_reg m 0 table;
+          for i = 0 to 150 do
+            let key = Hstring.alloc rt m (Printf.sprintf "w%d" i) in
+            Mutator.push m key;
+            Htable.add rt m ~table ~key ~value:Heap.nil;
+            ignore (Mutator.pop m : int)
+          done;
+          ignore (Runtime.collect_and_wait rt m ~full:true);
+          (* probe with fresh (young, immediately-dead) strings *)
+          let hits = ref 0 in
+          for round = 0 to 3 do
+            ignore round;
+            for i = 0 to 150 do
+              let probe = Hstring.alloc rt m (Printf.sprintf "w%d" i) in
+              Mutator.push m probe;
+              if Htable.mem rt m ~table ~key:probe then incr hits;
+              ignore (Mutator.pop m : int)
+            done
+          done;
+          check_int "every probe hits through collections" (4 * 151) !hits;
+          check_int "table intact" 151 (Htable.count rt m ~table)))
+    [
+      Gc_config.generational ~young_bytes:(8 * 1024) ();
+      Gc_config.generational ~young_bytes:(8 * 1024)
+        ~intergen:Gc_config.Remembered_set ();
+      Gc_config.aging ~young_bytes:(8 * 1024) ~oldest_age:3 ();
+    ]
+
+let test_htable_bucket_validation () =
+  session (fun rt m ->
+      check "zero buckets rejected" true
+        (match Htable.create rt m ~buckets:0 with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Scalar data words                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_data_words_roundtrip () =
+  session (fun rt m ->
+      let a = Runtime.alloc rt m ~size:64 ~n_slots:2 in
+      Mutator.set_reg m 0 a;
+      (* 64 bytes - 16 header - 16 slots = 4 data words *)
+      check_int "data words" 4 (Heap.n_data (Runtime.heap rt) a);
+      Runtime.store_data rt m ~x:a ~i:0 ~v:12345;
+      Runtime.store_data rt m ~x:a ~i:3 ~v:(-7);
+      check_int "word 0" 12345 (Runtime.load_data rt m ~x:a ~i:0);
+      check_int "word 3" (-7) (Runtime.load_data rt m ~x:a ~i:3);
+      check_int "untouched word" 0 (Runtime.load_data rt m ~x:a ~i:1);
+      (* survives a collection *)
+      ignore (Runtime.collect_and_wait rt m ~full:false);
+      check_int "word 0 after GC" 12345 (Runtime.load_data rt m ~x:a ~i:0))
+
+let suites =
+  [
+    ( "structs.hstring",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_hstring_roundtrip;
+        Alcotest.test_case "equal/hash" `Quick test_hstring_equal_and_hash;
+        Alcotest.test_case "survives collection" `Quick
+          test_hstring_survives_collection;
+      ] );
+    ( "structs.hlist",
+      [
+        Alcotest.test_case "build and iter" `Quick test_hlist_build_and_iter;
+        Alcotest.test_case "survives churn" `Quick test_hlist_survives_churn;
+      ] );
+    ( "structs.htable",
+      [
+        Alcotest.test_case "add/find" `Quick test_htable_add_find;
+        Alcotest.test_case "newest binding" `Quick test_htable_newest_binding_wins;
+        Alcotest.test_case "collection pressure" `Quick
+          test_htable_under_collection_pressure;
+        Alcotest.test_case "bucket validation" `Quick test_htable_bucket_validation;
+      ] );
+    ( "structs.data",
+      [ Alcotest.test_case "data words" `Quick test_data_words_roundtrip ] );
+  ]

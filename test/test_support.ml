@@ -1,0 +1,339 @@
+(* Unit and property tests for otfgc_support: RNG determinism and
+   distribution sanity, bitset semantics, statistics accumulators and table
+   rendering. *)
+
+open Otfgc_support
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check "different seeds diverge" true (!same < 4)
+
+let test_rng_copy () =
+  let a = Rng.make 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copy continues identically" (Rng.bits64 a)
+      (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.make 9 in
+  let child = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 child then incr same
+  done;
+  check "split stream independent" true (!same < 4)
+
+let test_rng_int_range () =
+  let r = Rng.make 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.make 4 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 2000 do
+    let v = Rng.int_in r 5 8 in
+    check "in inclusive range" true (v >= 5 && v <= 8);
+    if v = 5 then seen_lo := true;
+    if v = 8 then seen_hi := true
+  done;
+  check "hits low endpoint" true !seen_lo;
+  check "hits high endpoint" true !seen_hi
+
+let test_rng_int_invalid () =
+  let r = Rng.make 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.make 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    check "float in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_chance_extremes () =
+  let r = Rng.make 7 in
+  for _ = 1 to 50 do
+    check "p=0 never" false (Rng.chance r 0.);
+    check "p=1 always" true (Rng.chance r 1.)
+  done
+
+let test_rng_chance_mean () =
+  let r = Rng.make 8 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.chance r 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  check "p=0.3 within tolerance" true (p > 0.27 && p < 0.33)
+
+let test_rng_geometric_mean () =
+  let r = Rng.make 9 in
+  let total = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    total := !total + Rng.geometric r 0.25
+  done;
+  (* mean failures before success = (1-p)/p = 3 *)
+  let mean = float_of_int !total /. float_of_int n in
+  check "geometric mean ~3" true (mean > 2.7 && mean < 3.3)
+
+let test_rng_exponential_mean () =
+  let r = Rng.make 10 in
+  let total = ref 0. in
+  let n = 20_000 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential r 5.0
+  done;
+  let mean = !total /. float_of_int n in
+  check "exponential mean ~5" true (mean > 4.6 && mean < 5.4)
+
+let test_rng_pick () =
+  let r = Rng.make 11 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 3000 do
+    let v = Rng.pick r [| 0; 1; 2 |] in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter (fun c -> check "roughly uniform" true (c > 800 && c < 1200)) counts
+
+let test_rng_pick_weighted () =
+  let r = Rng.make 12 in
+  let heavy = ref 0 and light = ref 0 in
+  for _ = 1 to 10_000 do
+    match Rng.pick_weighted r [| ("heavy", 9.); ("light", 1.) |] with
+    | "heavy" -> incr heavy
+    | _ -> incr light
+  done;
+  check "weights respected" true
+    (float_of_int !heavy /. float_of_int (!heavy + !light) > 0.85)
+
+let test_rng_pick_weighted_zero () =
+  let r = Rng.make 13 in
+  Alcotest.check_raises "zero weights rejected"
+    (Invalid_argument "Rng.pick_weighted: zero total weight") (fun () ->
+      ignore (Rng.pick_weighted r [| ("a", 0.) |]))
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.make 14 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 20 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  check "fresh empty" false (Bitset.mem s 5);
+  Bitset.add s 5;
+  Bitset.add s 99;
+  Bitset.add s 0;
+  check "mem 5" true (Bitset.mem s 5);
+  check "mem 99" true (Bitset.mem s 99);
+  check "mem 0" true (Bitset.mem s 0);
+  check "not mem 1" false (Bitset.mem s 1);
+  check_int "cardinal" 3 (Bitset.cardinal s);
+  Bitset.remove s 5;
+  check "removed" false (Bitset.mem s 5);
+  check_int "cardinal after remove" 2 (Bitset.cardinal s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s 8)
+
+let test_bitset_clear () =
+  let s = Bitset.create 64 in
+  for i = 0 to 63 do
+    Bitset.add s i
+  done;
+  check_int "full" 64 (Bitset.cardinal s);
+  Bitset.clear s;
+  check_int "cleared" 0 (Bitset.cardinal s)
+
+let test_bitset_iter_order () =
+  let s = Bitset.create 50 in
+  List.iter (Bitset.add s) [ 40; 3; 17; 8 ];
+  Alcotest.(check (list int)) "sorted order" [ 3; 8; 17; 40 ] (Bitset.to_list s)
+
+let test_bitset_union () =
+  let a = Bitset.create 32 and b = Bitset.create 32 in
+  Bitset.add a 1;
+  Bitset.add b 2;
+  Bitset.add b 1;
+  Bitset.union_into ~dst:a b;
+  Alcotest.(check (list int)) "union" [ 1; 2 ] (Bitset.to_list a)
+
+let test_bitset_copy_independent () =
+  let a = Bitset.create 16 in
+  Bitset.add a 3;
+  let b = Bitset.copy a in
+  Bitset.add b 4;
+  check "copy has both" true (Bitset.mem b 3 && Bitset.mem b 4);
+  check "original unchanged" false (Bitset.mem a 4)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset agrees with a set model" ~count:200
+    QCheck.(list (pair bool (int_bound 63)))
+    (fun ops ->
+      let s = Bitset.create 64 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.add s i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.remove s i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      Bitset.cardinal s = Hashtbl.length model
+      && List.for_all (fun i -> Hashtbl.mem model i) (Bitset.to_list s))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_int "count" 0 (Stats.count s);
+  Alcotest.(check (float 0.0)) "mean" 0. (Stats.mean s)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4. ];
+  check_int "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 4. (Stats.max s);
+  Alcotest.(check (float 1e-9)) "sum" 10. (Stats.sum s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a 1.;
+  Stats.add b 5.;
+  Stats.add b 3.;
+  let m = Stats.merge a b in
+  check_int "merged count" 3 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 3. (Stats.mean m);
+  Alcotest.(check (float 1e-9)) "merged min" 1. (Stats.min m);
+  Alcotest.(check (float 1e-9)) "merged max" 5. (Stats.max m)
+
+let test_improvement_pct () =
+  Alcotest.(check (float 1e-9)) "25% better" 25.
+    (Stats.improvement_pct ~baseline:100. ~candidate:75.);
+  Alcotest.(check (float 1e-9)) "4% worse" (-4.)
+    (Stats.improvement_pct ~baseline:100. ~candidate:104.);
+  Alcotest.(check (float 1e-9)) "zero baseline" 0.
+    (Stats.improvement_pct ~baseline:0. ~candidate:10.)
+
+let test_pct () =
+  Alcotest.(check (float 1e-9)) "pct" 36.2 (Stats.pct 36.2 100.);
+  Alcotest.(check (float 1e-9)) "pct zero whole" 0. (Stats.pct 5. 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Textable                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_textable_render () =
+  let t = Textable.create ~title:"Demo" [ "Benchmark"; "Value" ] in
+  Textable.add_row t [ "anagram"; "25.0" ];
+  Textable.add_row t [ "jess" ];
+  let s = Textable.render t in
+  check "has title" true (String.length s > 0 && String.sub s 0 4 = "Demo");
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "anagram present" true (contains s "anagram");
+  check "padded row" true (contains s "jess")
+
+let test_textable_too_many_cells () =
+  let t = Textable.create [ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Textable.add_row: too many cells") (fun () ->
+      Textable.add_row t [ "1"; "2" ])
+
+let test_textable_formats () =
+  Alcotest.(check string) "pct" "-3.7" (Textable.fmt_pct (-3.7));
+  Alcotest.(check string) "f2" "36.20" (Textable.fmt_f2 36.2);
+  Alcotest.(check string) "int" "281" (Textable.fmt_int 280.7);
+  Alcotest.(check string) "na" "N/A" Textable.na
+
+let suites =
+  [
+    ( "support.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "int range" `Quick test_rng_int_range;
+        Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+        Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+        Alcotest.test_case "float range" `Quick test_rng_float_range;
+        Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+        Alcotest.test_case "chance mean" `Quick test_rng_chance_mean;
+        Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "pick uniform" `Quick test_rng_pick;
+        Alcotest.test_case "pick weighted" `Quick test_rng_pick_weighted;
+        Alcotest.test_case "pick weighted zero" `Quick test_rng_pick_weighted_zero;
+        Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+      ] );
+    ( "support.bitset",
+      [
+        Alcotest.test_case "basic" `Quick test_bitset_basic;
+        Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+        Alcotest.test_case "clear" `Quick test_bitset_clear;
+        Alcotest.test_case "iter order" `Quick test_bitset_iter_order;
+        Alcotest.test_case "union" `Quick test_bitset_union;
+        Alcotest.test_case "copy independent" `Quick test_bitset_copy_independent;
+        QCheck_alcotest.to_alcotest prop_bitset_model;
+      ] );
+    ( "support.stats",
+      [
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "basic" `Quick test_stats_basic;
+        Alcotest.test_case "merge" `Quick test_stats_merge;
+        Alcotest.test_case "improvement pct" `Quick test_improvement_pct;
+        Alcotest.test_case "pct" `Quick test_pct;
+      ] );
+    ( "support.textable",
+      [
+        Alcotest.test_case "render" `Quick test_textable_render;
+        Alcotest.test_case "too many cells" `Quick test_textable_too_many_cells;
+        Alcotest.test_case "formats" `Quick test_textable_formats;
+      ] );
+  ]

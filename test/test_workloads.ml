@@ -1,0 +1,219 @@
+(* Tests for the workload layer (profiles, engine, driver), the metrics
+   summaries and the experiment registry. *)
+
+open Otfgc
+open Otfgc_workloads
+module R = Otfgc_metrics.Run_result
+module Lab = Otfgc_experiments.Lab
+module Registry = Otfgc_experiments.Registry
+module Sweeps = Otfgc_experiments.Sweeps
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Profiles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_profiles_validate () =
+  List.iter Profile.validate Profile.all;
+  Profile.validate (Profile.raytracer ~threads:10)
+
+let test_profiles_find () =
+  check "find anagram" true (Profile.find "anagram" <> None);
+  check "find nonsense" true (Profile.find "nonsense" = None);
+  check_int "seven fixed profiles" 7 (List.length Profile.all);
+  check_int "six SPECjvm profiles" 6 (List.length Profile.spec_benchmarks)
+
+let test_profile_lifetime_mix_sums_to_one () =
+  List.iter
+    (fun p ->
+      let sum = p.Profile.p_immediate +. p.Profile.p_ring +. p.Profile.p_long in
+      check (p.Profile.name ^ " mix") true (abs_float (sum -. 1.0) < 1e-6))
+    Profile.all
+
+let test_raytracer_bad_threads () =
+  check "threads >= 1 enforced" true
+    (match Profile.raytracer ~threads:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_invalid_profile_rejected () =
+  let bad = { Profile.mtrt with Profile.p_immediate = 0.9; p_ring = 0.9 } in
+  check "bad mix rejected" true
+    (match Profile.validate bad with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_scale = 0.03
+
+let test_driver_runs_every_profile () =
+  List.iter
+    (fun p ->
+      let r = Driver.run ~scale:tiny_scale ~gc:(Gc_config.generational ()) p in
+      check (p.Profile.name ^ " allocated") true (r.R.total_alloc_objects > 0);
+      check (p.Profile.name ^ " no nongen cycles") true (r.R.n_non_gen = 0);
+      check
+        (p.Profile.name ^ " freed pct in range")
+        true
+        (r.R.pct_objects_freed_partial >= 0.
+        && r.R.pct_objects_freed_partial <= 100.);
+      check (p.Profile.name ^ " work accounted") true (r.R.mutator_work > 0))
+    Profile.all
+
+let test_driver_nongen_mode () =
+  let r =
+    Driver.run ~scale:tiny_scale ~gc:Gc_config.non_generational Profile.jess
+  in
+  check_int "no partials" 0 r.R.n_partial;
+  check_int "no fulls" 0 r.R.n_full;
+  Alcotest.(check string) "mode name" "non-generational" r.R.mode
+
+let test_driver_deterministic () =
+  let run () =
+    Driver.run ~seed:5 ~scale:tiny_scale ~gc:(Gc_config.generational ())
+      Profile.jack
+  in
+  let a = run () and b = run () in
+  check "identical elapsed" true (a.R.elapsed_multi = b.R.elapsed_multi);
+  check "identical cycles" true
+    (a.R.n_partial = b.R.n_partial && a.R.n_full = b.R.n_full);
+  check "identical allocation" true
+    (a.R.total_alloc_bytes = b.R.total_alloc_bytes)
+
+let test_driver_seed_changes_schedule () =
+  let r s =
+    Driver.run ~seed:s ~scale:tiny_scale ~gc:(Gc_config.generational ())
+      Profile.jack
+  in
+  (* different interleavings make at least the cost ledger differ *)
+  check "different seeds differ" true
+    ((r 1).R.elapsed_multi <> (r 2).R.elapsed_multi)
+
+let test_driver_run_pair () =
+  let cand, base =
+    Driver.run_pair ~scale:tiny_scale ~gc:(Gc_config.generational ())
+      Profile.anagram
+  in
+  Alcotest.(check string) "candidate mode" "generational" cand.R.mode;
+  Alcotest.(check string) "baseline mode" "non-generational" base.R.mode
+
+let test_driver_aging_mode () =
+  let r =
+    Driver.run ~scale:tiny_scale
+      ~gc:(Gc_config.aging ~oldest_age:4 ())
+      Profile.jess
+  in
+  check "aging runs partials" true (r.R.n_partial > 0);
+  Alcotest.(check string) "mode name" "generational-aging(4)" r.R.mode
+
+let test_multithreaded_profile () =
+  let p = Profile.raytracer ~threads:4 in
+  let r = Driver.run ~scale:0.05 ~gc:(Gc_config.generational ()) p in
+  check "threads allocate" true
+    (r.R.total_alloc_objects > 4 * 100);
+  check "collections happen" true (r.R.n_partial + r.R.n_full > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Run_result                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_improvement_direction () =
+  let mk elapsed =
+    let base =
+      Driver.run ~scale:tiny_scale ~gc:Gc_config.non_generational Profile.jack
+    in
+    { base with R.elapsed_multi = elapsed; R.elapsed_uni = elapsed }
+  in
+  let baseline = mk 1000 in
+  check "faster is positive" true
+    (R.improvement_pct ~baseline (mk 900) ~multiprocessor:true > 0.);
+  check "slower is negative" true
+    (R.improvement_pct ~baseline (mk 1100) ~multiprocessor:true < 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Lab and registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_lab_caches_runs () =
+  let lab = Lab.create ~scale:tiny_scale () in
+  let a = Lab.run lab Profile.jack in
+  let b = Lab.run lab Profile.jack in
+  check "memoised (physically equal)" true (a == b);
+  let c = Lab.run lab ~card:64 Profile.jack in
+  check "different card is a different run" true (a != c)
+
+let test_registry_complete () =
+  check_int "17 figures + 2 ablations" 19 (List.length Registry.all);
+  let ids = List.map (fun e -> e.Registry.id) Registry.all in
+  check "ids unique" true
+    (List.length (List.sort_uniq compare ids) = List.length ids);
+  check "find fig9" true (Registry.find "fig9" <> None);
+  check "find junk" true (Registry.find "fig99" = None);
+  check "find ablationA" true (Registry.find "ablationA" <> None)
+
+let test_lab_all_modes () =
+  let lab = Lab.create ~scale:0.02 () in
+  List.iter
+    (fun mode ->
+      let r = Lab.run lab ~mode Profile.jack in
+      check "allocated" true (r.R.total_alloc_objects > 0))
+    [ Lab.Gen; Lab.Non_gen; Lab.Aging 4; Lab.Gen_remset; Lab.Adaptive ]
+
+let test_sweep_axes () =
+  check_int "nine card sizes" 9 (List.length Sweeps.card_sizes);
+  check_int "four young sizes" 4 (List.length Sweeps.young_sizes);
+  check "cards are powers of two" true
+    (List.for_all (fun c -> c land (c - 1) = 0) Sweeps.card_sizes);
+  check "young sizes ascend" true
+    (let sizes = List.map snd Sweeps.young_sizes in
+     sizes = List.sort compare sizes)
+
+let test_figure_smoke () =
+  (* run a light figure end to end and check the table renders rows *)
+  let lab = Lab.create ~scale:0.02 () in
+  let table = (Option.get (Registry.find "fig8")).Registry.run lab in
+  let rendered = Otfgc_support.Textable.render table in
+  check "has content" true (String.length rendered > 80);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "mentions Anagram" true (contains rendered "Anagram")
+
+let suites =
+  [
+    ( "workloads.profiles",
+      [
+        Alcotest.test_case "validate all" `Quick test_profiles_validate;
+        Alcotest.test_case "find" `Quick test_profiles_find;
+        Alcotest.test_case "lifetime mix" `Quick test_profile_lifetime_mix_sums_to_one;
+        Alcotest.test_case "raytracer threads" `Quick test_raytracer_bad_threads;
+        Alcotest.test_case "invalid rejected" `Quick test_invalid_profile_rejected;
+      ] );
+    ( "workloads.driver",
+      [
+        Alcotest.test_case "runs every profile" `Slow test_driver_runs_every_profile;
+        Alcotest.test_case "non-gen mode" `Quick test_driver_nongen_mode;
+        Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_driver_seed_changes_schedule;
+        Alcotest.test_case "run_pair" `Quick test_driver_run_pair;
+        Alcotest.test_case "aging mode" `Quick test_driver_aging_mode;
+        Alcotest.test_case "multithreaded" `Quick test_multithreaded_profile;
+      ] );
+    ( "metrics",
+      [ Alcotest.test_case "improvement direction" `Quick test_improvement_direction ] );
+    ( "experiments",
+      [
+        Alcotest.test_case "lab caching" `Quick test_lab_caches_runs;
+        Alcotest.test_case "lab all modes" `Quick test_lab_all_modes;
+        Alcotest.test_case "registry" `Quick test_registry_complete;
+        Alcotest.test_case "sweep axes" `Quick test_sweep_axes;
+        Alcotest.test_case "figure smoke" `Slow test_figure_smoke;
+      ] );
+  ]
