@@ -8,7 +8,14 @@
      main.exe fig9 fig21 ...  regenerate selected figures
      main.exe --quick         everything at reduced scale (CI smoke run)
      main.exe micro           only the Bechamel micro-benchmarks
-     main.exe --scale 0.4     override the headline scale *)
+     main.exe --scale 0.4     override the headline scale
+     main.exe --jobs 8        simulation parallelism (domains; default
+                              OTFGC_JOBS or the recommended domain count)
+     main.exe --no-cache      ignore the persistent _cache/ directory
+
+   All runs are enumerated up front and fanned out across domains as one
+   batch; results are memoised on disk under _cache/, so a repeated
+   regeneration performs zero simulation runs. *)
 
 module Lab = Otfgc_experiments.Lab
 module Registry = Otfgc_experiments.Registry
@@ -98,9 +105,57 @@ module Micro = struct
                   Runtime.retire_mutator rt m));
            Sched.run sched))
 
+  (* word-level dirty-card scan over a mostly-clean table: 4 MB of heap
+     at 16-byte cards = 256K mark bytes, 1 card in 1024 dirty — the
+     Section 8.5.3 regime where scanning clean cards dominates *)
+  let test_iter_dirty =
+    let module Card_table = Otfgc_heap.Card_table in
+    let tbl = Card_table.create ~card_size:16 ~max_heap_bytes:(4 * 1024 * kb) in
+    let n = Card_table.n_cards tbl in
+    let i = ref 0 in
+    while !i < n do
+      Card_table.mark_card tbl !i;
+      i := !i + 1024
+    done;
+    let acc = ref 0 in
+    Test.make ~name:"cards: iter_dirty 4MB/16B, 0.1% dirty"
+      (Staged.stage (fun () ->
+           acc := 0;
+           Card_table.iter_dirty tbl (fun c -> acc := !acc + c)))
+
+  let test_dirty_count =
+    let module Card_table = Otfgc_heap.Card_table in
+    let tbl = Card_table.create ~card_size:16 ~max_heap_bytes:(4 * 1024 * kb) in
+    let n = Card_table.n_cards tbl in
+    let i = ref 0 in
+    while !i < n do
+      Card_table.mark_card tbl !i;
+      i := !i + 1024
+    done;
+    Test.make ~name:"cards: dirty_count 4MB/16B, 0.1% dirty"
+      (Staged.stage (fun () -> ignore (Card_table.dirty_count tbl : int)))
+
+  (* word-blitting page accounting over a multi-page span (sweep path) *)
+  let test_touch_range =
+    let module Layout = Otfgc_heap.Layout in
+    let module Page_set = Otfgc_heap.Page_set in
+    let tables = Layout.make_tables ~max_heap_bytes:(4 * 1024 * kb) ~card_size:16 in
+    let ps = Page_set.create tables in
+    let span = 64 * Layout.page_size in
+    Test.make ~name:"pages: touch_range 64 pages"
+      (Staged.stage (fun () -> Page_set.touch_range ps Layout.page_size span))
+
   let tests =
     Test.make_grouped ~name:"otfgc" ~fmt:"%s %s"
-      [ test_alloc_free; test_barrier_idle; test_mark_gray; test_full_cycle ]
+      [
+        test_alloc_free;
+        test_barrier_idle;
+        test_mark_gray;
+        test_full_cycle;
+        test_iter_dirty;
+        test_dirty_count;
+        test_touch_range;
+      ]
 
   let run () =
     let ols =
@@ -137,6 +192,20 @@ let () =
     in
     find args
   in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: v :: _ -> (
+          match int_of_string_opt v with
+          | Some n when n >= 1 -> n
+          | _ ->
+              Printf.eprintf "--jobs wants a positive integer, got %S\n" v;
+              exit 2)
+      | _ :: rest -> find rest
+      | [] -> Otfgc_support.Pool.default_jobs ()
+    in
+    find args
+  in
+  let cache_dir = if List.mem "--no-cache" args then None else Some "_cache" in
   let fig_ids =
     List.filter
       (fun a -> String.length a >= 3 && String.sub a 0 3 = "fig")
@@ -145,8 +214,8 @@ let () =
   let micro_only = List.mem "micro" args in
   if micro_only then Micro.run ()
   else begin
-    let lab_main = Lab.create ~scale () in
-    let lab_sweep = Lab.create ~scale:(scale /. 2.) () in
+    let lab_main = Lab.create ~scale ~jobs ~cache_dir () in
+    let lab_sweep = Lab.create ~scale:(scale /. 2.) ~jobs ~cache_dir () in
     let entries =
       if fig_ids = [] then Registry.all
       else
@@ -160,9 +229,32 @@ let () =
           fig_ids
     in
     Printf.printf
-      "Reproducing %d figure(s) at scale %.2f (sweeps %.2f); workloads and \
-       heaps are 1/8 of the paper's, so compare shapes, not absolutes.\n\n"
-      (List.length entries) scale (scale /. 2.);
+      "Reproducing %d figure(s) at scale %.2f (sweeps %.2f) on %d domain(s); \
+       workloads and heaps are 1/8 of the paper's, so compare shapes, not \
+       absolutes.\n\n%!"
+      (List.length entries) scale (scale /. 2.) jobs;
+    (* One batch per lab: every selected figure's grid, deduplicated and
+       fanned out across the domain pool before any table rendering. *)
+    let batch lab heavy =
+      let cfgs =
+        List.concat_map
+          (fun e -> if e.Registry.heavy = heavy then e.Registry.configs else [])
+          entries
+      in
+      if cfgs <> [] then begin
+        let t0 = Unix.gettimeofday () in
+        Lab.prefetch lab cfgs;
+        let c = Lab.counters lab in
+        Printf.printf
+          "[%s grids: %d configs -> %d simulated, %d from disk cache in %.1fs]\n%!"
+          (if heavy then "sweep" else "headline")
+          (List.length cfgs) c.Lab.computed c.Lab.disk_hits
+          (Unix.gettimeofday () -. t0)
+      end
+    in
+    batch lab_main false;
+    batch lab_sweep true;
+    print_newline ();
     List.iter
       (fun e ->
         let t0 = Unix.gettimeofday () in
@@ -172,5 +264,20 @@ let () =
         Printf.printf "[%s done in %.1fs]\n\n%!" e.Registry.id
           (Unix.gettimeofday () -. t0))
       entries;
+    let totals =
+      let a = Lab.counters lab_main and b = Lab.counters lab_sweep in
+      Lab.
+        {
+          computed = a.computed + b.computed;
+          mem_hits = a.mem_hits + b.mem_hits;
+          disk_hits = a.disk_hits + b.disk_hits;
+        }
+    in
+    Printf.printf
+      "cache: %d runs simulated, %d memo hits, %d disk hits%s\n%!"
+      totals.Lab.computed totals.Lab.mem_hits totals.Lab.disk_hits
+      (match cache_dir with
+      | Some d -> Printf.sprintf " (persisted under %s/)" d
+      | None -> "");
     if fig_ids = [] && not quick then Micro.run ()
   end

@@ -209,7 +209,19 @@ let fig_cmd =
     let doc = "Figure ids (fig7..fig23); none = all." in
     Arg.(value & pos_all string [] & info [] ~docv:"FIG" ~doc)
   in
-  let run ids scale seed =
+  let jobs_arg =
+    let doc =
+      "Simulation parallelism: fan independent runs out across N domains \
+       (default: $(b,OTFGC_JOBS) or the recommended domain count; 1 = \
+       sequential).  Results are identical for every N."
+    in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Do not read or write the persistent _cache/ directory." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let run ids scale seed jobs no_cache =
     let entries =
       if ids = [] then Registry.all
       else
@@ -222,13 +234,20 @@ let fig_cmd =
                 None)
           ids
     in
-    let lab = Lab.create ~scale ~seed () in
+    let jobs = if jobs >= 1 then Some jobs else None in
+    let cache_dir = if no_cache then None else Some "_cache" in
+    let lab = Lab.create ~scale ~seed ?jobs ~cache_dir () in
+    (* Submit every selected figure's grid as one batch, then render. *)
+    Lab.prefetch lab (List.concat_map (fun e -> e.Registry.configs) entries);
     List.iter (fun e -> Textable.print (e.Registry.run lab)) entries;
+    let c = Lab.counters lab in
+    Printf.eprintf "cache: %d runs simulated, %d disk hits\n" c.Lab.computed
+      c.Lab.disk_hits;
     0
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Reproduce paper figures (see EXPERIMENTS.md).")
-    Term.(const run $ ids_arg $ scale_arg $ seed_arg)
+    Term.(const run $ ids_arg $ scale_arg $ seed_arg $ jobs_arg $ no_cache_arg)
 
 let () =
   let doc =

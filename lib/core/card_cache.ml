@@ -6,14 +6,15 @@ type t = {
 }
 
 let cards_per_line = 64
+let line_shift = Otfgc_support.Bits.log2_exact cards_per_line
 
 let create ?(n_lines = 64) () =
-  if n_lines <= 0 || n_lines land (n_lines - 1) <> 0 then
+  if not (Otfgc_support.Bits.is_pow2 n_lines) then
     invalid_arg "Card_cache.create: n_lines must be a positive power of two";
   { lines = Array.make n_lines (-1); mask = n_lines - 1; hits = 0; misses = 0 }
 
 let access t card_index =
-  let line = card_index / cards_per_line in
+  let line = card_index lsr line_shift in
   let set = line land t.mask in
   if t.lines.(set) = line then begin
     t.hits <- t.hits + 1;

@@ -12,7 +12,19 @@
 module Textable = Otfgc_support.Textable
 module Profile = Otfgc_workloads.Profile
 
+let configs =
+  List.concat_map
+    (fun p ->
+      [
+        Lab.cfg p;
+        Lab.cfg ~mode:(Lab.Aging 4) p;
+        Lab.cfg ~mode:Lab.Adaptive p;
+        Lab.cfg ~mode:Lab.Non_gen p;
+      ])
+    Profile.all
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

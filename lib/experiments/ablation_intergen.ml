@@ -16,7 +16,19 @@ module Textable = Otfgc_support.Textable
 module Profile = Otfgc_workloads.Profile
 module R = Otfgc_metrics.Run_result
 
+let configs =
+  List.concat_map
+    (fun p ->
+      [
+        Lab.cfg ~card:16 p;
+        Lab.cfg ~card:Sweeps.block_marking p;
+        Lab.cfg ~mode:Lab.Gen_remset p;
+        Lab.cfg ~mode:Lab.Non_gen p;
+      ])
+    Profile.all
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

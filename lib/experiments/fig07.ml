@@ -6,7 +6,13 @@ module Profile = Otfgc_workloads.Profile
 
 let paper = [ (2, 1.3); (4, 2.6); (6, 10.6); (8, 16.0); (10, 11.7) ]
 
+let configs =
+  List.concat_map
+    (fun (n, _) -> Sweeps.gen_and_baseline (Profile.raytracer ~threads:n))
+    paper
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

@@ -7,7 +7,10 @@ module Profile = Otfgc_workloads.Profile
 let paper_multi = 25.0
 let paper_uni = 32.7
 
+let configs = Sweeps.gen_and_baseline Profile.anagram
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create ~title:"Figure 8: % improvement for Anagram"
       [ "Benchmark"; "Multi %"; "Uni %"; "Paper multi"; "Paper uni" ]

@@ -14,7 +14,10 @@ let paper =
     ("jack", -2.12, -7.7);
   ]
 
+let configs = Sweeps.gen_and_baseline_all Profile.spec_benchmarks
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:"Figure 9: % improvement for SPECjvm benchmarks"

@@ -18,7 +18,10 @@ let paper =
     ("anagram", 62.8, 152, 8, 78.9, 56);
   ]
 
+let configs = Sweeps.gen_and_baseline_all Profile.all
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create ~title:"Figure 10: use of garbage collection in application"
       [

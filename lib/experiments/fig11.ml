@@ -21,7 +21,10 @@ let paper =
 
 let fmt_opt v = if v = 0. then Textable.na else Textable.fmt_int v
 
+let configs = Sweeps.gen_and_baseline_all Profile.all
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

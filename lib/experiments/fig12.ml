@@ -17,7 +17,10 @@ let paper =
     ("anagram", "86.22", "93.43", "14.2", "13.2");
   ]
 
+let configs = Sweeps.gen_and_baseline_all Profile.all
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:"Figure 12: percentage of bytes/objects freed per collection kind"

@@ -18,7 +18,10 @@ let paper =
     ("anagram", "52", "429", "346");
   ]
 
+let configs = Sweeps.gen_and_baseline_all Profile.all
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

@@ -5,7 +5,10 @@ module Textable = Otfgc_support.Textable
 module Profile = Otfgc_workloads.Profile
 module R = Otfgc_metrics.Run_result
 
+let configs = Sweeps.gen_and_baseline_all Profile.all
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:"Figure 14: average gain from collections (objects / bytes freed)"

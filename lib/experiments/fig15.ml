@@ -16,7 +16,10 @@ let paper =
     ("anagram", "1082", "4938", "5054");
   ]
 
+let configs = Sweeps.gen_and_baseline_all Profile.all
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

@@ -6,7 +6,20 @@
 module Textable = Otfgc_support.Textable
 module Profile = Otfgc_workloads.Profile
 
+let configs =
+  List.concat_map
+    (fun n ->
+      let p = Profile.raytracer ~threads:n in
+      List.concat_map
+        (fun card ->
+          List.concat_map
+            (fun (_, young) -> Sweeps.gen_and_baseline ~card ~young p)
+            Sweeps.young_sizes)
+        [ Sweeps.block_marking; Sweeps.object_marking ])
+    Sweeps.raytracer_threads
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

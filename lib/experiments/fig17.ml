@@ -5,7 +5,16 @@
 module Textable = Otfgc_support.Textable
 module Profile = Otfgc_workloads.Profile
 
+let configs =
+  List.concat_map
+    (fun card ->
+      List.concat_map
+        (fun (_, young) -> Sweeps.gen_and_baseline_all ~card ~young Profile.all)
+        Sweeps.young_sizes)
+    [ Sweeps.block_marking; Sweeps.object_marking ]
+
 let run lab =
+  Lab.prefetch lab configs;
   let headers =
     "Benchmark"
     :: List.concat_map

@@ -5,7 +5,25 @@
 module Textable = Otfgc_support.Textable
 module Profile = Otfgc_workloads.Profile
 
+let configs_thresholds thresholds =
+  List.concat_map
+    (fun age ->
+      List.concat_map
+        (fun (_, young) ->
+          List.concat_map
+            (fun p ->
+              [
+                Lab.cfg ~young ~mode:(Lab.Aging age) p;
+                Lab.cfg ~young ~mode:Lab.Non_gen p;
+              ])
+            Profile.all)
+        Sweeps.young_sizes)
+    thresholds
+
+let configs = configs_thresholds [ 4; 6 ]
+
 let run_thresholds ~title thresholds lab =
+  Lab.prefetch lab (configs_thresholds thresholds);
   let headers =
     "Benchmark"
     :: List.concat_map

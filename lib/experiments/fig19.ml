@@ -1,5 +1,7 @@
 (* Figure 19: the aging mechanism, thresholds 8 and 10 (see Fig18). *)
 
+let configs = Fig18.configs_thresholds [ 8; 10 ]
+
 let run lab =
   Fig18.run_thresholds
     ~title:

@@ -8,7 +8,17 @@ module Textable = Otfgc_support.Textable
 module Profile = Otfgc_workloads.Profile
 module R = Otfgc_metrics.Run_result
 
+let configs =
+  List.concat_map
+    (fun p ->
+      List.concat_map
+        (fun (_, young) ->
+          [ Lab.cfg ~young p; Lab.cfg ~young ~mode:(Lab.Aging 2) p ])
+        Sweeps.young_sizes)
+    Profile.all
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

@@ -5,7 +5,13 @@
 module Textable = Otfgc_support.Textable
 module Profile = Otfgc_workloads.Profile
 
+let configs =
+  List.concat_map
+    (fun card -> Sweeps.gen_and_baseline_all ~card Profile.all)
+    Sweeps.card_sizes
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

@@ -5,7 +5,13 @@ module Textable = Otfgc_support.Textable
 module Profile = Otfgc_workloads.Profile
 module R = Otfgc_metrics.Run_result
 
+let configs =
+  List.concat_map
+    (fun card -> List.map (fun p -> Lab.cfg ~card p) Profile.all)
+    Sweeps.card_sizes
+
 let run lab =
+  Lab.prefetch lab configs;
   let t =
     Textable.create
       ~title:

@@ -3,19 +3,59 @@ module Gc_config = Otfgc.Gc_config
 module Profile = Otfgc_workloads.Profile
 module Driver = Otfgc_workloads.Driver
 module Run_result = Otfgc_metrics.Run_result
+module Pool = Otfgc_support.Pool
 
 type mode = Gen | Non_gen | Aging of int | Gen_remset | Adaptive
+
+type cfg = { profile : Profile.t; mode : mode; card : int; young : int }
+
+type counters = { computed : int; mem_hits : int; disk_hits : int }
 
 type t = {
   scale : float;
   seed : int;
-  cache : (string, Run_result.t) Hashtbl.t;
+  jobs : int;
+  cache_dir : string option;
+  lock : Mutex.t;
+  table : (string, Run_result.t) Hashtbl.t;
+  mutable n_computed : int;
+  mutable n_mem_hits : int;
+  mutable n_disk_hits : int;
 }
 
-let create ?(scale = 1.0) ?(seed = 42) () =
-  { scale; seed; cache = Hashtbl.create 64 }
+let default_cache_dir = "_cache"
+
+(* Bump whenever the run semantics or Run_result layout change: every
+   on-disk record carries this number and stale records are silently
+   recomputed. *)
+let cache_version = 1
+
+let create ?(scale = 1.0) ?(seed = 42) ?jobs
+    ?(cache_dir = Some default_cache_dir) () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  if jobs < 1 then invalid_arg "Lab.create: jobs must be >= 1";
+  {
+    scale;
+    seed;
+    jobs;
+    cache_dir;
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    n_computed = 0;
+    n_mem_hits = 0;
+    n_disk_hits = 0;
+  }
 
 let scale t = t.scale
+let jobs t = t.jobs
+
+let counters t =
+  Mutex.lock t.lock;
+  let c =
+    { computed = t.n_computed; mem_hits = t.n_mem_hits; disk_hits = t.n_disk_hits }
+  in
+  Mutex.unlock t.lock;
+  c
 
 let default_card = 16
 let default_young = 512 * 1024
@@ -37,26 +77,152 @@ let gc_of_mode mode young =
         ~intergen:Gc_config.Remembered_set ()
   | Adaptive -> Gc_config.adaptive ~young_bytes:young ()
 
-let run t ?(card = default_card) ?(young = default_young) ?(mode = Gen) profile
-    =
-  (* The non-generational baseline neither marks nor scans cards, so the
-     card size cannot affect it: normalise it out of the cache key (one
-     baseline run serves a whole card-size sweep). *)
-  let card = match mode with Non_gen -> default_card | _ -> card in
-  let key =
-    Printf.sprintf "%s/%s/c%d/y%d" profile.Profile.name (mode_tag mode) card
-      young
-  in
-  match Hashtbl.find_opt t.cache key with
-  | Some r -> r
-  | None ->
-      let heap = { Driver.default_heap with Heap.card_size = card } in
-      let r =
-        Driver.run ~heap ~seed:t.seed ~scale:t.scale ~gc:(gc_of_mode mode young)
-          profile
-      in
-      Hashtbl.replace t.cache key r;
-      r
+let cfg ?(card = default_card) ?(young = default_young) ?(mode = Gen) profile =
+  { profile; mode; card; young }
+
+(* The non-generational baseline neither marks nor scans cards, so the
+   card size cannot affect it: normalise it out of the cache key (one
+   baseline run serves a whole card-size sweep). *)
+let normalize c =
+  match c.mode with Non_gen -> { c with card = default_card } | _ -> c
+
+(* The key doubles as the cache file name, so it sticks to [-._a-z0-9]
+   characters; scale is rendered as a hex float to keep it exact. *)
+let key t c =
+  Printf.sprintf "%s-%s-c%d-y%d-s%h-r%d" c.profile.Profile.name
+    (mode_tag c.mode) c.card c.young t.scale t.seed
+
+(* ------------------------------------------------------------------ *)
+(* Persistent on-disk cache                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let cache_file t k =
+  Option.map (fun dir -> Filename.concat dir (k ^ ".run")) t.cache_dir
+
+let cache_path t c = cache_file t (key t (normalize c))
+
+(* A record is [(cache_version, key, result)]; anything unreadable, or
+   readable but from another schema version or key, falls back to
+   recomputation. *)
+let disk_load t k =
+  match cache_file t k with
+  | None -> None
+  | Some path -> (
+      if not (Sys.file_exists path) then None
+      else
+        match
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> (Marshal.from_channel ic : int * string * Run_result.t))
+        with
+        | v, k', r when v = cache_version && k' = k -> Some r
+        | _ -> None
+        | exception _ -> None)
+
+let disk_store t k r =
+  match cache_file t k with
+  | None -> ()
+  | Some path -> (
+      try
+        Option.iter mkdir_p t.cache_dir;
+        (* Write-then-rename keeps concurrent writers (several domains,
+           or several gcsim processes) from exposing torn records; the
+           domain id in the temp name keeps sibling workers apart. *)
+        let tmp =
+          Printf.sprintf "%s.%d.tmp" path (Domain.self () :> int)
+        in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Marshal.to_channel oc (cache_version, k, r) []);
+        Sys.rename tmp path
+      with Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Memo table (shared across domains, hence the lock)                  *)
+(* ------------------------------------------------------------------ *)
+
+let mem_find t k =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.table k in
+  Mutex.unlock t.lock;
+  r
+
+let mem_store t k r =
+  Mutex.lock t.lock;
+  Hashtbl.replace t.table k r;
+  Mutex.unlock t.lock
+
+let bump t f =
+  Mutex.lock t.lock;
+  f t;
+  Mutex.unlock t.lock
+
+let compute t c =
+  let heap = { Driver.default_heap with Heap.card_size = c.card } in
+  Driver.run ~heap ~seed:t.seed ~scale:t.scale ~gc:(gc_of_mode c.mode c.young)
+    c.profile
+
+(* Executed on a pool worker: runs the simulation and publishes the
+   result to the memo table and the disk cache. *)
+let compute_and_store t k c =
+  let r = compute t c in
+  bump t (fun t -> t.n_computed <- t.n_computed + 1);
+  mem_store t k r;
+  disk_store t k r
+
+(* ------------------------------------------------------------------ *)
+(* Batch API                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_many t ?jobs cfgs =
+  let jobs = match jobs with Some j -> j | None -> t.jobs in
+  let keyed = List.map (fun c -> key t (normalize c)) cfgs in
+  let normalized = List.map normalize cfgs in
+  (* Resolve every configuration against the memo table and then the
+     disk cache; the leftovers are the unique simulations to run. *)
+  let pending = Hashtbl.create 16 in
+  let misses = ref [] in
+  List.iter2
+    (fun k c ->
+      if not (Hashtbl.mem pending k) then
+        match mem_find t k with
+        | Some _ -> bump t (fun t -> t.n_mem_hits <- t.n_mem_hits + 1)
+        | None -> (
+            match disk_load t k with
+            | Some r ->
+                bump t (fun t -> t.n_disk_hits <- t.n_disk_hits + 1);
+                mem_store t k r
+            | None ->
+                Hashtbl.add pending k ();
+                misses := (k, c) :: !misses))
+    keyed normalized;
+  let misses = Array.of_list (List.rev !misses) in
+  let thunks = Array.map (fun (k, c) () -> compute_and_store t k c) misses in
+  if Array.length thunks > 0 then begin
+    if jobs <= 1 || Array.length thunks = 1 then
+      Array.iter (fun f -> f ()) thunks
+    else
+      Pool.with_pool ~jobs (fun p -> ignore (Pool.run p thunks : unit array))
+  end;
+  List.map
+    (fun k ->
+      match mem_find t k with Some r -> r | None -> assert false)
+    keyed
+
+let prefetch t ?jobs cfgs = ignore (run_many t ?jobs cfgs : Run_result.t list)
+
+let run t ?card ?young ?mode profile =
+  match run_many t ~jobs:1 [ cfg ?card ?young ?mode profile ] with
+  | [ r ] -> r
+  | _ -> assert false
 
 let improvement t ?card ?young ?(mode = Gen) ?(multiprocessor = true) profile =
   let candidate = run t ?card ?young ~mode profile in

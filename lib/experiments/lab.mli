@@ -2,17 +2,39 @@
 
     A lab memoises workload runs by configuration so that figures sharing
     the same run (e.g. Figures 10–15 all read the default-configuration
-    runs) execute it once.  All knobs default to the paper's chosen
-    parameters: object marking (16-byte cards), 512 KB young generation
-    (the paper's 4 MB scaled by 8), simple promotion. *)
+    runs) execute it once — in memory for the life of the lab, and in a
+    persistent on-disk cache (default [_cache/]) across processes, so a
+    repeated figure regeneration performs zero simulation runs.
+
+    Independent configurations can be fanned out across OCaml 5 domains
+    with {!run_many}.  Every simulation is deterministic in its
+    [(profile, mode, card, young, scale, seed)] configuration — it builds
+    its own heap, scheduler and RNG — so parallel execution returns
+    results identical to sequential execution; the tests assert this.
+
+    All knobs default to the paper's chosen parameters: object marking
+    (16-byte cards), 512 KB young generation (the paper's 4 MB scaled by
+    8), simple promotion. *)
 
 type t
 
-val create : ?scale:float -> ?seed:int -> unit -> t
+val create :
+  ?scale:float ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?cache_dir:string option ->
+  unit ->
+  t
 (** [scale] multiplies every workload's allocation volume (default 1.0);
-    benchmarks use it to trade fidelity for speed. *)
+    benchmarks use it to trade fidelity for speed.  [jobs] is the default
+    parallelism of {!run_many} (default {!Otfgc_support.Pool.default_jobs},
+    i.e. the [OTFGC_JOBS] environment variable or the recommended domain
+    count; [1] = sequential).  [cache_dir] locates the persistent cache;
+    [None] disables it (default [Some "_cache"]). *)
 
 val scale : t -> float
+
+val jobs : t -> int
 
 type mode = Gen | Non_gen | Aging of int | Gen_remset | Adaptive
 (** Collector selection; [Aging n] uses the paper's threshold convention
@@ -21,6 +43,31 @@ type mode = Gen | Non_gen | Aging of int | Gen_remset | Adaptive
     taken); [Adaptive] is the dynamic tenuring policy of Section 6's
     future-work remark. *)
 
+type cfg = { profile : Otfgc_workloads.Profile.t; mode : mode; card : int; young : int }
+(** One simulation configuration — the unit of batching and caching. *)
+
+val cfg :
+  ?card:int ->
+  ?young:int ->
+  ?mode:mode ->
+  Otfgc_workloads.Profile.t ->
+  cfg
+(** Build a configuration with the paper's defaults: 16-byte cards,
+    512 KB young generation, [Gen]. *)
+
+val run_many :
+  t -> ?jobs:int -> cfg list -> Otfgc_metrics.Run_result.t list
+(** Resolve every configuration, in order.  Each unique configuration is
+    looked up in the memo table, then in the disk cache; the remaining
+    misses are simulated — across [jobs] domains (default: the lab's
+    [jobs]) on a work-stealing pool when [jobs > 1], sequentially in the
+    calling domain otherwise.  Results are independent of [jobs]. *)
+
+val prefetch : t -> ?jobs:int -> cfg list -> unit
+(** [run_many] for effect: figure modules submit their whole
+    configuration grid up front, so the subsequent table-rendering loops
+    are pure cache hits. *)
+
 val run :
   t ->
   ?card:int ->
@@ -28,7 +75,7 @@ val run :
   ?mode:mode ->
   Otfgc_workloads.Profile.t ->
   Otfgc_metrics.Run_result.t
-(** Run (or recall) the profile under the given configuration.
+(** Run (or recall) one configuration in the calling domain.
     Defaults: 16-byte cards, 512 KB young generation, [Gen]. *)
 
 val improvement :
@@ -43,3 +90,21 @@ val improvement :
     the non-generational baseline (same card/young settings), positive =
     generations faster.  [multiprocessor] defaults to [true] (the paper's
     4-way measurements); [false] selects the uniprocessor elapsed proxy. *)
+
+(** {2 Cache observability} *)
+
+type counters = { computed : int; mem_hits : int; disk_hits : int }
+(** [computed] counts actual simulation runs; [mem_hits] resolutions from
+    the in-memory memo table; [disk_hits] records reloaded from the
+    persistent cache. *)
+
+val counters : t -> counters
+
+val cache_version : int
+(** Schema version stamped into every cache record; bumping it
+    invalidates all previously written records. *)
+
+val cache_path : t -> cfg -> string option
+(** The file a configuration's cached result lives in ([None] when the
+    lab has no cache directory).  The key encodes profile, mode, card,
+    young size, scale and seed. *)

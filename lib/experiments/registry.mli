@@ -7,6 +7,10 @@ type entry = {
   heavy : bool;
       (** parameter sweeps (Figures 16–23) that run dozens of
           configurations; the bench harness runs them at reduced scale *)
+  configs : Lab.cfg list;
+      (** the figure's whole configuration grid, enumerated up front so
+          harnesses can batch several figures into one
+          {!Lab.run_many} submission *)
   run : Lab.t -> Otfgc_support.Textable.t;
 }
 

@@ -18,3 +18,13 @@ let object_marking = 16
 let raytracer_threads = [ 2; 4; 6; 8; 10 ]
 
 let fmt_signed v = Printf.sprintf "%.1f" v
+
+(* Config-grid helpers: every figure enumerates its whole grid up front
+   and submits it to [Lab.run_many] as one batch, so the individual runs
+   can fan out across domains before any table rendering starts. *)
+
+let gen_and_baseline ?card ?young p =
+  [ Lab.cfg ?card ?young p; Lab.cfg ?card ?young ~mode:Lab.Non_gen p ]
+
+let gen_and_baseline_all ?card ?young profiles =
+  List.concat_map (fun p -> gen_and_baseline ?card ?young p) profiles

@@ -42,6 +42,8 @@ val clear_all : t -> unit
     algorithm). *)
 
 val dirty_count : t -> int
+(** Number of dirty cards.  Scans the mark bytes a 64-bit word at a
+    time, skipping eight clean cards per probe. *)
 
 val card_bounds : t -> int -> int * int
 (** [card_bounds t card] is the [(first, last)] heap byte addresses covered
@@ -49,4 +51,6 @@ val card_bounds : t -> int -> int * int
 
 val iter_dirty : t -> (int -> unit) -> unit
 (** Iterate indices of dirty cards in increasing order.  Callback may clear
-    or set marks; the iteration reads the table once per card in order. *)
+    or set marks; dirty cards are re-read individually in order, while runs
+    of eight clean cards ahead of the cursor are skipped with a single
+    word-sized probe. *)

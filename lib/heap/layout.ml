@@ -1,10 +1,15 @@
 let granule = 16
 let page_size = 4096
 
-let granules_of_bytes b = (b + granule - 1) / granule
-let bytes_of_granules g = g * granule
-let granule_index addr = addr / granule
-let page_of_addr addr = addr / page_size
+(* Both sizes are powers of two; derive the shifts once and index by
+   shifting, as every table lookup sits on the simulator's hot path. *)
+let granule_shift = Otfgc_support.Bits.log2_exact granule
+let page_shift = Otfgc_support.Bits.log2_exact page_size
+
+let granules_of_bytes b = (b + granule - 1) lsr granule_shift
+let bytes_of_granules g = g lsl granule_shift
+let granule_index addr = addr lsr granule_shift
+let page_of_addr addr = addr lsr page_shift
 
 type tables = {
   heap_base : int;
@@ -17,7 +22,7 @@ type tables = {
 
 let make_tables ~max_heap_bytes ~card_size =
   if max_heap_bytes <= 0 then invalid_arg "Layout.make_tables: empty heap";
-  if card_size < granule || card_size land (card_size - 1) <> 0 then
+  if card_size < granule || not (Otfgc_support.Bits.is_pow2 card_size) then
     invalid_arg "Layout.make_tables: card size must be a power of two >= 16";
   let n_granules = granules_of_bytes max_heap_bytes in
   let n_cards = (max_heap_bytes + card_size - 1) / card_size in

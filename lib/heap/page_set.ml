@@ -12,9 +12,9 @@ let touch_range t addr len =
   if len > 0 then begin
     let first = Layout.page_of_addr addr in
     let last = Layout.page_of_addr (addr + len - 1) in
-    for p = first to last do
-      Otfgc_support.Bitset.add t.pages p
-    done
+    (* One word-blitting range-add instead of a bit store per page, so
+       sweeping a large span costs O(pages/8) table writes. *)
+    Otfgc_support.Bitset.add_range t.pages first (last - first + 1)
   end
 
 let touch_heap_object t ~addr ~size = touch_range t addr size

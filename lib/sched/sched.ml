@@ -34,8 +34,12 @@ type t = {
 (* The scheduler running a process is recorded here so that [yield] (which
    has no scheduler argument by design — barrier code deep inside the heap
    must not thread it through) can find the current process.  Schedulers
-   never nest. *)
-let active : t option ref = ref None
+   never nest within a domain, but the experiment harness runs one
+   simulation per domain in parallel, so the slot is domain-local. *)
+let active : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let active () = Domain.DLS.get active
 
 let create ?(policy = Round_robin) ?(quantum = 1) () =
   if quantum < 1 then invalid_arg "Sched.create: quantum must be >= 1";
@@ -63,7 +67,7 @@ let spawn t ?(daemon = false) ~name fn =
   id
 
 let current_proc () =
-  match !active with
+  match !(active ()) with
   | Some t -> (
       match t.current with
       | Some p -> p
@@ -159,6 +163,7 @@ let resume t p =
   t.current <- None
 
 let run ?(max_steps = max_int) t =
+  let active = active () in
   (match !active with
   | Some _ -> failwith "Sched.run: schedulers cannot nest"
   | None -> active := Some t);

@@ -1,0 +1,7 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  if not (is_pow2 n) then
+    invalid_arg "Bits.log2_exact: argument must be a positive power of two";
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0

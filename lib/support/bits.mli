@@ -1,0 +1,13 @@
+(** Small integer bit utilities shared by the table layouts.
+
+    Every table in the simulator (cards, pages, granules, cache lines)
+    derives an index by shifting an address right by the log of a
+    power-of-two size; this module is the single home for that
+    derivation. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is true iff [n] is a positive power of two. *)
+
+val log2_exact : int -> int
+(** [log2_exact n] is [k] such that [1 lsl k = n].  Raises
+    [Invalid_argument] unless [n] is a positive power of two. *)

@@ -20,6 +20,32 @@ let add t i =
   let b = Char.code (Bytes.get t.words (i lsr 3)) in
   Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
 
+let add_range t lo len =
+  if len < 0 then invalid_arg "Bitset.add_range: negative length";
+  if len > 0 then begin
+    check t lo;
+    check t (lo + len - 1);
+    let hi = lo + len - 1 in
+    let first_byte = lo lsr 3 and last_byte = hi lsr 3 in
+    if first_byte = last_byte then begin
+      (* Bits [lo land 7 .. hi land 7] of a single byte. *)
+      let mask = ((1 lsl len) - 1) lsl (lo land 7) in
+      let b = Char.code (Bytes.get t.words first_byte) in
+      Bytes.set t.words first_byte (Char.chr (b lor mask))
+    end
+    else begin
+      let head = 0xff lsl (lo land 7) land 0xff in
+      let b = Char.code (Bytes.get t.words first_byte) in
+      Bytes.set t.words first_byte (Char.chr (b lor head));
+      (* Whole bytes in between are blitted eight elements at a time. *)
+      if last_byte > first_byte + 1 then
+        Bytes.fill t.words (first_byte + 1) (last_byte - first_byte - 1) '\255';
+      let tail = (1 lsl ((hi land 7) + 1)) - 1 in
+      let b = Char.code (Bytes.get t.words last_byte) in
+      Bytes.set t.words last_byte (Char.chr (b lor tail))
+    end
+  end
+
 let remove t i =
   check t i;
   let b = Char.code (Bytes.get t.words (i lsr 3)) in

@@ -13,6 +13,13 @@ val capacity : t -> int
 
 val mem : t -> int -> bool
 val add : t -> int -> unit
+
+val add_range : t -> int -> int -> unit
+(** [add_range t lo len] adds every element of [lo .. lo+len-1] in
+    O(len/8): interior bytes are filled eight elements at a time, only
+    the edge bytes are masked.  Raises [Invalid_argument] if the range
+    leaves the universe or [len] is negative. *)
+
 val remove : t -> int -> unit
 
 val clear : t -> unit

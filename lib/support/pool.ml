@@ -1,0 +1,146 @@
+(* A small work-stealing pool of OCaml 5 domains.
+
+   Tasks here are coarse (whole workload simulations, milliseconds to
+   seconds each), so the stealing protocol favours simplicity over
+   lock-freedom: each worker owns a deque of thunks, all deques are
+   guarded by the single pool mutex, and an idle worker steals the
+   oldest task from the victim with the most work left.  Submission
+   distributes a batch round-robin and waits on a condition variable
+   for the completion count. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  batch_done : Condition.t;
+  deques : task Queue.t array; (* deques.(w) owned by worker w *)
+  mutable outstanding : int; (* unfinished tasks of the current batch *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "OTFGC_JOBS" with
+  | Some s when (match int_of_string_opt (String.trim s) with
+                | Some n -> n >= 1
+                | None -> false) ->
+      int_of_string (String.trim s)
+  | _ -> Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+(* Pop from our own deque, else steal the oldest task from the fullest
+   victim.  Caller holds [t.mutex]. *)
+let take t w =
+  if not (Queue.is_empty t.deques.(w)) then Some (Queue.pop t.deques.(w))
+  else begin
+    let victim = ref (-1) and best = ref 0 in
+    Array.iteri
+      (fun i q ->
+        let len = Queue.length q in
+        if i <> w && len > !best then begin
+          victim := i;
+          best := len
+        end)
+      t.deques;
+    if !victim < 0 then None else Some (Queue.pop t.deques.(!victim))
+  end
+
+let worker t w () =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match take t w with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        t.outstanding <- t.outstanding - 1;
+        if t.outstanding = 0 then Condition.signal t.batch_done;
+        loop ()
+    | None ->
+        if t.stopping then Mutex.unlock t.mutex
+        else begin
+          Condition.wait t.work_ready t.mutex;
+          loop ()
+        end
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      deques = Array.init jobs (fun _ -> Queue.create ());
+      outstanding = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  (* jobs = 1 is the deterministic sequential fallback: no domains at
+     all, [run] executes in the calling domain. *)
+  if jobs > 1 then
+    t.domains <- List.init jobs (fun w -> Domain.spawn (worker t w));
+  t
+
+let shutdown t =
+  if t.jobs > 1 then begin
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let run (type a) t (tasks : (unit -> a) array) : a array =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else if t.jobs = 1 || n = 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let results : a option array = Array.make n None in
+    (* first error by task index, so a failing batch raises the same
+       exception regardless of execution order *)
+    let err : (int * exn * Printexc.raw_backtrace) option ref = ref None in
+    let wrap i () =
+      match tasks.(i) () with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock t.mutex;
+          (match !err with
+          | Some (j, _, _) when j < i -> ()
+          | _ -> err := Some (i, e, bt));
+          Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    if t.outstanding > 0 then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is already running a batch"
+    end;
+    for i = 0 to n - 1 do
+      Queue.push (wrap i) t.deques.(i mod t.jobs)
+    done;
+    t.outstanding <- n;
+    Condition.broadcast t.work_ready;
+    while t.outstanding > 0 do
+      Condition.wait t.batch_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (match !err with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map t f xs = run t (Array.map (fun x () -> f x) xs)
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

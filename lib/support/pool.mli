@@ -1,0 +1,40 @@
+(** Work-stealing pool of OCaml 5 domains for coarse independent tasks.
+
+    The experiment harness fans hundreds of independent, deterministic
+    workload simulations out across domains.  Tasks must not share
+    mutable state (each simulation builds its own heap, scheduler and
+    RNG from its seed), so parallel and sequential execution produce
+    identical results; [jobs = 1] is an exact sequential fallback that
+    spawns no domains at all.
+
+    Batches are submitted from one domain at a time; [run] from inside
+    a task is not supported. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [OTFGC_JOBS] environment variable when set to a positive
+    integer, otherwise {!Domain.recommended_domain_count}. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
+    [jobs = 1] creates no domains.  Raises [Invalid_argument] when
+    [jobs < 1]. *)
+
+val jobs : t -> int
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** Execute every task and return their results in submission order.
+    Tasks are distributed round-robin over the workers' deques; idle
+    workers steal the oldest task from the fullest deque.  If any task
+    raises, the batch still runs to completion and the exception of
+    the lowest-indexed failing task is re-raised. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] is [run] over [fun () -> f x]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  The pool must be idle. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], apply, then [shutdown] (also on exceptions). *)

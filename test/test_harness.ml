@@ -1,0 +1,185 @@
+(* Tests for the domain-parallel experiment harness: Lab.run_many must
+   be independent of the jobs count (every simulation is deterministic
+   in its configuration), and the persistent disk cache must round-trip
+   results, fall back to recomputation on corrupt or stale records, and
+   expose its activity through the lab counters. *)
+
+module Lab = Otfgc_experiments.Lab
+module Registry = Otfgc_experiments.Registry
+module Profile = Otfgc_workloads.Profile
+module R = Otfgc_metrics.Run_result
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_scale = 0.01
+
+(* A fresh directory name under the system temp dir; the lab itself
+   creates it on first store. *)
+let fresh_cache_dir () =
+  let f = Filename.temp_file "otfgc-harness" ".cache" in
+  Sys.remove f;
+  f
+
+let no_cache = (None : string option)
+
+(* ------------------------------------------------------------------ *)
+(* run_many: batching and determinism                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Eight distinct configurations across profiles, modes, card and young
+   sizes — the grid the acceptance criterion asks for. *)
+let grid =
+  [
+    Lab.cfg Profile.jack;
+    Lab.cfg ~mode:Lab.Non_gen Profile.jack;
+    Lab.cfg ~mode:(Lab.Aging 2) Profile.jack;
+    Lab.cfg ~mode:Lab.Adaptive Profile.jack;
+    Lab.cfg ~young:(256 * 1024) Profile.jack;
+    Lab.cfg Profile.anagram;
+    Lab.cfg ~mode:Lab.Non_gen Profile.anagram;
+    Lab.cfg ~card:64 Profile.anagram;
+  ]
+
+let test_run_many_parallel_equals_sequential () =
+  let seq_lab = Lab.create ~scale:tiny_scale ~jobs:1 ~cache_dir:no_cache () in
+  let par_lab = Lab.create ~scale:tiny_scale ~jobs:4 ~cache_dir:no_cache () in
+  let seq = Lab.run_many seq_lab grid in
+  let par = Lab.run_many par_lab grid in
+  check_int "sequential computed the whole grid" (List.length grid)
+    (Lab.counters seq_lab).Lab.computed;
+  check_int "parallel computed the whole grid" (List.length grid)
+    (Lab.counters par_lab).Lab.computed;
+  check "jobs>1 results identical to sequential" true
+    (List.for_all2 (fun a b -> compare a b = 0) seq par)
+
+let test_run_many_order_and_dedup () =
+  let lab = Lab.create ~scale:tiny_scale ~jobs:2 ~cache_dir:no_cache () in
+  let cfgs =
+    [ Lab.cfg Profile.jack; Lab.cfg Profile.anagram; Lab.cfg Profile.jack ]
+  in
+  let rs = Lab.run_many lab cfgs in
+  check_int "three results" 3 (List.length rs);
+  check "results align with submissions" true
+    (List.for_all2
+       (fun c r -> c.Lab.profile.Profile.name = r.R.workload)
+       cfgs rs);
+  check_int "duplicate simulated once" 2 (Lab.counters lab).Lab.computed;
+  check "duplicates share the memoised run" true
+    (List.nth rs 0 == List.nth rs 2)
+
+let test_run_many_agrees_with_run () =
+  let lab = Lab.create ~scale:tiny_scale ~jobs:2 ~cache_dir:no_cache () in
+  let batched = Lab.run_many lab [ Lab.cfg ~card:64 Profile.jack ] in
+  let single = Lab.run lab ~card:64 Profile.jack in
+  check "same memoised result" true (List.hd batched == single)
+
+let test_registry_grids_cover_figures () =
+  (* every figure both declares a grid and renders entirely from it:
+     after a prefetch of [configs], running the figure simulates nothing *)
+  List.iter
+    (fun id ->
+      let e = Option.get (Registry.find id) in
+      let lab = Lab.create ~scale:tiny_scale ~jobs:1 ~cache_dir:no_cache () in
+      Lab.prefetch lab e.Registry.configs;
+      let computed_before = (Lab.counters lab).Lab.computed in
+      check "grid is non-empty" true (e.Registry.configs <> []);
+      ignore (e.Registry.run lab : Otfgc_support.Textable.t);
+      check_int
+        (Printf.sprintf "%s renders with zero extra simulations" id)
+        computed_before (Lab.counters lab).Lab.computed)
+    [ "fig8"; "fig10" ];
+  check "every registry entry has a grid" true
+    (List.for_all (fun e -> e.Registry.configs <> []) Registry.all)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_roundtrip () =
+  let dir = fresh_cache_dir () in
+  let mk () =
+    Lab.create ~scale:tiny_scale ~jobs:1 ~cache_dir:(Some dir) ()
+  in
+  let lab1 = mk () in
+  let r1 = Lab.run lab1 Profile.jack in
+  let c1 = Lab.counters lab1 in
+  check_int "cold lab simulates" 1 c1.Lab.computed;
+  check_int "cold lab reads nothing" 0 c1.Lab.disk_hits;
+  let path = Option.get (Lab.cache_path lab1 (Lab.cfg Profile.jack)) in
+  check "record written" true (Sys.file_exists path);
+  (* a fresh lab (fresh process, in effect) resolves from disk *)
+  let lab2 = mk () in
+  let r2 = Lab.run lab2 Profile.jack in
+  let c2 = Lab.counters lab2 in
+  check_int "warm lab simulates nothing" 0 c2.Lab.computed;
+  check_int "warm lab hits disk" 1 c2.Lab.disk_hits;
+  check "reloaded result equals computed result" true (compare r1 r2 = 0)
+
+let test_cache_corrupt_record_recomputes () =
+  let dir = fresh_cache_dir () in
+  let mk () =
+    Lab.create ~scale:tiny_scale ~jobs:1 ~cache_dir:(Some dir) ()
+  in
+  let lab1 = mk () in
+  ignore (Lab.run lab1 Profile.jack : R.t);
+  let path = Option.get (Lab.cache_path lab1 (Lab.cfg Profile.jack)) in
+  let oc = open_out_bin path in
+  output_string oc "not a marshalled record";
+  close_out oc;
+  let lab2 = mk () in
+  ignore (Lab.run lab2 Profile.jack : R.t);
+  let c2 = Lab.counters lab2 in
+  check_int "corrupt record ignored, run recomputed" 1 c2.Lab.computed;
+  check_int "no disk hit" 0 c2.Lab.disk_hits
+
+let test_cache_version_mismatch_recomputes () =
+  let dir = fresh_cache_dir () in
+  let mk () =
+    Lab.create ~scale:tiny_scale ~jobs:1 ~cache_dir:(Some dir) ()
+  in
+  let lab1 = mk () in
+  let r1 = Lab.run lab1 Profile.jack in
+  let path = Option.get (Lab.cache_path lab1 (Lab.cfg Profile.jack)) in
+  let key = Filename.chop_suffix (Filename.basename path) ".run" in
+  (* rewrite the record as if a future schema version had produced it *)
+  let oc = open_out_bin path in
+  Marshal.to_channel oc (Lab.cache_version + 1, key, r1) [];
+  close_out oc;
+  let lab2 = mk () in
+  ignore (Lab.run lab2 Profile.jack : R.t);
+  let c2 = Lab.counters lab2 in
+  check_int "stale version ignored, run recomputed" 1 c2.Lab.computed;
+  check_int "no disk hit" 0 c2.Lab.disk_hits;
+  (* recomputation repaired the record at the current version *)
+  let lab3 = mk () in
+  ignore (Lab.run lab3 Profile.jack : R.t);
+  check_int "repaired record hits" 1 (Lab.counters lab3).Lab.disk_hits
+
+let test_cache_disabled () =
+  let lab = Lab.create ~scale:tiny_scale ~jobs:1 ~cache_dir:no_cache () in
+  check "no cache path" true (Lab.cache_path lab (Lab.cfg Profile.jack) = None);
+  ignore (Lab.run lab Profile.jack : R.t);
+  check_int "computed" 1 (Lab.counters lab).Lab.computed
+
+let suites =
+  [
+    ( "harness.run_many",
+      [
+        Alcotest.test_case "parallel equals sequential" `Quick
+          test_run_many_parallel_equals_sequential;
+        Alcotest.test_case "order and dedup" `Quick test_run_many_order_and_dedup;
+        Alcotest.test_case "agrees with run" `Quick test_run_many_agrees_with_run;
+        Alcotest.test_case "registry grids cover figures" `Quick
+          test_registry_grids_cover_figures;
+      ] );
+    ( "harness.cache",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
+        Alcotest.test_case "corrupt record" `Quick
+          test_cache_corrupt_record_recomputes;
+        Alcotest.test_case "version mismatch" `Quick
+          test_cache_version_mismatch_recomputes;
+        Alcotest.test_case "disabled" `Quick test_cache_disabled;
+      ] );
+  ]

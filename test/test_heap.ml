@@ -410,6 +410,60 @@ let test_cards_size_validation () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* The word-level [dirty_count]/[iter_dirty] must agree with the naive
+   one-byte-per-card loop they replaced, on any mark pattern and on card
+   counts that are not multiples of the 8-card probe width. *)
+
+let naive_dirty_cards t =
+  let dirty = ref [] in
+  for card = Card_table.n_cards t - 1 downto 0 do
+    if Card_table.is_dirty t card then dirty := card :: !dirty
+  done;
+  !dirty
+
+let prop_cards_wordscan_matches_naive =
+  QCheck.Test.make ~name:"word-level card scan agrees with byte loop" ~count:200
+    QCheck.(pair (int_range 1 200) (list (int_bound 10_000)))
+    (fun (n_cards, marks) ->
+      (* 16-byte cards: n_cards covers every residue mod 8, including
+         tables smaller than one probe word *)
+      let t = Card_table.create ~card_size:16 ~max_heap_bytes:(16 * n_cards) in
+      List.iter (fun m -> Card_table.mark_card t (m mod n_cards)) marks;
+      let expected = naive_dirty_cards t in
+      let seen = ref [] in
+      Card_table.iter_dirty t (fun c -> seen := c :: !seen);
+      List.rev !seen = expected
+      && Card_table.dirty_count t = List.length expected)
+
+let prop_cards_wordscan_dense =
+  QCheck.Test.make ~name:"word-level card scan on dense/sparse extremes"
+    ~count:50
+    QCheck.(pair (int_range 1 300) bool)
+    (fun (n_cards, dense) ->
+      let t = Card_table.create ~card_size:16 ~max_heap_bytes:(16 * n_cards) in
+      if dense then
+        for c = 0 to n_cards - 1 do
+          Card_table.mark_card t c
+        done
+      else if n_cards > 1 then Card_table.mark_card t (n_cards - 1);
+      let expected = naive_dirty_cards t in
+      let seen = ref [] in
+      Card_table.iter_dirty t (fun c -> seen := c :: !seen);
+      List.rev !seen = expected
+      && Card_table.dirty_count t = List.length expected)
+
+let test_cards_iter_dirty_clearing_callback () =
+  (* the collector's own usage: the callback cleans each card it visits *)
+  let t = Card_table.create ~card_size:16 ~max_heap_bytes:(16 * 37) in
+  List.iter (Card_table.mark_card t) [ 0; 7; 8; 20; 35; 36 ];
+  let seen = ref [] in
+  Card_table.iter_dirty t (fun c ->
+      seen := c :: !seen;
+      Card_table.clear_card t c);
+  check "visited all once, in order" true
+    (List.rev !seen = [ 0; 7; 8; 20; 35; 36 ]);
+  check_int "all clean afterwards" 0 (Card_table.dirty_count t)
+
 (* ------------------------------------------------------------------ *)
 (* Age table                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -528,6 +582,10 @@ let suites =
         Alcotest.test_case "bounds" `Quick test_cards_bounds;
         Alcotest.test_case "clear all / iter" `Quick test_cards_clear_all_and_iter;
         Alcotest.test_case "size validation" `Quick test_cards_size_validation;
+        Alcotest.test_case "iter_dirty with clearing callback" `Quick
+          test_cards_iter_dirty_clearing_callback;
+        QCheck_alcotest.to_alcotest prop_cards_wordscan_matches_naive;
+        QCheck_alcotest.to_alcotest prop_cards_wordscan_dense;
       ] );
     ("heap.ages", [ Alcotest.test_case "ages" `Quick test_ages ]);
     ( "heap.pages",

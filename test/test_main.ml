@@ -18,4 +18,5 @@ let () =
          Test_runtime.suites;
          Test_structs.suites;
          Test_workloads.suites;
+         Test_harness.suites;
        ])

@@ -220,6 +220,108 @@ let prop_bitset_model =
       Bitset.cardinal s = Hashtbl.length model
       && List.for_all (fun i -> Hashtbl.mem model i) (Bitset.to_list s))
 
+let prop_bitset_add_range =
+  QCheck.Test.make ~name:"add_range agrees with per-element add" ~count:300
+    QCheck.(pair (int_bound 99) (int_bound 100))
+    (fun (lo, len) ->
+      let len = min len (100 - lo) in
+      let fast = Bitset.create 100 and slow = Bitset.create 100 in
+      (* a little pre-existing content that must survive *)
+      List.iter
+        (fun i ->
+          Bitset.add fast i;
+          Bitset.add slow i)
+        [ 0; 31; 64; 99 ];
+      Bitset.add_range fast lo len;
+      for i = lo to lo + len - 1 do
+        Bitset.add slow i
+      done;
+      Bitset.to_list fast = Bitset.to_list slow)
+
+let test_bitset_add_range_bounds () =
+  let s = Bitset.create 16 in
+  Bitset.add_range s 0 0;
+  Bitset.add_range s 15 1;
+  check_int "edges" 1 (Bitset.cardinal s);
+  Alcotest.check_raises "past end" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add_range s 10 7);
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Bitset.add_range: negative length") (fun () ->
+      Bitset.add_range s 2 (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Bits                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_log2_exact () =
+  check_int "1" 0 (Bits.log2_exact 1);
+  check_int "16" 4 (Bits.log2_exact 16);
+  check_int "4096" 12 (Bits.log2_exact 4096);
+  check "round trip" true
+    (List.for_all (fun k -> Bits.log2_exact (1 lsl k) = k)
+       [ 0; 1; 5; 12; 20; 30 ]);
+  List.iter
+    (fun bad ->
+      check "rejects non-powers" true
+        (match Bits.log2_exact bad with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ 0; -16; 3; 48; 4095 ]
+
+let test_bits_is_pow2 () =
+  check "16" true (Bits.is_pow2 16);
+  check "1" true (Bits.is_pow2 1);
+  check "0" false (Bits.is_pow2 0);
+  check "neg" false (Bits.is_pow2 (-4));
+  check "48" false (Bits.is_pow2 48)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_preserves_order () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = Array.init 100 Fun.id in
+      let ys = Pool.map p (fun x -> x * x) xs in
+      check "order preserved" true (ys = Array.init 100 (fun i -> i * i)))
+
+let test_pool_sequential_fallback () =
+  Pool.with_pool ~jobs:1 (fun p ->
+      check_int "jobs" 1 (Pool.jobs p);
+      let ys = Pool.map p string_of_int [| 1; 2; 3 |] in
+      check "seq map" true (ys = [| "1"; "2"; "3" |]))
+
+let test_pool_empty_batch () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      check_int "empty" 0 (Array.length (Pool.run p [||])))
+
+let test_pool_reusable () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let a = Pool.map p succ (Array.init 10 Fun.id) in
+      let b = Pool.map p pred (Array.init 10 Fun.id) in
+      check "first batch" true (a = Array.init 10 succ);
+      check "second batch" true (b = Array.init 10 pred))
+
+let test_pool_exception_lowest_index () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      match
+        Pool.run p
+          [|
+            (fun () -> 1);
+            (fun () -> failwith "first");
+            (fun () -> failwith "second");
+          |]
+      with
+      | _ -> check "should raise" true false
+      | exception Failure m ->
+          Alcotest.(check string) "lowest-index error wins" "first" m)
+
+let test_pool_bad_jobs () =
+  check "jobs < 1 rejected" true
+    (match Pool.create ~jobs:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -321,6 +423,23 @@ let suites =
         Alcotest.test_case "union" `Quick test_bitset_union;
         Alcotest.test_case "copy independent" `Quick test_bitset_copy_independent;
         QCheck_alcotest.to_alcotest prop_bitset_model;
+        Alcotest.test_case "add_range bounds" `Quick test_bitset_add_range_bounds;
+        QCheck_alcotest.to_alcotest prop_bitset_add_range;
+      ] );
+    ( "support.bits",
+      [
+        Alcotest.test_case "log2_exact" `Quick test_bits_log2_exact;
+        Alcotest.test_case "is_pow2" `Quick test_bits_is_pow2;
+      ] );
+    ( "support.pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_pool_map_preserves_order;
+        Alcotest.test_case "sequential fallback" `Quick test_pool_sequential_fallback;
+        Alcotest.test_case "empty batch" `Quick test_pool_empty_batch;
+        Alcotest.test_case "reusable" `Quick test_pool_reusable;
+        Alcotest.test_case "exception lowest index" `Quick
+          test_pool_exception_lowest_index;
+        Alcotest.test_case "bad jobs" `Quick test_pool_bad_jobs;
       ] );
     ( "support.stats",
       [
