@@ -286,8 +286,7 @@ let clear_cards_simple st cycle =
       charge_tick st Cost.c_card_visit;
       Card_table.clear_card cards card;
       State.step st;
-      List.iter
-        (fun x ->
+      Heap.iter_objects_on_card heap card (fun x ->
           charge_tick st Cost.c_card_obj;
           Page_set.touch_range st.pages x Layout.granule;
           State.step st;
@@ -302,7 +301,6 @@ let clear_cards_simple st cycle =
             Gray_queue.push st.gray x;
             Cost.collector st.cost Cost.c_mark_gray
           end)
-        (Heap.objects_on_card heap card)
     end
   done
 
@@ -339,8 +337,7 @@ let clear_cards_aging st cycle =
          clears the card's mark" — requires this wider check, and the
          narrower one demonstrably loses objects: see test_props.ml.) *)
       let has_young = ref false in
-      List.iter
-        (fun x ->
+      Heap.iter_objects_on_card heap card (fun x ->
           charge_tick st Cost.c_card_obj;
           Page_set.touch_range st.pages x Layout.granule;
           Page_set.touch_age st.pages x;
@@ -367,8 +364,7 @@ let clear_cards_aging st cycle =
               Page_set.touch_age st.pages y;
               if not (is_old st y) then has_young := true
             end
-          done)
-        (Heap.objects_on_card heap card);
+          done);
       (* Step 3: keep the mark consistent with what the scan found. *)
       if naive then begin
         if not !has_young then begin
@@ -439,8 +435,10 @@ let init_full_collection st ~clear_card_marks =
   let addr = ref 0 in
   while !addr < Heap.capacity heap do
     charge_tick st 2;
-    let size = Space.block_size space !addr in
-    (if Space.kind_of space !addr = Space.Allocated then begin
+    (* header-to-header walk: the cursor is a block start by construction,
+       so the bounds-check-free accessors apply *)
+    let size = Space.unsafe_size space !addr in
+    (if Space.unsafe_kind space !addr = Space.Allocated then begin
        Page_set.touch_color st.pages !addr;
        let c = Heap.color heap !addr in
        if Color.equal c Color.Black || Color.equal c Color.Gray then
@@ -522,11 +520,14 @@ let sweep st cycle =
   let tenure = survivals_to_tenure st in
   let addr = ref 0 in
   while !addr < Heap.capacity heap do
-    let size = Space.block_size space !addr in
+    (* header-to-header walk, so the bounds-check-free accessors apply;
+       merge_free_prev and free only ever move block boundaries at or
+       before the cursor, never ahead of it *)
+    let size = Space.unsafe_size space !addr in
     (* sweeping is linear in bytes: header cost plus a per-64-byte term *)
     charge_tick st (Cost.c_sweep_block + (size / 64));
     let x = !addr in
-    (match Space.kind_of space x with
+    (match Space.unsafe_kind space x with
     | Space.Free ->
         (* merge runs of free blocks leftward as the cursor passes *)
         ignore (Heap.merge_free_prev heap x : int)

@@ -1,25 +1,33 @@
-type t = { mutable items : int list; mutable size : int; mutable max_size : int }
+(* Growable int-array stack.  The previous representation was a cons-cell
+   stack, which allocated one minor-heap cell per shaded object; pushes
+   and pops are now stores into a flat buffer that only the occasional
+   doubling reallocates.  LIFO order is identical, so trace order — and
+   therefore every simulated figure — is unchanged. *)
 
-let create () = { items = []; size = 0; max_size = 0 }
+type t = { mutable buf : int array; mutable size : int; mutable max_size : int }
+
+let create () = { buf = Array.make 64 0; size = 0; max_size = 0 }
 
 let push t x =
-  t.items <- x :: t.items;
-  t.size <- t.size + 1;
+  let n = t.size in
+  if n = Array.length t.buf then begin
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit t.buf 0 bigger 0 n;
+    t.buf <- bigger
+  end;
+  Array.unsafe_set t.buf n x;
+  t.size <- n + 1;
   if t.size > t.max_size then t.max_size <- t.size
 
 let pop t =
-  match t.items with
-  | [] -> None
-  | x :: rest ->
-      t.items <- rest;
-      t.size <- t.size - 1;
-      Some x
+  if t.size = 0 then None
+  else begin
+    let n = t.size - 1 in
+    t.size <- n;
+    Some (Array.unsafe_get t.buf n)
+  end
 
-let is_empty t = t.items = []
-
-let clear t =
-  t.items <- [];
-  t.size <- 0
-
+let is_empty t = t.size = 0
+let clear t = t.size <- 0
 let size t = t.size
 let max_size t = t.max_size

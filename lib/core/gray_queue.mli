@@ -1,11 +1,12 @@
 (** The shared set of objects "remaining to be traced".
 
     The DLG papers leave the mechanism for tracking gray objects open; we
-    use a single shared push/pop stack.  Mutators push when their write
-    barrier shades an object; the collector pushes during card scanning and
-    root marking and pops during the trace.  Under the simulator's
-    scheduling model each push/pop is one atomic step, which models a
-    lock-free mark stack.
+    use a single shared push/pop stack, represented as a growable int
+    array (no allocation per shaded object).  Mutators push when their
+    write barrier shades an object; the collector pushes during card
+    scanning and root marking and pops during the trace.  Under the
+    simulator's scheduling model each push/pop is one atomic step, which
+    models a lock-free mark stack.
 
     An object is pushed at most once per cycle in steady state (only
     clear-colored — or, in the sync window, allocation-colored — objects

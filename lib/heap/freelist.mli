@@ -1,11 +1,14 @@
 (** Segregated free lists over a {!Space.t}.
 
     Allocation policy: exact-fit from the size class, then best-effort
-    split of a block from a larger class.  Entries are pushed LIFO; because
-    sweeping coalesces neighbouring free blocks behind the list's back,
-    entries may go stale — [pop] validates each candidate against the space
-    and silently discards stale ones (the standard trick for lock-free
-    sweeping allocators, and cheap here).
+    split of a block from a larger class.  Each class is an int-array
+    stack (entries pushed LIFO) and a one-word occupancy bitmap locates
+    the smallest non-empty class with a single ctz probe, so the common
+    [pop] is allocation-free and touches no empty class.  Because sweeping
+    coalesces neighbouring free blocks behind the list's back, entries may
+    go stale — [pop] validates each candidate against the space and
+    discards stale ones in place (the standard trick for lock-free
+    sweeping allocators, and cheap here), counting the discards.
 
     The DLG collector relies on thread-local allocation buffers to avoid
     mutator/collector contention; in the simulator every free-list
@@ -35,4 +38,10 @@ val class_of_bytes : int -> int
 (** Size-class index used internally; exposed for tests. *)
 
 val entry_count : t -> int
-(** Number of (possibly stale) entries currently queued; for tests. *)
+(** Number of (possibly stale) entries currently queued; O(1). *)
+
+val stale_entries : t -> int
+(** Cumulative count of stale entries discarded by [pop] since creation
+    ({!rebuild} drops entries wholesale and does not count them) — the
+    invalidation pressure the sweep's coalescing puts on the lists; for
+    stats and benchmarks. *)

@@ -16,6 +16,8 @@ type t = {
   datas : int array array; (* scalar (non-pointer) words, same indexing *)
   mutable total_alloc_bytes : int;
   mutable total_alloc_objects : int;
+  (* Reusable snapshot buffer for iter_objects_on_card (see below). *)
+  mutable card_scratch : int array;
 }
 
 let nil = -1
@@ -24,7 +26,10 @@ let no_slots : int array = [||]
 let create config =
   if config.initial_bytes <= 0 || config.initial_bytes > config.max_bytes then
     invalid_arg "Heap.create: need 0 < initial_bytes <= max_bytes";
-  let space = Space.create ~initial_bytes:config.initial_bytes ~max_bytes:config.max_bytes in
+  let space =
+    Space.create ~card_size:config.card_size ~initial_bytes:config.initial_bytes
+      ~max_bytes:config.max_bytes ()
+  in
   let n_granules = Layout.granules_of_bytes config.max_bytes in
   {
     config;
@@ -39,6 +44,7 @@ let create config =
     datas = Array.make n_granules no_slots;
     total_alloc_bytes = 0;
     total_alloc_objects = 0;
+    card_scratch = Array.make 64 0;
   }
 
 let config t = t.config
@@ -123,8 +129,10 @@ let grow t ~want_bytes =
   match Space.grow t.space ~want_bytes with
   | None -> false
   | Some (addr, _size) ->
-      (* Newly added space may have merged with a trailing free block whose
-         freelist entry is now stale; push the merged block. *)
+      (* Space.grow deliberately never merges the new block with a trailing
+         free block (boundaries ahead of a concurrent sweep cursor must not
+         disappear), so no freelist entry can have gone stale here: the new
+         block just needs its own entry.  The next sweep merges the seam. *)
       Freelist.push t.freelist addr;
       true
 
@@ -132,24 +140,39 @@ let iter_objects t f =
   Space.iter_blocks t.space (fun addr kind _size ->
       if kind = Space.Allocated then f addr)
 
+(* The space's crossing map (same card geometry as the card table) jumps
+   straight to the card's first block; the allocated starts are snapshotted
+   into a reusable scratch buffer BEFORE the callback runs.  The snapshot
+   is semantically load-bearing, not just a loop shape: the collector's
+   card-scan callbacks contain scheduling points, so under fine-grained
+   interleaving a mutator may split blocks on this very card mid-scan, and
+   an incremental walk would see objects the old list-returning API (which
+   also snapshotted) never did.  Not reentrant: the callback must not
+   itself call iter_objects_on_card (the collector scans one card at a
+   time). *)
+let iter_objects_on_card t card f =
+  let scratch = ref t.card_scratch in
+  let len = ref 0 in
+  Space.iter_block_starts_on_card t.space card (fun addr kind _size ->
+      if kind = Space.Allocated then begin
+        if !len = Array.length !scratch then begin
+          let bigger = Array.make (2 * !len) 0 in
+          Array.blit !scratch 0 bigger 0 !len;
+          t.card_scratch <- bigger;
+          scratch := bigger
+        end;
+        Array.unsafe_set !scratch !len addr;
+        incr len
+      end);
+  let scratch = !scratch in
+  for i = 0 to !len - 1 do
+    f (Array.unsafe_get scratch i)
+  done
+
 let objects_on_card t card =
-  let first, last = Card_table.card_bounds t.cards card in
-  let last = Stdlib.min last (Space.capacity t.space) in
-  if first >= Space.capacity t.space then []
-  else begin
-    let acc = ref [] in
-    (* Start from the first block whose start address is >= first: walk
-       granule-aligned addresses on the card. *)
-    let a = ref first in
-    while !a < last do
-      if Space.is_block_start t.space !a then begin
-        if Space.kind_of t.space !a = Space.Allocated then acc := !a :: !acc;
-        a := !a + Space.block_size t.space !a
-      end
-      else a := !a + Layout.granule
-    done;
-    List.rev !acc
-  end
+  let acc = ref [] in
+  iter_objects_on_card t card (fun addr -> acc := addr :: !acc);
+  List.rev !acc
 
 let capacity t = Space.capacity t.space
 let max_capacity t = Space.max_capacity t.space

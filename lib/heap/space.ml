@@ -9,9 +9,17 @@ type t = {
      the last granule (footer tag) of every block. *)
   sizes : int array;
   mutable allocated_g : int;
+  (* Object-start crossing map: [card_first.(c)] is the granule index of
+     the first block start on card [c], or -1 when no block starts there.
+     Cards here are [card_size]-byte windows matching the heap's card
+     table, so the collector's card scan can jump straight to the first
+     object of a dirty card instead of probing granule by granule. *)
+  card_shift : int; (* granule index -> card index shift *)
+  card_first : int array;
 }
 
 let g = Layout.granule
+let g_shift = Otfgc_support.Bits.log2_exact Layout.granule
 
 let interior = '\000'
 let free_start = '\001'
@@ -25,11 +33,21 @@ let set_tags t start size_g kind_byte =
      granule (header and footer coincide). *)
   if size_g > 1 then Bytes.set t.kinds (start + size_g - 1) interior
 
-let create ~initial_bytes ~max_bytes =
+(* A granule became a block start: it may now be the first on its card. *)
+let note_new_start t i =
+  let c = i lsr t.card_shift in
+  let cur = Array.unsafe_get t.card_first c in
+  if cur < 0 || cur > i then Array.unsafe_set t.card_first c i
+
+let create ?(card_size = Layout.granule) ~initial_bytes ~max_bytes () =
   if initial_bytes <= 0 || initial_bytes > max_bytes then
     invalid_arg "Space.create: need 0 < initial_bytes <= max_bytes";
+  if card_size < g || not (Otfgc_support.Bits.is_pow2 card_size) then
+    invalid_arg "Space.create: card size must be a power of two >= granule";
   let max_granules = Layout.granules_of_bytes max_bytes in
   let cur_granules = Layout.granules_of_bytes initial_bytes in
+  let card_shift = Otfgc_support.Bits.log2_exact card_size - g_shift in
+  let n_cards = ((max_granules - 1) lsr card_shift) + 1 in
   let t =
     {
       max_granules;
@@ -37,9 +55,12 @@ let create ~initial_bytes ~max_bytes =
       kinds = Bytes.make max_granules interior;
       sizes = Array.make max_granules 0;
       allocated_g = 0;
+      card_shift;
+      card_first = Array.make n_cards (-1);
     }
   in
   set_tags t 0 cur_granules free_start;
+  t.card_first.(0) <- 0;
   t
 
 let capacity t = Layout.bytes_of_granules t.cur_granules
@@ -68,6 +89,16 @@ let block_size t addr =
   if Bytes.get t.kinds i = interior then
     invalid_arg (Printf.sprintf "Space.block_size: %d is not a block start" addr);
   Layout.bytes_of_granules t.sizes.(i)
+
+(* Bounds-check-free variants for the sweep and iteration hot loops; the
+   address must be a granule-aligned block start below the current
+   capacity (the checked API above enforces exactly that). *)
+let unsafe_kind t addr =
+  if Bytes.unsafe_get t.kinds (addr lsr g_shift) = free_start then Free
+  else Allocated
+
+let unsafe_size t addr =
+  Array.unsafe_get t.sizes (addr lsr g_shift) lsl g_shift
 
 let find_block_start t a =
   let i = ref (a / g) in
@@ -100,6 +131,7 @@ let split t addr ~first_bytes =
   let rest_g = total_g - first_g in
   set_tags t i first_g free_start;
   set_tags t (i + first_g) rest_g free_start;
+  note_new_start t (i + first_g);
   (i + first_g) * g
 
 let next_block t addr =
@@ -124,10 +156,22 @@ let coalesce_with_next t addr =
     invalid_arg "Space.coalesce_with_next: not a free block";
   match next_block t addr with
   | Some nxt when Bytes.get t.kinds (gi nxt) = free_start ->
-      let merged = t.sizes.(i) + t.sizes.(gi nxt) in
+      let nj = gi nxt in
+      let merged = t.sizes.(i) + t.sizes.(nj) in
       (* Erase the old header of the absorbed block before rewriting tags. *)
-      Bytes.set t.kinds (gi nxt) interior;
+      Bytes.set t.kinds nj interior;
       set_tags t i merged free_start;
+      (* The absorbed header may have been the first start of its card; the
+         next start in that card — if any — can only be the block following
+         the merged one, since everything in between is now interior. *)
+      let c = nj lsr t.card_shift in
+      if t.card_first.(c) = nj then begin
+        let following = i + merged in
+        t.card_first.(c) <-
+          (if following < t.cur_granules && following lsr t.card_shift = c then
+             following
+           else -1)
+      end;
       true
   | _ -> false
 
@@ -139,6 +183,7 @@ let grow t ~want_bytes =
     let start = t.cur_granules in
     t.cur_granules <- t.cur_granules + add_g;
     set_tags t start add_g free_start;
+    note_new_start t start;
     (* Deliberately no merging with a trailing free block: growth can race
        with a concurrent sweep whose cursor relies on existing block
        boundaries never disappearing ahead of it.  The next sweep merges
@@ -149,11 +194,32 @@ let grow t ~want_bytes =
 let iter_blocks t f =
   let i = ref 0 in
   while !i < t.cur_granules do
-    let size_g = t.sizes.(!i) in
-    let kind = if Bytes.get t.kinds !i = free_start then Free else Allocated in
+    let size_g = Array.unsafe_get t.sizes !i in
+    let kind =
+      if Bytes.unsafe_get t.kinds !i = free_start then Free else Allocated
+    in
     f (!i * g) kind (Layout.bytes_of_granules size_g);
     i := !i + size_g
   done
+
+let iter_block_starts_on_card t card f =
+  if card >= 0 && card < Array.length t.card_first then begin
+    let j = Array.unsafe_get t.card_first card in
+    if j >= 0 then begin
+      let limit =
+        Stdlib.min t.cur_granules ((card + 1) lsl t.card_shift)
+      in
+      let i = ref j in
+      while !i < limit do
+        let size_g = Array.unsafe_get t.sizes !i in
+        let kind =
+          if Bytes.unsafe_get t.kinds !i = free_start then Free else Allocated
+        in
+        f (!i * g) kind (Layout.bytes_of_granules size_g);
+        i := !i + size_g
+      done
+    end
+  end
 
 let check t =
   let ( let* ) r f = Result.bind r f in
@@ -185,4 +251,20 @@ let check t =
         in
         walk (i + size_g) (acc_alloc + if k = alloc_start then size_g else 0)
   in
-  walk 0 0
+  let* () = walk 0 0 in
+  (* The crossing map must agree with a from-scratch recomputation. *)
+  let expect = Array.make (Array.length t.card_first) (-1) in
+  let i = ref 0 in
+  while !i < t.cur_granules do
+    let c = !i lsr t.card_shift in
+    if expect.(c) < 0 then expect.(c) <- !i;
+    i := !i + t.sizes.(!i)
+  done;
+  let bad = ref (Ok ()) in
+  Array.iteri
+    (fun c e ->
+      if !bad = Ok () && t.card_first.(c) <> e then
+        bad := err "crossing map: card %d records granule %d, expected %d" c
+                 t.card_first.(c) e)
+    expect;
+  !bad

@@ -8,15 +8,25 @@
 
     This module only manages the block structure; object contents, colors
     and the free lists live elsewhere.  The space can grow (the paper's
-    JVM grows the heap from 1 MB towards a 32 MB maximum). *)
+    JVM grows the heap from 1 MB towards a 32 MB maximum).
+
+    The space also maintains an object-start {e crossing map}: for every
+    [card_size]-byte window it records the first block start inside the
+    window (or that there is none), updated in O(1) on split, coalesce and
+    grow.  The collector's card scan uses it through
+    {!iter_block_starts_on_card} to enumerate the objects of a dirty card
+    without probing granule by granule. *)
 
 type t
 
 type kind = Free | Allocated
 
-val create : initial_bytes:int -> max_bytes:int -> t
+val create : ?card_size:int -> initial_bytes:int -> max_bytes:int -> unit -> t
 (** A space with one free block of [initial_bytes].  Both sizes are rounded
-    up to whole granules; [initial_bytes <= max_bytes] required. *)
+    up to whole granules; [initial_bytes <= max_bytes] required.
+    [card_size] fixes the window granularity of the crossing map (a power
+    of two >= the granule, default one granule); the heap passes its card
+    table's card size so the two agree on card indices. *)
 
 val capacity : t -> int
 (** Current size in bytes (growable up to [max_capacity]). *)
@@ -38,6 +48,15 @@ val kind_of : t -> int -> kind
 
 val block_size : t -> int -> int
 (** Size in bytes of the block starting at the given address. *)
+
+val unsafe_kind : t -> int -> kind
+(** Like {!kind_of} with no alignment or block-start validation; the
+    address {e must} be a granule-aligned block start below the current
+    capacity.  For iteration hot loops that walk header to header and so
+    establish the precondition structurally (sweep, {!iter_blocks}). *)
+
+val unsafe_size : t -> int -> int
+(** Like {!block_size}, same precondition as {!unsafe_kind}. *)
 
 val find_block_start : t -> int -> int
 (** [find_block_start t a] is the start address of the block containing
@@ -71,6 +90,13 @@ val iter_blocks : t -> (int -> kind -> int -> unit) -> unit
     address order.  [f] must not change the block structure at or after
     the current address. *)
 
+val iter_block_starts_on_card : t -> int -> (int -> kind -> int -> unit) -> unit
+(** [iter_block_starts_on_card t card f] calls [f addr kind size_bytes]
+    for every block whose start address lies in card [card] (a
+    [card_size]-byte window, per {!create}), in address order: one O(1)
+    crossing-map lookup, then header-to-header hops.  [f] must not change
+    the block structure.  Out-of-range card indices iterate nothing. *)
+
 val allocated_bytes : t -> int
 (** Total bytes currently in allocated blocks. *)
 
@@ -79,4 +105,4 @@ val free_bytes : t -> int
 
 val check : t -> (unit, string) result
 (** Verify structural invariants (contiguity, boundary-tag agreement,
-    accounting); used by tests. *)
+    accounting, crossing-map consistency); used by tests. *)

@@ -5,3 +5,19 @@ let log2_exact n =
     invalid_arg "Bits.log2_exact: argument must be a positive power of two";
   let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
   go n 0
+
+(* Branchy binary reduction rather than a de Bruijn multiply: OCaml's
+   native int is 63 bits, so the classic 64-bit multiplicative hashes
+   don't apply directly, and six compares are plenty fast for a
+   once-per-allocation probe. *)
+let ctz n =
+  if n = 0 then invalid_arg "Bits.ctz: zero has no trailing-zero count";
+  let n = n land -n in
+  let c = ref 0 in
+  let n = if n land 0xFFFFFFFF = 0 then (c := 32; n lsr 32) else n in
+  let n = if n land 0xFFFF = 0 then (c := !c + 16; n lsr 16) else n in
+  let n = if n land 0xFF = 0 then (c := !c + 8; n lsr 8) else n in
+  let n = if n land 0xF = 0 then (c := !c + 4; n lsr 4) else n in
+  let n = if n land 0x3 = 0 then (c := !c + 2; n lsr 2) else n in
+  if n land 0x1 = 0 then incr c;
+  !c

@@ -11,3 +11,9 @@ val is_pow2 : int -> bool
 val log2_exact : int -> int
 (** [log2_exact n] is [k] such that [1 lsl k = n].  Raises
     [Invalid_argument] unless [n] is a positive power of two. *)
+
+val ctz : int -> int
+(** [ctz n] is the number of trailing zero bits of [n] — equivalently, the
+    index of the lowest set bit.  Raises [Invalid_argument] on [0].  The
+    free-list occupancy probe uses this to find the smallest non-empty
+    size class in one step. *)

@@ -74,6 +74,42 @@ let test_run_many_agrees_with_run () =
   let single = Lab.run lab ~card:64 Profile.jack in
   check "same memoised result" true (List.hd batched == single)
 
+(* Byte-identity guard for the hot-path data structures (bitmap
+   segregated freelist, array gray stack, card crossing map): they are
+   pure representation changes, so every simulated figure must stay
+   bit-for-bit what the original list-based structures produced.  The
+   digests below were recorded from the list-based implementation over
+   the same grid (Marshal of the full Run_result at scale 0.05 — large
+   enough that every configuration digests differently).  A mismatch
+   means an allocation decision, scan order or schedule changed. *)
+let recorded_digests =
+  [
+    "cbcc38270abb760165c527a8a8b1da79";
+    "8990dedcd2b4f3c47b23ea987e53f319";
+    "22f71d2bc8a529be47d13aac3c518b64";
+    "855648151ac08e420e6c55cc56ad83f8";
+    "8b1ecd1536e88c14b9dfce4c78c427d5";
+    "faa74286da5378c84653b0fdf5ece32a";
+    "9c042e4a49179f508701c7b42c704fc6";
+    "0738ea282a49e1072de0078aa1fd9581";
+  ]
+
+let test_run_many_byte_identical_to_recorded () =
+  let lab = Lab.create ~scale:0.05 ~jobs:1 ~cache_dir:no_cache () in
+  let digests =
+    List.map
+      (fun r -> Digest.to_hex (Digest.string (Marshal.to_string r [])))
+      (Lab.run_many lab grid)
+  in
+  (* all eight configurations really behave differently at this scale *)
+  check_int "digests distinct"
+    (List.length grid)
+    (List.length (List.sort_uniq compare digests));
+  List.iteri
+    (fun i (want, got) ->
+      Alcotest.(check string) (Printf.sprintf "config %d digest" i) want got)
+    (List.combine recorded_digests digests)
+
 let test_registry_grids_cover_figures () =
   (* every figure both declares a grid and renders entirely from it:
      after a prefetch of [configs], running the figure simulates nothing *)
@@ -170,6 +206,8 @@ let suites =
           test_run_many_parallel_equals_sequential;
         Alcotest.test_case "order and dedup" `Quick test_run_many_order_and_dedup;
         Alcotest.test_case "agrees with run" `Quick test_run_many_agrees_with_run;
+        Alcotest.test_case "byte-identical to recorded digests" `Quick
+          test_run_many_byte_identical_to_recorded;
         Alcotest.test_case "registry grids cover figures" `Quick
           test_registry_grids_cover_figures;
       ] );

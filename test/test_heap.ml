@@ -47,7 +47,7 @@ let test_layout_bad_card_size () =
 (* ------------------------------------------------------------------ *)
 
 let mk_space ?(initial = 4 * kb) ?(max = 16 * kb) () =
-  Space.create ~initial_bytes:initial ~max_bytes:max
+  Space.create ~initial_bytes:initial ~max_bytes:max ()
 
 let test_space_initial () =
   let s = mk_space () in
@@ -143,6 +143,63 @@ let test_space_single_granule_blocks () =
   check_int "merged" 32 (Space.block_size s 0);
   check "invariants" true (Space.check s = Ok ())
 
+(* Crossing map: iter_block_starts_on_card must list exactly the blocks
+   whose header lies in the card's window, in address order, as splits,
+   coalesces and growth move block boundaries around.  Space.check
+   cross-validates the map against a from-scratch walk, so the trailing
+   invariant checks below do real work. *)
+
+let starts_on_card s card =
+  let acc = ref [] in
+  Space.iter_block_starts_on_card s card (fun a _k _sz -> acc := a :: !acc);
+  List.rev !acc
+
+let test_space_crossing_map_basic () =
+  let s =
+    Space.create ~card_size:128 ~initial_bytes:(4 * kb) ~max_bytes:(8 * kb) ()
+  in
+  Alcotest.(check (list int)) "one start" [ 0 ] (starts_on_card s 0);
+  Alcotest.(check (list int)) "interior card empty" [] (starts_on_card s 1);
+  let b = Space.split s 0 ~first_bytes:32 in
+  let _c = Space.split s b ~first_bytes:32 in
+  Alcotest.(check (list int)) "splits on card 0" [ 0; 32; 64 ] (starts_on_card s 0);
+  check "merge" true (Space.coalesce_with_next s b);
+  Alcotest.(check (list int)) "after coalesce" [ 0; 32 ] (starts_on_card s 0);
+  check "merge again" true (Space.coalesce_with_next s 0);
+  Alcotest.(check (list int)) "single start again" [ 0 ] (starts_on_card s 0);
+  check "invariants (incl. crossing map)" true (Space.check s = Ok ())
+
+let test_space_crossing_map_coalesce_across_cards () =
+  let s =
+    Space.create ~card_size:128 ~initial_bytes:(4 * kb) ~max_bytes:(4 * kb) ()
+  in
+  let b = Space.split s 0 ~first_bytes:128 in
+  let _c = Space.split s b ~first_bytes:32 in
+  Alcotest.(check (list int)) "card 1 starts" [ 128; 160 ] (starts_on_card s 1);
+  (* merging [0,128) with [128,160) erases card 1's first start; the
+     following block at 160 still starts on card 1 and must take over *)
+  check "merge" true (Space.coalesce_with_next s 0);
+  Alcotest.(check (list int)) "160 promoted" [ 160 ] (starts_on_card s 1);
+  check "invariants" true (Space.check s = Ok ());
+  (* merging across the rest of card 1: the following block would start
+     past the card (indeed past the heap), so the card goes empty *)
+  check "merge rest" true (Space.coalesce_with_next s 0);
+  Alcotest.(check (list int)) "card 1 empty" [] (starts_on_card s 1);
+  Alcotest.(check (list int)) "card 0 intact" [ 0 ] (starts_on_card s 0);
+  check "invariants" true (Space.check s = Ok ())
+
+let test_space_crossing_map_grow () =
+  let s = Space.create ~card_size:128 ~initial_bytes:256 ~max_bytes:kb () in
+  Alcotest.(check (list int)) "card 2 empty before grow" []
+    (starts_on_card s 2);
+  (match Space.grow s ~want_bytes:128 with
+  | Some (addr, _) ->
+      check_int "grown block addr" 256 addr;
+      Alcotest.(check (list int)) "grown start recorded" [ 256 ]
+        (starts_on_card s 2)
+  | None -> Alcotest.fail "grow failed");
+  check "invariants" true (Space.check s = Ok ())
+
 (* ------------------------------------------------------------------ *)
 (* Freelist                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -171,7 +228,7 @@ let test_freelist_split_remainder () =
   check "invariants" true (Space.check s = Ok ())
 
 let test_freelist_exhaustion () =
-  let s = Space.create ~initial_bytes:64 ~max_bytes:64 in
+  let s = Space.create ~initial_bytes:64 ~max_bytes:64 () in
   let fl = Freelist.create s in
   (match Freelist.pop fl ~bytes_wanted:64 with
   | Some a -> Space.set_kind s a Space.Allocated
@@ -179,7 +236,7 @@ let test_freelist_exhaustion () =
   check "exhausted" true (Freelist.pop fl ~bytes_wanted:16 = None)
 
 let test_freelist_push_pop_roundtrip () =
-  let s = Space.create ~initial_bytes:64 ~max_bytes:64 in
+  let s = Space.create ~initial_bytes:64 ~max_bytes:64 () in
   let fl = Freelist.create s in
   let a = Option.get (Freelist.pop fl ~bytes_wanted:64) in
   Space.set_kind s a Space.Allocated;
@@ -206,7 +263,7 @@ let test_freelist_stale_entries_skipped () =
   check "invariants" true (Space.check s = Ok ())
 
 let test_freelist_large_class () =
-  let s = Space.create ~initial_bytes:(64 * kb) ~max_bytes:(64 * kb) in
+  let s = Space.create ~initial_bytes:(64 * kb) ~max_bytes:(64 * kb) () in
   let fl = Freelist.create s in
   (* larger than the largest exact class (63 granules = 1008 B) *)
   match Freelist.pop fl ~bytes_wanted:(8 * kb) with
@@ -219,13 +276,43 @@ let test_freelist_class_of_bytes () =
   check_int "1008 bytes -> class 62" 62 (Freelist.class_of_bytes 1008);
   check_int "big -> large class" 63 (Freelist.class_of_bytes 4096)
 
+let test_freelist_counters () =
+  let s = mk_space () in
+  let fl = Freelist.create s in
+  check_int "seeded entries" 1 (Freelist.entry_count fl);
+  check_int "no stale drops yet" 0 (Freelist.stale_entries fl);
+  let a = Option.get (Freelist.pop fl ~bytes_wanted:32) in
+  Space.set_kind s a Space.Allocated;
+  check_int "split remainder queued" 1 (Freelist.entry_count fl);
+  let b = Option.get (Freelist.pop fl ~bytes_wanted:32) in
+  Space.set_kind s b Space.Allocated;
+  check "adjacent" true (b = a + 32);
+  Space.set_kind s a Space.Free;
+  Space.set_kind s b Space.Free;
+  Freelist.push fl a;
+  Freelist.push fl b;
+  check_int "entries count possibly-stale too" 3 (Freelist.entry_count fl);
+  (* merge behind the list's back: b's entry stops being a block start
+     and a's entry changes size class — both are now stale *)
+  check "merged" true (Space.coalesce_with_next s a);
+  check_int "counters are lazy" 3 (Freelist.entry_count fl);
+  check_int "staleness discovered only on pop" 0 (Freelist.stale_entries fl);
+  (match Freelist.pop fl ~bytes_wanted:32 with
+  | Some addr -> Space.set_kind s addr Space.Allocated
+  | None -> Alcotest.fail "pop failed");
+  check_int "both stale entries counted" 2 (Freelist.stale_entries fl);
+  check_int "remaining entries" 1 (Freelist.entry_count fl);
+  Freelist.rebuild fl;
+  check_int "rebuild reseeds from space" 2 (Freelist.entry_count fl);
+  check_int "stale count is cumulative" 2 (Freelist.stale_entries fl)
+
 let prop_freelist_random_alloc_free =
   QCheck.Test.make ~name:"freelist/space random alloc-free keeps invariants"
     ~count:60
     QCheck.(small_int)
     (fun seed ->
       let rng = Rng.make seed in
-      let s = Space.create ~initial_bytes:(8 * kb) ~max_bytes:(8 * kb) in
+      let s = Space.create ~initial_bytes:(8 * kb) ~max_bytes:(8 * kb) () in
       let fl = Freelist.create s in
       let live = ref [] in
       for _ = 1 to 200 do
@@ -330,6 +417,30 @@ let test_heap_grow () =
     (Heap.alloc h ~size:(2 * kb - 32) ~n_slots:0 ~color:Color.C0 <> None
     || Heap.alloc h ~size:kb ~n_slots:0 ~color:Color.C0 <> None)
 
+let test_heap_grow_no_merge_with_trailing_free () =
+  (* Heap.grow must never merge the grown block into a trailing free
+     block: sweep's cursor may sit on that block, and merging would move
+     a block boundary ahead of the cursor.  Regression test for the
+     comment in Heap.grow that used to claim the opposite. *)
+  let h = mk_heap ~initial:kb ~max:(2 * kb) () in
+  let a = Option.get (Heap.alloc h ~size:(kb - 64) ~n_slots:0 ~color:Color.C0) in
+  let s = Heap.space h in
+  let tail = a + (kb - 64) in
+  check "trailing block free" true (Space.kind_of s tail = Space.Free);
+  check_int "trailing size" 64 (Space.block_size s tail);
+  check "grows" true (Heap.grow h ~want_bytes:kb);
+  (* still two separate free blocks *)
+  check_int "trailing block kept its size" 64 (Space.block_size s tail);
+  check "grown block is its own block" true (Space.is_block_start s kb);
+  check_int "grown block size" kb (Space.block_size s kb);
+  (* both reach the free lists: the exact-fit pop takes the old tail, the
+     large pop takes the grown block *)
+  let b = Option.get (Heap.alloc h ~size:64 ~n_slots:0 ~color:Color.C0) in
+  check_int "tail allocated" tail b;
+  let c = Option.get (Heap.alloc h ~size:kb ~n_slots:0 ~color:Color.C0) in
+  check_int "grown block allocated" kb c;
+  check "check ok" true (Heap.check h = Ok ())
+
 let test_heap_exhaustion_returns_none () =
   let h = mk_heap ~initial:128 ~max:128 () in
   let _a = Option.get (Heap.alloc h ~size:128 ~n_slots:0 ~color:Color.C0) in
@@ -349,6 +460,37 @@ let test_heap_objects_on_card () =
   check "b on card" true (List.mem b objs);
   check "c not on card 0" true
     (Card_table.card_of_addr (Heap.cards h) c <> card0 || List.mem c objs)
+
+let test_heap_iter_objects_on_card_agrees () =
+  (* iter_objects_on_card (crossing-map driven) against an independent
+     reference: filter the full object walk by the card's byte bounds. *)
+  let h = mk_heap ~initial:(8 * kb) ~max:(8 * kb) ~card:256 () in
+  let objs = ref [] in
+  for i = 0 to 40 do
+    let size = 16 * (1 + (i mod 5)) in
+    match Heap.alloc h ~size ~n_slots:0 ~color:Color.C0 with
+    | Some a -> objs := a :: !objs
+    | None -> Alcotest.fail "alloc failed"
+  done;
+  (* punch holes so cards mix allocated blocks, free blocks and interior
+     granules *)
+  List.iteri (fun i a -> if i mod 3 = 0 then Heap.free h a) (List.rev !objs);
+  let cards = Heap.cards h in
+  for card = 0 to Card_table.n_cards cards - 1 do
+    let lo, hi = Card_table.card_bounds cards card in
+    let expected = ref [] in
+    Heap.iter_objects h (fun x ->
+        if x >= lo && x < hi then expected := x :: !expected);
+    let seen = ref [] in
+    Heap.iter_objects_on_card h card (fun x -> seen := x :: !seen);
+    Alcotest.(check (list int))
+      (Printf.sprintf "card %d" card)
+      (List.rev !expected) (List.rev !seen);
+    Alcotest.(check (list int))
+      (Printf.sprintf "card %d list" card)
+      (List.rev !expected)
+      (Heap.objects_on_card h card)
+  done
 
 let test_heap_iter_objects_order () =
   let h = mk_heap () in
@@ -546,6 +688,12 @@ let suites =
           test_space_no_merge_with_allocated;
         Alcotest.test_case "grow" `Quick test_space_grow;
         Alcotest.test_case "find block start" `Quick test_space_find_block_start;
+        Alcotest.test_case "crossing map basic" `Quick
+          test_space_crossing_map_basic;
+        Alcotest.test_case "crossing map coalesce across cards" `Quick
+          test_space_crossing_map_coalesce_across_cards;
+        Alcotest.test_case "crossing map grow" `Quick
+          test_space_crossing_map_grow;
         Alcotest.test_case "single granule blocks" `Quick
           test_space_single_granule_blocks;
       ] );
@@ -559,6 +707,7 @@ let suites =
         Alcotest.test_case "stale entries" `Quick test_freelist_stale_entries_skipped;
         Alcotest.test_case "large class" `Quick test_freelist_large_class;
         Alcotest.test_case "class_of_bytes" `Quick test_freelist_class_of_bytes;
+        Alcotest.test_case "entry/stale counters" `Quick test_freelist_counters;
         QCheck_alcotest.to_alcotest prop_freelist_random_alloc_free;
       ] );
     ( "heap.heap",
@@ -570,8 +719,12 @@ let suites =
         Alcotest.test_case "free validation" `Quick test_heap_free_validation;
         Alcotest.test_case "merge free prev" `Quick test_heap_merge_free_prev;
         Alcotest.test_case "grow" `Quick test_heap_grow;
+        Alcotest.test_case "grow keeps trailing free block" `Quick
+          test_heap_grow_no_merge_with_trailing_free;
         Alcotest.test_case "exhaustion" `Quick test_heap_exhaustion_returns_none;
         Alcotest.test_case "objects on card" `Quick test_heap_objects_on_card;
+        Alcotest.test_case "card iteration agrees with full walk" `Quick
+          test_heap_iter_objects_on_card_agrees;
         Alcotest.test_case "iter objects" `Quick test_heap_iter_objects_order;
         Alcotest.test_case "check detects dangling" `Quick
           test_heap_check_detects_dangling;

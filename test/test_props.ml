@@ -194,6 +194,188 @@ let prop_three_mutators =
         ~ops_per_mutator:500;
       true)
 
+(* Differential check of the bitmap/array freelist against a direct port
+   of the original list-based implementation (same validity rule, same
+   candidate order: LIFO per exact class, ascending classes, first-fit
+   from the newest entry in the large class), each driving its own
+   identical space.  Every pop must return the same address under random
+   alloc / free / behind-the-back coalesce / rebuild traffic — the
+   byte-identical simulation figures depend on exactly this. *)
+module Hspace = Otfgc_heap.Space
+module Hlayout = Otfgc_heap.Layout
+module Hfreelist = Otfgc_heap.Freelist
+
+module Ref_freelist = struct
+  let n_exact = 63
+  let n_classes = n_exact + 1
+  let class_of_granules gr = if gr <= n_exact then gr - 1 else n_exact
+
+  type t = { space : Hspace.t; lists : int list array }
+
+  let push_raw t addr =
+    let cls =
+      class_of_granules (Hspace.block_size t.space addr / Hlayout.granule)
+    in
+    t.lists.(cls) <- addr :: t.lists.(cls)
+
+  let create space =
+    let t = { space; lists = Array.make n_classes [] } in
+    Hspace.iter_blocks space (fun addr kind _size ->
+        if kind = Hspace.Free then push_raw t addr);
+    t
+
+  let valid t cls addr =
+    Hspace.is_block_start t.space addr
+    && Hspace.kind_of t.space addr = Hspace.Free
+    && class_of_granules (Hspace.block_size t.space addr / Hlayout.granule)
+       = cls
+
+  let rec pop_class t cls =
+    match t.lists.(cls) with
+    | [] -> None
+    | addr :: rest ->
+        t.lists.(cls) <- rest;
+        if valid t cls addr then Some addr else pop_class t cls
+
+  let pop_large t ~granules =
+    let rec scan acc = function
+      | [] ->
+          t.lists.(n_exact) <- List.rev acc;
+          None
+      | addr :: rest ->
+          if not (valid t n_exact addr) then scan acc rest
+          else if
+            Hspace.block_size t.space addr / Hlayout.granule >= granules
+          then begin
+            t.lists.(n_exact) <- List.rev_append acc rest;
+            Some addr
+          end
+          else scan (addr :: acc) rest
+    in
+    scan [] t.lists.(n_exact)
+
+  let pop t ~bytes_wanted =
+    let want_g = Hlayout.granules_of_bytes (Stdlib.max 1 bytes_wanted) in
+    let want_b = Hlayout.bytes_of_granules want_g in
+    let exact = if want_g <= n_exact then pop_class t (want_g - 1) else None in
+    match exact with
+    | Some addr -> Some addr
+    | None ->
+        let found = ref None in
+        let cls = ref (if want_g <= n_exact then want_g else n_exact) in
+        while !found = None && !cls < n_exact do
+          (match pop_class t !cls with
+          | Some addr -> found := Some addr
+          | None -> ());
+          incr cls
+        done;
+        let found =
+          match !found with
+          | Some a -> Some a
+          | None -> pop_large t ~granules:want_g
+        in
+        (match found with
+        | None -> None
+        | Some addr ->
+            let have = Hspace.block_size t.space addr in
+            if have > want_b then begin
+              let rest = Hspace.split t.space addr ~first_bytes:want_b in
+              push_raw t rest
+            end;
+            Some addr)
+
+  let rebuild t =
+    Array.fill t.lists 0 n_classes [];
+    Hspace.iter_blocks t.space (fun addr kind _size ->
+        if kind = Hspace.Free then push_raw t addr)
+
+  let entry_count t =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 t.lists
+end
+
+let prop_freelist_differential =
+  QCheck.Test.make ~name:"freelist matches list-based reference" ~count:80
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let mk () =
+        Hspace.create ~initial_bytes:(16 * kb) ~max_bytes:(16 * kb) ()
+      in
+      let sa = mk () and sb = mk () in
+      let fl = Hfreelist.create sa in
+      let rf = Ref_freelist.create sb in
+      let blocks_of_kind s kind =
+        let acc = ref [] in
+        Hspace.iter_blocks s (fun a k _ -> if k = kind then acc := a :: !acc);
+        !acc
+      in
+      let ok = ref true in
+      let fail msg = QCheck.Test.fail_reportf "%s (seed %d)" msg seed in
+      for _ = 1 to 300 do
+        if !ok then begin
+          (match Rng.int rng 100 with
+          | r when r < 45 ->
+              (* alloc: sizes spanning exact classes and the large class *)
+              let size =
+                if Rng.bool rng then 16 * Rng.int_in rng 1 12
+                else 16 * Rng.int_in rng 60 160
+              in
+              let a = Hfreelist.pop fl ~bytes_wanted:size in
+              let b = Ref_freelist.pop rf ~bytes_wanted:size in
+              if a <> b then ok := fail "pop addresses diverge"
+              else (
+                match a with
+                | Some addr ->
+                    Hspace.set_kind sa addr Hspace.Allocated;
+                    Hspace.set_kind sb addr Hspace.Allocated
+                | None -> ())
+          | r when r < 75 -> (
+              (* free a random allocated block (push to both lists) *)
+              match blocks_of_kind sa Hspace.Allocated with
+              | [] -> ()
+              | allocated ->
+                  let addr =
+                    List.nth allocated (Rng.int rng (List.length allocated))
+                  in
+                  Hspace.set_kind sa addr Hspace.Free;
+                  Hspace.set_kind sb addr Hspace.Free;
+                  Hfreelist.push fl addr;
+                  Ref_freelist.push_raw rf addr)
+          | r when r < 95 -> (
+              (* coalesce behind the lists' backs, staling entries *)
+              match blocks_of_kind sa Hspace.Free with
+              | [] -> ()
+              | free ->
+                  let addr = List.nth free (Rng.int rng (List.length free)) in
+                  let ma = Hspace.coalesce_with_next sa addr in
+                  let mb = Hspace.coalesce_with_next sb addr in
+                  if ma <> mb then ok := fail "spaces diverged")
+          | _ ->
+              Hfreelist.rebuild fl;
+              Ref_freelist.rebuild rf);
+          if !ok && Hfreelist.entry_count fl <> Ref_freelist.entry_count rf
+          then ok := fail "entry counts diverge"
+        end
+      done;
+      (* drain both to exhaustion: the full remaining candidate order must
+         also agree *)
+      let draining = ref !ok in
+      while !draining do
+        let a = Hfreelist.pop fl ~bytes_wanted:16 in
+        let b = Ref_freelist.pop rf ~bytes_wanted:16 in
+        if a <> b then begin
+          ok := fail "drain order diverges";
+          draining := false
+        end
+        else
+          match a with
+          | Some addr ->
+              Hspace.set_kind sa addr Hspace.Allocated;
+              Hspace.set_kind sb addr Hspace.Allocated
+          | None -> draining := false
+      done;
+      !ok)
+
 (* Determinism of the whole simulator: same seed, same everything. *)
 let test_determinism () =
   let snapshot seed =
@@ -263,6 +445,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_remset;
         QCheck_alcotest.to_alcotest prop_adaptive;
         QCheck_alcotest.to_alcotest prop_three_mutators;
+        QCheck_alcotest.to_alcotest prop_freelist_differential;
         Alcotest.test_case "determinism" `Quick test_determinism;
       ] );
   ]

@@ -275,6 +275,22 @@ let test_bits_is_pow2 () =
   check "neg" false (Bits.is_pow2 (-4));
   check "48" false (Bits.is_pow2 48)
 
+let test_bits_ctz () =
+  check_int "1" 0 (Bits.ctz 1);
+  check_int "2" 1 (Bits.ctz 2);
+  check_int "12" 2 (Bits.ctz 12);
+  check_int "min_int" 62 (Bits.ctz min_int);
+  check "every single bit" true
+    (List.for_all (fun k -> Bits.ctz (1 lsl k) = k) (List.init 63 Fun.id));
+  check "lowest of many" true
+    (List.for_all
+       (fun k -> Bits.ctz ((1 lsl k) lor (1 lsl 62)) = k)
+       (List.init 62 Fun.id));
+  check "rejects zero" true
+    (match Bits.ctz 0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -430,6 +446,7 @@ let suites =
       [
         Alcotest.test_case "log2_exact" `Quick test_bits_log2_exact;
         Alcotest.test_case "is_pow2" `Quick test_bits_is_pow2;
+        Alcotest.test_case "ctz" `Quick test_bits_ctz;
       ] );
     ( "support.pool",
       [
