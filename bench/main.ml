@@ -328,6 +328,40 @@ module Micro = struct
     Test.make ~name:"barrier: update (idle, card mark)"
       (Staged.stage (fun () -> Collector.update st m ~x ~i:0 ~y))
 
+  (* telemetry overhead on the mutator hot loop: alloc + write barrier +
+     free, with the observability layer left at its default (disabled;
+     only the always-on flat counters tick) and fully enabled (counters,
+     histograms and the event ring armed).  The disabled variant is the
+     zero-allocation guarantee the telemetry layer promises. *)
+  let mk_hot_loop ~instrumented =
+    let rt =
+      Runtime.create
+        ~heap_config:{ Heap.initial_bytes = 256 * kb; max_bytes = 256 * kb; card_size = 16 }
+        ~gc_config:(Gc_config.generational ()) ()
+    in
+    Runtime.set_fine_grained rt false;
+    if instrumented then begin
+      Otfgc.Event_log.set_enabled (Runtime.events rt) true;
+      Otfgc.Telemetry.set_enabled (Runtime.telemetry rt) true
+    end;
+    let st = Runtime.state rt in
+    let heap = Runtime.heap rt in
+    let x = Option.get (Heap.alloc heap ~size:32 ~n_slots:2 ~color:Color.C0) in
+    let y = Option.get (Heap.alloc heap ~size:32 ~n_slots:0 ~color:Color.C0) in
+    let m = Otfgc.Mutator.create ~id:0 ~name:"bench" ~n_regs:4 in
+    fun () ->
+      let a = Option.get (Heap.alloc heap ~size:32 ~n_slots:2 ~color:Color.C0) in
+      Collector.update st m ~x ~i:0 ~y;
+      Heap.free heap a
+
+  let test_hot_loop_telemetry_off =
+    Test.make ~name:"telemetry: alloc+barrier+free (disabled)"
+      (Staged.stage (mk_hot_loop ~instrumented:false))
+
+  let test_hot_loop_telemetry_on =
+    Test.make ~name:"telemetry: alloc+barrier+free (enabled)"
+      (Staged.stage (mk_hot_loop ~instrumented:true))
+
   (* MarkGray on a clear object (shade + push + undo) *)
   let test_mark_gray =
     let rt =
@@ -426,6 +460,8 @@ module Micro = struct
         test_card_objects;
         test_card_objects_legacy;
         test_barrier_idle;
+        test_hot_loop_telemetry_off;
+        test_hot_loop_telemetry_on;
         test_mark_gray;
         test_full_cycle;
         test_iter_dirty;

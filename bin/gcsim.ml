@@ -15,6 +15,9 @@ module Run_result = Otfgc_metrics.Run_result
 module Lab = Otfgc_experiments.Lab
 module Registry = Otfgc_experiments.Registry
 module Textable = Otfgc_support.Textable
+module Json = Otfgc_support.Json
+module Telemetry_report = Otfgc_metrics.Telemetry
+module Trace_export = Otfgc_metrics.Trace_export
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -82,6 +85,39 @@ let parse_mode ~young s =
 
 let heap_of_card card = { Driver.default_heap with Heap.card_size = card }
 
+let telemetry_arg =
+  let doc =
+    "Enable the latency instruments and print the telemetry report (work \
+     attribution, event counters, histograms) after the summary."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome/Perfetto trace-event JSON file of the run's timeline \
+     (one track per mutator plus the collector); load it at \
+     ui.perfetto.dev or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Enable recording before any mutator starts; [Driver.run_rt] calls this
+   right after creating the runtime. *)
+let instrument_for ~trace ~telemetry ~trace_out rt =
+  if trace || trace_out <> None then
+    Otfgc.Event_log.set_enabled (Otfgc.Runtime.events rt) true;
+  if telemetry || trace_out <> None then
+    Otfgc.Telemetry.set_enabled (Otfgc.Runtime.telemetry rt) true
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let write_trace rt ~workload path =
+  write_file path (Json.to_string (Trace_export.of_runtime ~workload rt));
+  Printf.printf "trace written to %s\n" path
+
 (* ------------------------------------------------------------------ *)
 (* gcsim list                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -113,7 +149,7 @@ let run_cmd =
     let doc = "Print the collector's phase-event timeline after the run." in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run workload mode card young scale seed trace =
+  let run workload mode card young scale seed trace telemetry trace_out =
     match parse_workload workload with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok profile -> (
@@ -121,74 +157,75 @@ let run_cmd =
         | Error (`Msg m) -> prerr_endline m; 1
         | Ok gc ->
             let heap = heap_of_card card in
-            if trace then begin
-              (* re-create the driver's wiring with the event log enabled *)
-              let rt = Otfgc.Runtime.create ~heap_config:heap ~gc_config:gc () in
-              Otfgc.Runtime.set_fine_grained rt false;
-              let st = Otfgc.Runtime.state rt in
-              Otfgc.Event_log.set_enabled st.Otfgc.State.events true;
-              let module Sched = Otfgc_sched.Sched in
-              let module Rng = Otfgc_support.Rng in
-              let master = Rng.make seed in
-              let sched =
-                Sched.create ~policy:(Sched.random_policy (Rng.split master)) ()
-              in
-              ignore (Otfgc.Runtime.spawn_collector rt sched);
-              let quota =
-                Stdlib.max 1
-                  (int_of_float (float_of_int profile.Profile.total_alloc *. scale))
-              in
-              for i = 0 to profile.Profile.threads - 1 do
-                let name = Printf.sprintf "t%d" i in
-                let m = Otfgc.Runtime.new_mutator rt ~name () in
-                let rng = Rng.split master in
-                ignore
-                  (Sched.spawn sched ~name (fun () ->
-                       Otfgc_workloads.Engine.run_thread rt m rng ~profile ~quota ();
-                       Otfgc.Runtime.retire_mutator rt m))
-              done;
-              Sched.run sched;
-              Format.printf "%a@." Run_result.pp
-                (Run_result.of_runtime ~workload:profile.Profile.name rt);
-              Format.printf "@.phase timeline (elapsed work units):@.%a@?"
-                Otfgc.Event_log.pp_timeline st.Otfgc.State.events
-            end
-            else begin
-              let r = Driver.run ~heap ~seed ~scale ~gc profile in
-              Format.printf "%a@." Run_result.pp r
+            let r, rt =
+              Driver.run_rt ~heap ~seed ~scale
+                ~instrument:(instrument_for ~trace ~telemetry ~trace_out)
+                ~gc profile
+            in
+            Format.printf "%a@." Run_result.pp r;
+            if telemetry then begin
+              print_newline ();
+              Telemetry_report.print
+                (Telemetry_report.of_runtime ~workload:profile.Profile.name rt)
             end;
+            if trace then
+              Format.printf "@.phase timeline (elapsed work units):@.%a@?"
+                Otfgc.Event_log.pp_timeline (Otfgc.Runtime.events rt);
+            Option.iter
+              (write_trace rt ~workload:profile.Profile.name)
+              trace_out;
             0)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one collector and print its summary.")
     Term.(
       const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
-      $ seed_arg $ trace_arg)
+      $ seed_arg $ trace_arg $ telemetry_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gcsim compare                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run workload mode card young scale seed =
+  let run workload mode card young scale seed telemetry trace_out =
     match parse_workload workload with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok profile -> (
         match parse_mode ~young mode with
         | Error (`Msg m) -> prerr_endline m; 1
         | Ok gc ->
-            let cand, base =
-              Driver.run_pair ~heap:(heap_of_card card) ~seed ~scale ~gc profile
+            let heap = heap_of_card card in
+            let instrument =
+              instrument_for ~trace:false ~telemetry ~trace_out
             in
-            Format.printf "--- %s ---@.%a@.@." cand.Run_result.mode
-              Run_result.pp cand;
-            Format.printf "--- baseline (%s) ---@.%a@.@." base.Run_result.mode
-              Run_result.pp base;
+            let cand, cand_rt =
+              Driver.run_rt ~heap ~seed ~scale ~instrument ~gc profile
+            in
+            let base, base_rt =
+              Driver.run_rt ~heap ~seed ~scale ~instrument
+                ~gc:{ gc with Gc_config.mode = Gc_config.Non_generational }
+                profile
+            in
+            let report title (r : Run_result.t) rt =
+              Format.printf "--- %s ---@.%a@.@." title Run_result.pp r;
+              if telemetry then begin
+                Telemetry_report.print
+                  (Telemetry_report.of_runtime ~workload:profile.Profile.name
+                     rt);
+                print_newline ()
+              end
+            in
+            report cand.Run_result.mode cand cand_rt;
+            report ("baseline (" ^ base.Run_result.mode ^ ")") base base_rt;
             Format.printf
               "improvement: %.1f%% (multiprocessor), %.1f%% (uniprocessor)@."
               (Run_result.improvement_pct ~baseline:base cand ~multiprocessor:true)
               (Run_result.improvement_pct ~baseline:base cand
                  ~multiprocessor:false);
+            (* the candidate's trace; the baseline run is for the numbers *)
+            Option.iter
+              (write_trace cand_rt ~workload:profile.Profile.name)
+              trace_out;
             0)
   in
   Cmd.v
@@ -198,7 +235,84 @@ let compare_cmd =
           baseline; print both summaries and the improvement.")
     Term.(
       const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
-      $ seed_arg)
+      $ seed_arg $ telemetry_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gcsim stats                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let format_arg =
+    let doc = "Output format: text (tables), json, or csv." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("csv", `Csv) ]) `Text
+      & info [ "format" ] ~doc)
+  in
+  let run workload mode card young scale seed format =
+    match parse_workload workload with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok profile -> (
+        match parse_mode ~young mode with
+        | Error (`Msg m) -> prerr_endline m; 1
+        | Ok gc ->
+            let _, rt =
+              Driver.run_rt ~heap:(heap_of_card card) ~seed ~scale
+                ~instrument:(fun rt ->
+                  Otfgc.Telemetry.set_enabled (Otfgc.Runtime.telemetry rt) true)
+                ~gc profile
+            in
+            let s =
+              Telemetry_report.of_runtime ~workload:profile.Profile.name rt
+            in
+            (match format with
+            | `Text -> Telemetry_report.print s
+            | `Json -> print_endline (Json.to_string (Telemetry_report.to_json s))
+            | `Csv -> print_string (Telemetry_report.to_csv s));
+            0)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run one workload with telemetry enabled and print the phase-level \
+          work attribution, event counters and latency histograms.")
+    Term.(
+      const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
+      $ seed_arg $ format_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gcsim validate-trace                                                *)
+(* ------------------------------------------------------------------ *)
+
+let validate_trace_cmd =
+  let file_arg =
+    let doc = "Trace-event JSON file to validate." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Json.of_string contents with
+    | Error e ->
+        Printf.eprintf "%s: JSON parse error: %s\n" file e;
+        1
+    | Ok doc -> (
+        match Trace_export.validate doc with
+        | Error e ->
+            Printf.eprintf "%s: invalid trace: %s\n" file e;
+            1
+        | Ok () ->
+            Printf.printf "%s: valid trace\n" file;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:
+         "Check that a file written by --trace-out is well-formed \
+          trace-event JSON (used by CI).")
+    Term.(const run $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gcsim fig                                                           *)
@@ -221,7 +335,17 @@ let fig_cmd =
     let doc = "Do not read or write the persistent _cache/ directory." in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
-  let run ids scale seed jobs no_cache =
+  let json_arg =
+    let doc =
+      "Also emit the figure tables as a JSON array, to $(docv) ('-' = \
+       stdout instead of the rendered tables)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run ids scale seed jobs no_cache json_out =
     let entries =
       if ids = [] then Registry.all
       else
@@ -239,7 +363,21 @@ let fig_cmd =
     let lab = Lab.create ~scale ~seed ?jobs ~cache_dir () in
     (* Submit every selected figure's grid as one batch, then render. *)
     Lab.prefetch lab (List.concat_map (fun e -> e.Registry.configs) entries);
-    List.iter (fun e -> Textable.print (e.Registry.run lab)) entries;
+    let tables = List.map (fun e -> (e, e.Registry.run lab)) entries in
+    (match json_out with
+    | Some "-" ->
+        print_endline
+          (Json.to_string
+             (Json.List (List.map (fun (_, t) -> Textable.to_json t) tables)))
+    | out ->
+        List.iter (fun (_, t) -> Textable.print t) tables;
+        Option.iter
+          (fun path ->
+            write_file path
+              (Json.to_string
+                 (Json.List
+                    (List.map (fun (_, t) -> Textable.to_json t) tables))))
+          out);
     let c = Lab.counters lab in
     Printf.eprintf "cache: %d runs simulated, %d disk hits\n" c.Lab.computed
       c.Lab.disk_hits;
@@ -247,7 +385,9 @@ let fig_cmd =
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Reproduce paper figures (see EXPERIMENTS.md).")
-    Term.(const run $ ids_arg $ scale_arg $ seed_arg $ jobs_arg $ no_cache_arg)
+    Term.(
+      const run $ ids_arg $ scale_arg $ seed_arg $ jobs_arg $ no_cache_arg
+      $ json_arg)
 
 let () =
   let doc =
@@ -255,4 +395,14 @@ let () =
      (Domani, Kolodner, Petrank; PLDI 2000)."
   in
   let info = Cmd.info "gcsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; compare_cmd; fig_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            compare_cmd;
+            stats_cmd;
+            fig_cmd;
+            validate_trace_cmd;
+          ]))

@@ -51,16 +51,17 @@ let mark_gray st ~sync x =
   else begin
     let c = Heap.color st.heap x in
     State.step st;
-    let shade =
-      Color.equal c st.clear_color
-      || sync
-         && (match mode_of st with
-            | Gc_config.Generational -> Color.equal c st.allocation_color
-            | Gc_config.Non_generational | Gc_config.Generational_aging _
-            | Gc_config.Generational_adaptive ->
-                false)
+    let clearish = Color.equal c st.clear_color in
+    let yellow =
+      (not clearish) && sync
+      && (match mode_of st with
+         | Gc_config.Generational -> Color.equal c st.allocation_color
+         | Gc_config.Non_generational | Gc_config.Generational_aging _
+         | Gc_config.Generational_adaptive ->
+             false)
     in
-    if shade then begin
+    if clearish || yellow then begin
+      if yellow then Telemetry.hit_yellow st.telemetry;
       Heap.set_color st.heap x Color.Gray;
       Gray_queue.push st.gray x;
       true
@@ -83,6 +84,11 @@ let charge_tick st k =
     Sched.yield ()
   end
 
+(* Phase-transition and mutator-event log entry (no cost: observability
+   must not perturb the schedule). *)
+let emit st phase =
+  Event_log.emit st.events ~at:(Cost.elapsed_multi st.cost) phase
+
 (* ------------------------------------------------------------------ *)
 (* MarkCard                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -95,7 +101,9 @@ let mutator_mark_card st x =
   let cards = Heap.cards st.heap in
   let idx = Card_table.card_of_addr cards x in
   let hit = Card_cache.access st.card_cache idx in
-  Cost.mutator st.cost (Cost.c_mark_card + if hit then 0 else Cost.c_card_miss);
+  Telemetry.hit_card_mark st.telemetry;
+  Cost.mutator_cat st.cost Cost.Card_mark
+    (Cost.c_mark_card + if hit then 0 else Cost.c_card_miss);
   State.step st;
   Card_table.mark_card cards idx
 
@@ -105,9 +113,13 @@ let mutator_mark_card st x =
 let mutator_record_remset st x =
   let rs = Heap.remset st.heap in
   let hit = Card_cache.access st.remset_cache (Layout.granule_index x) in
-  Cost.mutator st.cost (Cost.c_remset_test + if hit then 0 else Cost.c_card_miss);
+  Cost.mutator_cat st.cost Cost.Card_mark
+    (Cost.c_remset_test + if hit then 0 else Cost.c_card_miss);
   State.step st;
-  if Remset.record rs x then Cost.mutator st.cost Cost.c_remset_append
+  if Remset.record rs x then begin
+    Telemetry.hit_remset_record st.telemetry;
+    Cost.mutator_cat st.cost Cost.Card_mark Cost.c_remset_append
+  end
 
 (* Inter-generational tracking as configured (simple promotion only). *)
 let track_intergen st x =
@@ -120,8 +132,9 @@ let track_intergen st x =
 (* ------------------------------------------------------------------ *)
 
 let update st m ~x ~i ~y =
-  Cost.mutator st.cost Cost.c_barrier_check;
-  let charge = Cost.mutator st.cost in
+  Telemetry.hit_barrier st.telemetry;
+  Cost.mutator_cat st.cost Cost.Barrier_fast Cost.c_barrier_check;
+  let charge = Cost.mutator_cat st.cost Cost.Barrier_slow in
   let in_sync = not (Status.equal (Mutator.status m) Status.Async) in
   (match mode_of st with
   | Gc_config.Non_generational ->
@@ -186,7 +199,7 @@ let update st m ~x ~i ~y =
 (* ------------------------------------------------------------------ *)
 
 let cooperate st m =
-  Cost.mutator st.cost Cost.c_cooperate;
+  Cost.mutator_cat st.cost Cost.Barrier_fast Cost.c_cooperate;
   if not (Status.equal (Mutator.status m) st.status_c) then begin
     let target = st.status_c in
     if Status.equal (Mutator.status m) Status.Sync2 then
@@ -194,11 +207,16 @@ let cooperate st m =
          mutator is still in sync2 here, so in [Generational] mode the
          yellow exception applies to its roots as well. *)
       Mutator.iter_roots m (fun r ->
-          Cost.mutator st.cost Cost.c_root;
+          Cost.mutator_cat st.cost Cost.Barrier_slow Cost.c_root;
           State.step st;
-          charged_mark_gray st ~charge:(Cost.mutator st.cost) ~sync:true r);
+          charged_mark_gray st
+            ~charge:(Cost.mutator_cat st.cost Cost.Barrier_slow)
+            ~sync:true r);
     State.step st;
-    Mutator.set_status m target
+    Mutator.set_status m target;
+    Telemetry.hit_ack st.telemetry;
+    if Event_log.enabled st.events then
+      emit st (Event_log.Mutator_ack { mid = Mutator.id m; status = target })
   end
 
 (* ------------------------------------------------------------------ *)
@@ -230,22 +248,26 @@ let allocation_color st =
 (* Handshakes (Figure 3)                                               *)
 (* ------------------------------------------------------------------ *)
 
-let emit st phase =
-  Event_log.emit st.events ~at:(Cost.elapsed_multi st.cost) phase
-
 let post_handshake st s =
+  Cost.set_phase st.cost Cost.Handshake;
   Cost.collector st.cost
     (Cost.c_handshake * (1 + List.length (State.active_mutators st)));
   Sched.yield ();
   st.status_c <- s;
-  emit st (Event_log.Handshake_posted s)
+  (* The latency sample and the event share one timestamp, so the recorded
+     latency equals the posted->complete event gap exactly. *)
+  let at = Cost.elapsed_multi st.cost in
+  Telemetry.handshake_posted st.telemetry ~at;
+  Event_log.emit st.events ~at (Event_log.Handshake_posted s)
 
 let wait_handshake st =
   Sched.wait_until (fun () ->
       List.for_all
         (fun m -> Status.equal (Mutator.status m) st.status_c)
         (State.active_mutators st));
-  emit st (Event_log.Handshake_complete st.status_c)
+  let at = Cost.elapsed_multi st.cost in
+  Telemetry.handshake_completed st.telemetry st.status_c ~at;
+  Event_log.emit st.events ~at (Event_log.Handshake_complete st.status_c)
 
 let switch_allocation_clear_colors st =
   (* Two separate stores, as in Figure 3; a mutator allocating between them
@@ -274,6 +296,7 @@ let touch_card_table_scan st n =
    unconditionally: every survivor is promoted, so surviving
    inter-generational pointers become intra-generational. *)
 let clear_cards_simple st cycle =
+  Cost.set_phase st.cost Cost.Card_scan;
   let heap = st.heap in
   let cards = Heap.cards heap in
   let n = cards_covering_capacity st in
@@ -282,6 +305,7 @@ let clear_cards_simple st cycle =
     (* reading the card table costs ~one unit per cache line *)
     if card land 63 = 0 then charge_tick st 1;
     if Card_table.is_dirty cards card then begin
+      Telemetry.hit_dirty_card st.telemetry;
       cycle.Gc_stats.dirty_cards <- cycle.Gc_stats.dirty_cards + 1;
       charge_tick st Cost.c_card_visit;
       Card_table.clear_card cards card;
@@ -311,6 +335,7 @@ let clear_cards_simple st cycle =
    store; [naive_card_clear] selects the broken check-then-clear ordering
    so tests can exhibit the race the paper describes. *)
 let clear_cards_aging st cycle =
+  Cost.set_phase st.cost Cost.Card_scan;
   let heap = st.heap in
   let cards = Heap.cards heap in
   let naive = st.cfg.Gc_config.naive_card_clear in
@@ -319,6 +344,7 @@ let clear_cards_aging st cycle =
   for card = 0 to n - 1 do
     if card land 63 = 0 then charge_tick st 1;
     if Card_table.is_dirty cards card then begin
+      Telemetry.hit_dirty_card st.telemetry;
       cycle.Gc_stats.dirty_cards <- cycle.Gc_stats.dirty_cards + 1;
       charge_tick st Cost.c_card_visit;
       if not naive then begin
@@ -386,11 +412,13 @@ let clear_cards_aging st cycle =
    becomes intra-generational at the coming promotion, exactly as in the
    simple card algorithm. *)
 let scan_remset_simple st cycle =
+  Cost.set_phase st.cost Cost.Card_scan;
   let heap = st.heap in
   let entries = Remset.drain (Heap.remset heap) in
   cycle.Gc_stats.dirty_cards <- List.length entries;
   List.iter
     (fun x ->
+      Telemetry.hit_dirty_card st.telemetry;
       charge_tick st Cost.c_card_obj;
       Page_set.touch_remset st.pages x;
       State.step st;
@@ -430,6 +458,7 @@ let clear_cards st cycle =
    old objects stay old through a full collection, so their
    inter-generational pointers remain relevant (Section 6). *)
 let init_full_collection st ~clear_card_marks =
+  Cost.set_phase st.cost Cost.Clear;
   let heap = st.heap in
   let space = Heap.space heap in
   let addr = ref 0 in
@@ -490,7 +519,16 @@ let mark_black st cycle x =
     done;
     State.step st;
     Heap.set_color heap x target;
-    cycle.Gc_stats.objects_traced <- cycle.Gc_stats.objects_traced + 1
+    cycle.Gc_stats.objects_traced <- cycle.Gc_stats.objects_traced + 1;
+    (* Simple promotion (Figure 2): blackening IS promotion — every traced
+       survivor joins the old generation.  Aging modes promote in the
+       sweep instead; the non-generational mark color is not a generation. *)
+    match mode_of st with
+    | Gc_config.Generational ->
+        cycle.Gc_stats.promotions <- cycle.Gc_stats.promotions + 1
+    | Gc_config.Non_generational | Gc_config.Generational_aging _
+    | Gc_config.Generational_adaptive ->
+        ()
   end
 
 (* The gray set is a shared queue and every shading publishes into it
@@ -501,6 +539,7 @@ let mark_black st cycle x =
    gray floating garbage and are normalised back to the allocation color
    there. *)
 let trace st cycle =
+  Cost.set_phase st.cost Cost.Trace;
   let running = ref true in
   while !running do
     charge_tick st 1;
@@ -514,6 +553,7 @@ let trace st cycle =
 (* ------------------------------------------------------------------ *)
 
 let sweep st cycle =
+  Cost.set_phase st.cost Cost.Sweep;
   let heap = st.heap in
   let space = Heap.space heap in
   let ages = Heap.ages heap in
@@ -568,6 +608,7 @@ let sweep st cycle =
               if Color.equal c Color.Black && (age = 255 || age + 1 >= tenure)
               then begin
                 if age <> 255 then begin
+                  cycle.Gc_stats.promotions <- cycle.Gc_stats.promotions + 1;
                   Age_table.set ages x 255;
                   Page_set.touch_age st.pages x
                 end
@@ -630,6 +671,7 @@ let run_cycle st ~full =
   Gray_queue.clear st.gray;
   let work0 = Cost.collector_work st.cost in
   let elapsed0 = Cost.elapsed_multi st.cost in
+  let mutator_work0 = Cost.mutator_work st.cost in
   (* clear phase *)
   (match mode with
   | Gc_config.Non_generational -> ()
@@ -674,7 +716,8 @@ let run_cycle st ~full =
   census st cycle;
   st.tracing <- true;
   post_handshake st Status.Async;
-  (* mark global roots *)
+  (* mark global roots (attributed to the trace: they seed it) *)
+  Cost.set_phase st.cost Cost.Trace;
   List.iter
     (fun g ->
       charge_tick st Cost.c_root;
@@ -698,6 +741,9 @@ let run_cycle st ~full =
          freed = cycle.Gc_stats.objects_freed;
          bytes = cycle.Gc_stats.bytes_freed;
        });
+  Telemetry.add_promotions st.telemetry cycle.Gc_stats.promotions;
+  if cycle.Gc_stats.promotions > 0 then
+    emit st (Event_log.Promoted { count = cycle.Gc_stats.promotions });
   (match mode with
   | Gc_config.Non_generational ->
       (* Remark 5.1: swap black and white instead of re-whitening.  An
@@ -730,6 +776,10 @@ let run_cycle st ~full =
   cycle.Gc_stats.pages_touched <- Page_set.count st.pages;
   cycle.Gc_stats.live_objects_at_end <- Heap.object_count st.heap;
   cycle.Gc_stats.live_bytes_at_end <- Heap.allocated_bytes st.heap;
+  (* Pause-free progress: mutator work performed while this cycle ran. *)
+  Telemetry.record_progress st.telemetry
+    (Cost.mutator_work st.cost - mutator_work0);
+  Cost.set_phase st.cost Cost.Idle;
   Gc_stats.end_cycle st.stats cycle;
   st.cur_cycle <- None;
   st.collecting <- false;

@@ -1,18 +1,91 @@
+type phase = Idle | Clear | Handshake | Card_scan | Trace | Sweep
+
+let n_phases = 6
+
+let phase_index = function
+  | Idle -> 0
+  | Clear -> 1
+  | Handshake -> 2
+  | Card_scan -> 3
+  | Trace -> 4
+  | Sweep -> 5
+
+let phases = [ Idle; Clear; Handshake; Card_scan; Trace; Sweep ]
+
+let phase_name = function
+  | Idle -> "idle"
+  | Clear -> "clear"
+  | Handshake -> "handshake"
+  | Card_scan -> "card-scan"
+  | Trace -> "trace"
+  | Sweep -> "sweep"
+
+type category = App | Barrier_fast | Barrier_slow | Card_mark
+
+let n_categories = 4
+
+let category_index = function
+  | App -> 0
+  | Barrier_fast -> 1
+  | Barrier_slow -> 2
+  | Card_mark -> 3
+
+let categories = [ App; Barrier_fast; Barrier_slow; Card_mark ]
+
+let category_name = function
+  | App -> "app"
+  | Barrier_fast -> "barrier-fast"
+  | Barrier_slow -> "barrier-slow"
+  | Card_mark -> "card-mark"
+
 type t = {
   mutable mutator_work : int;
   mutable collector_work : int;
   mutable stall_work : int;
+  (* Attribution side tables: every charge above is simultaneously binned
+     by the collector's current phase (collector charges) or by mutator
+     category (mutator charges), so the split always sums exactly to the
+     headline counters.  Plain array increments — no allocation, and no
+     change to any total the experiments report. *)
+  mutable phase : int;
+  by_phase : int array;
+  by_category : int array;
 }
 
-let create () = { mutator_work = 0; collector_work = 0; stall_work = 0 }
+let create () =
+  {
+    mutator_work = 0;
+    collector_work = 0;
+    stall_work = 0;
+    phase = 0;
+    by_phase = Array.make n_phases 0;
+    by_category = Array.make n_categories 0;
+  }
 
-let mutator t n = t.mutator_work <- t.mutator_work + n
-let collector t n = t.collector_work <- t.collector_work + n
+let mutator t n =
+  t.mutator_work <- t.mutator_work + n;
+  t.by_category.(0) <- t.by_category.(0) + n
+
+let mutator_cat t c n =
+  t.mutator_work <- t.mutator_work + n;
+  let i = category_index c in
+  t.by_category.(i) <- t.by_category.(i) + n
+
+let collector t n =
+  t.collector_work <- t.collector_work + n;
+  t.by_phase.(t.phase) <- t.by_phase.(t.phase) + n
+
 let stall t n = t.stall_work <- t.stall_work + n
+
+let set_phase t p = t.phase <- phase_index p
+let current_phase t = List.nth phases t.phase
 
 let mutator_work t = t.mutator_work
 let collector_work t = t.collector_work
 let stall_work t = t.stall_work
+
+let phase_work t p = t.by_phase.(phase_index p)
+let category_work t c = t.by_category.(category_index c)
 
 let elapsed_multi t = t.mutator_work + t.collector_work + t.stall_work
 
@@ -23,7 +96,10 @@ let elapsed_uni t = t.mutator_work + t.collector_work + (2 * t.stall_work)
 let reset t =
   t.mutator_work <- 0;
   t.collector_work <- 0;
-  t.stall_work <- 0
+  t.stall_work <- 0;
+  t.phase <- 0;
+  Array.fill t.by_phase 0 n_phases 0;
+  Array.fill t.by_category 0 n_categories 0
 
 (* Calibrated against the paper's measured ratios (Figures 11, 13, 14):
    tracing one object costs ~0.68 us (226 cycles on the 332 MHz PPC) ~ 2-3

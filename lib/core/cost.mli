@@ -18,22 +18,68 @@ type t
 
 val create : unit -> t
 
+(** {2 Attribution axes}
+
+    Every collector charge is additionally binned under the phase the
+    collector declared via {!set_phase}, and every mutator charge under a
+    category chosen at the charge site, so telemetry can answer "where
+    inside a cycle does the work go" without changing any total: the
+    per-phase (per-category) sums equal {!collector_work}
+    ({!mutator_work}) by construction.  Binning is a single array
+    increment — allocation-free and always on. *)
+
+type phase = Idle | Clear | Handshake | Card_scan | Trace | Sweep
+
+val phases : phase list
+(** All phases, in {!phase_index} order. *)
+
+val phase_name : phase -> string
+val phase_index : phase -> int
+
+type category = App | Barrier_fast | Barrier_slow | Card_mark
+(** Mutator work classes: application progress (compute, raw loads and
+    stores, allocation fast path), the barrier's always-on checks and
+    handshake polls, the barrier's shading slow path (graying values in
+    the sync window or while tracing, root marking at the third
+    handshake), and inter-generational recording (card dirtying or
+    remembered-set appends, including their cache-miss surcharges).
+    Stalls keep their own headline counter ({!stall_work}). *)
+
+val categories : category list
+val category_name : category -> string
+
 (** {2 Charging} *)
 
 val mutator : t -> int -> unit
-(** Work performed by application code (including barrier overhead). *)
+(** Work performed by application code, attributed to {!App}. *)
+
+val mutator_cat : t -> category -> int -> unit
+(** Work performed by application code, attributed to the given class. *)
 
 val collector : t -> int -> unit
-(** Work performed by the collector thread. *)
+(** Work performed by the collector thread (attributed to the current
+    phase). *)
 
 val stall : t -> int -> unit
 (** Mutator cycles burned waiting for memory. *)
+
+val set_phase : t -> phase -> unit
+(** Declare the collector phase subsequent collector charges belong to.
+    Only the collector calls this. *)
+
+val current_phase : t -> phase
 
 (** {2 Reading} *)
 
 val mutator_work : t -> int
 val collector_work : t -> int
 val stall_work : t -> int
+
+val phase_work : t -> phase -> int
+(** Collector work charged under a phase; sums to {!collector_work}. *)
+
+val category_work : t -> category -> int
+(** Mutator work charged under a category; sums to {!mutator_work}. *)
 
 val elapsed_multi : t -> int
 (** Saturated-SMP elapsed-time proxy: mutator + collector + stall work

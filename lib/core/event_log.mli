@@ -1,11 +1,18 @@
-(** Structured log of collector phase transitions.
+(** Structured log of collector phase transitions and mutator-side events.
 
-    When enabled, the collector records each phase of every cycle with a
-    timestamp in elapsed work units — the observability a production
-    collector would expose through JFR-style events.  The log is what
-    [gcsim run --trace] and the heapscope example print; tests use it to
-    assert phase ordering (handshakes strictly precede the trace, the
-    trace precedes the sweep, ...). *)
+    When enabled, the collector records each phase of every cycle — and
+    the mutators record their handshake acknowledgements and allocation
+    stalls — with a timestamp in elapsed work units: the observability a
+    production collector would expose through JFR-style events.  The log
+    is what [gcsim run --trace] prints and what the Perfetto trace export
+    consumes; tests use it to assert phase ordering (handshakes strictly
+    precede the trace, the trace precedes the sweep, ...).
+
+    Storage is a bounded ring of int-encoded records (4 ints per event):
+    an enabled log never allocates per emit beyond occasional capacity
+    doubling up to [max_events], and a long run overwrites its oldest
+    events instead of growing without bound.  Disabled (the default),
+    [emit] is a single flag test. *)
 
 type phase =
   | Cycle_start of { kind : Gc_stats.kind; full : bool }
@@ -20,12 +27,21 @@ type phase =
   | Sweep_complete of { freed : int; bytes : int }
   | Cycle_end
   | Heap_grown of { capacity : int }
+  | Mutator_ack of { mid : int; status : Status.t }
+      (** mutator [mid] adopted the posted status (handshake response) *)
+  | Stall_begin of { mid : int }
+      (** mutator [mid] entered the allocation slow path (heap exhausted) *)
+  | Stall_end of { mid : int }  (** its allocation finally succeeded *)
+  | Promoted of { count : int }
+      (** objects promoted to the old generation by the finishing cycle *)
 
 type event = { at : int;  (** elapsed work units *) phase : phase }
 
 type t
 
-val create : unit -> t
+val create : ?max_events:int -> unit -> t
+(** [max_events] (default 65536) bounds the ring; beyond it the oldest
+    events are overwritten.  Raises [Invalid_argument] if < 1. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
@@ -34,7 +50,17 @@ val set_enabled : t -> bool -> unit
 val emit : t -> at:int -> phase -> unit
 
 val events : t -> event list
-(** Oldest first. *)
+(** Oldest first (decoded on demand). *)
+
+val iter : t -> (event -> unit) -> unit
+(** Oldest first, without materialising the list. *)
+
+val length : t -> int
+(** Events currently held (≤ [max_events]). *)
+
+val dropped : t -> int
+(** Events overwritten since the last {!clear} because the ring was at
+    its bound. *)
 
 val clear : t -> unit
 

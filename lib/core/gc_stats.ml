@@ -5,6 +5,14 @@ let kind_name = function
   | Full -> "full"
   | Non_gen -> "non-gen"
 
+let kind_index = function Partial -> 0 | Full -> 1 | Non_gen -> 2
+
+let kind_of_index = function
+  | 0 -> Partial
+  | 1 -> Full
+  | 2 -> Non_gen
+  | n -> invalid_arg (Printf.sprintf "Gc_stats.kind_of_index: %d" n)
+
 type cycle = {
   kind : kind;
   seq : int;
@@ -15,6 +23,7 @@ type cycle = {
   mutable total_cards : int;
   mutable objects_freed : int;
   mutable bytes_freed : int;
+  mutable promotions : int;
   mutable young_objects_at_start : int;
   mutable young_bytes_at_start : int;
   mutable live_objects_at_end : int;
@@ -44,6 +53,7 @@ let begin_cycle t kind =
       total_cards = 0;
       objects_freed = 0;
       bytes_freed = 0;
+      promotions = 0;
       young_objects_at_start = 0;
       young_bytes_at_start = 0;
       live_objects_at_end = 0;

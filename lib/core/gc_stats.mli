@@ -10,6 +10,13 @@ type kind = Partial | Full | Non_gen
 
 val kind_name : kind -> string
 
+val kind_index : kind -> int
+(** Dense index ([Partial] 0, [Full] 1, [Non_gen] 2), used to int-encode
+    kinds in the event ring. *)
+
+val kind_of_index : int -> kind
+(** Inverse of {!kind_index}; raises [Invalid_argument] outside [0..2]. *)
+
 type cycle = {
   kind : kind;
   seq : int;  (** 0-based collection index within the run *)
@@ -28,6 +35,10 @@ type cycle = {
   (* sweep *)
   mutable objects_freed : int;
   mutable bytes_freed : int;
+  mutable promotions : int;
+      (** objects promoted to the old generation this cycle: blackened by
+          the trace under simple promotion, newly tenured by the sweep
+          under aging/adaptive promotion *)
   (* census (out of band) *)
   mutable young_objects_at_start : int;
   mutable young_bytes_at_start : int;

@@ -16,6 +16,8 @@ let state t = t.st
 let heap t = t.st.heap
 let stats t = t.st.stats
 let cost t = t.st.cost
+let events t = t.st.events
+let telemetry t = t.st.telemetry
 
 let set_fine_grained t v = t.st.fine_grained <- v
 
@@ -105,6 +107,11 @@ let alloc t m ~size ~n_slots =
          the heap grow towards its maximum, and only when that too is
          exhausted is the program out of memory. *)
       let result = ref Heap.nil in
+      Telemetry.hit_stall st.telemetry;
+      let stall_from = Cost.elapsed_multi st.cost in
+      if Event_log.enabled st.events then
+        Event_log.emit st.events ~at:stall_from
+          (Event_log.Stall_begin { mid = Mutator.id m });
       (* Only a full (or non-generational) collection can reclaim tenured
          garbage; partials completing while we wait do not count as "a
          collection ran and it still does not fit". *)
@@ -129,6 +136,11 @@ let alloc t m ~size ~n_slots =
             Cost.stall st.cost Cost.c_cooperate;
             Sched.yield ()
       done;
+      let stall_to = Cost.elapsed_multi st.cost in
+      Telemetry.record_stall st.telemetry (stall_to - stall_from);
+      if Event_log.enabled st.events then
+        Event_log.emit st.events ~at:stall_to
+          (Event_log.Stall_end { mid = Mutator.id m });
       st.bytes_since_gc <- st.bytes_since_gc + Heap.size st.heap !result;
       maybe_trigger t;
       !result

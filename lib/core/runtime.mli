@@ -28,6 +28,12 @@ val heap : t -> Otfgc_heap.Heap.t
 val stats : t -> Gc_stats.t
 val cost : t -> Cost.t
 
+val events : t -> Event_log.t
+(** The phase/mutator event log (enable it to record). *)
+
+val telemetry : t -> Telemetry.t
+(** Counters and latency histograms (see {!Telemetry}). *)
+
 val set_fine_grained : t -> bool -> unit
 (** Disable/enable micro-step yields (see {!State.t.fine_grained}).
     Benchmarks turn this off; correctness tests leave it on. *)

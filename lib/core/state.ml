@@ -21,6 +21,7 @@ type t = {
   gray : Gray_queue.t;
   stats : Gc_stats.t;
   events : Event_log.t;
+  telemetry : Telemetry.t;
   mutable cur_cycle : Gc_stats.cycle option;
   pages : Page_set.t;
   cost : Cost.t;
@@ -50,6 +51,7 @@ let create heap cfg =
     gray = Gray_queue.create ();
     stats = Gc_stats.create ();
     events = Event_log.create ();
+    telemetry = Telemetry.create ();
     cur_cycle = None;
     pages = Page_set.create (Heap.layout heap);
     cost = Cost.create ();

@@ -37,6 +37,8 @@ type t = {
   gray : Gray_queue.t;
   stats : Gc_stats.t;
   events : Event_log.t;  (** phase-transition log (off by default) *)
+  telemetry : Telemetry.t;
+      (** counters and latency histograms (histograms off by default) *)
   mutable cur_cycle : Gc_stats.cycle option;
   pages : Otfgc_heap.Page_set.t;
   cost : Cost.t;

@@ -9,3 +9,11 @@ let to_string = function Async -> "async" | Sync1 -> "sync1" | Sync2 -> "sync2"
 let pp ppf s = Format.pp_print_string ppf (to_string s)
 
 let next = function Async -> Sync1 | Sync1 -> Sync2 | Sync2 -> Async
+
+let index = function Async -> 0 | Sync1 -> 1 | Sync2 -> 2
+
+let of_index = function
+  | 0 -> Async
+  | 1 -> Sync1
+  | 2 -> Sync2
+  | n -> invalid_arg (Printf.sprintf "Status.of_index: %d" n)

@@ -15,3 +15,10 @@ val pp : Format.formatter -> t -> unit
 val next : t -> t
 (** The status the collector posts after the given one:
     [Async -> Sync1 -> Sync2 -> Async]. *)
+
+val index : t -> int
+(** Dense index ([Async] 0, [Sync1] 1, [Sync2] 2) — used to key per-status
+    telemetry tables and to int-encode statuses in the event ring. *)
+
+val of_index : int -> t
+(** Inverse of {!index}; raises [Invalid_argument] outside [0..2]. *)

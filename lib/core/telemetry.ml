@@ -1,0 +1,90 @@
+module Histogram = Otfgc_support.Histogram
+
+type t = {
+  mutable enabled : bool;
+  (* event counters: bare int increments, always on *)
+  mutable barrier_updates : int;
+  mutable yellow_fires : int;
+  mutable promotions : int;
+  mutable dirty_card_finds : int;
+  mutable handshake_acks : int;
+  mutable stalls : int;
+  mutable card_marks : int;
+  mutable remset_records : int;
+  (* latency instruments, recorded only when enabled *)
+  handshake_latency : Histogram.t array;  (* indexed by Status.index *)
+  stall_latency : Histogram.t;
+  cycle_progress : Histogram.t;
+  mutable handshake_posted_at : int;
+}
+
+let create () =
+  {
+    enabled = false;
+    barrier_updates = 0;
+    yellow_fires = 0;
+    promotions = 0;
+    dirty_card_finds = 0;
+    handshake_acks = 0;
+    stalls = 0;
+    card_marks = 0;
+    remset_records = 0;
+    handshake_latency = Array.init 3 (fun _ -> Histogram.create ());
+    stall_latency = Histogram.create ();
+    cycle_progress = Histogram.create ();
+    handshake_posted_at = 0;
+  }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let reset t =
+  t.barrier_updates <- 0;
+  t.yellow_fires <- 0;
+  t.promotions <- 0;
+  t.dirty_card_finds <- 0;
+  t.handshake_acks <- 0;
+  t.stalls <- 0;
+  t.card_marks <- 0;
+  t.remset_records <- 0;
+  Array.iter Histogram.clear t.handshake_latency;
+  Histogram.clear t.stall_latency;
+  Histogram.clear t.cycle_progress;
+  t.handshake_posted_at <- 0
+
+(* counters *)
+let hit_barrier t = t.barrier_updates <- t.barrier_updates + 1
+let hit_yellow t = t.yellow_fires <- t.yellow_fires + 1
+let add_promotions t n = t.promotions <- t.promotions + n
+let hit_dirty_card t = t.dirty_card_finds <- t.dirty_card_finds + 1
+let hit_ack t = t.handshake_acks <- t.handshake_acks + 1
+let hit_stall t = t.stalls <- t.stalls + 1
+let hit_card_mark t = t.card_marks <- t.card_marks + 1
+let hit_remset_record t = t.remset_records <- t.remset_records + 1
+
+let barrier_updates t = t.barrier_updates
+let yellow_fires t = t.yellow_fires
+let promotions t = t.promotions
+let dirty_card_finds t = t.dirty_card_finds
+let handshake_acks t = t.handshake_acks
+let stalls t = t.stalls
+let card_marks t = t.card_marks
+let remset_records t = t.remset_records
+
+(* instruments *)
+let handshake_posted t ~at = if t.enabled then t.handshake_posted_at <- at
+
+let handshake_completed t status ~at =
+  if t.enabled then
+    Histogram.record t.handshake_latency.(Status.index status)
+      (at - t.handshake_posted_at)
+
+let record_stall t duration =
+  if t.enabled then Histogram.record t.stall_latency duration
+
+let record_progress t units =
+  if t.enabled then Histogram.record t.cycle_progress units
+
+let handshake_latency t status = t.handshake_latency.(Status.index status)
+let stall_latency t = t.stall_latency
+let cycle_progress t = t.cycle_progress

@@ -1,0 +1,86 @@
+(** Raw telemetry state threaded through the runtime — the recording half
+    of the observability layer ([Otfgc_metrics.Telemetry] is the
+    summarising/exporting half).
+
+    Two tiers, chosen so the default configuration costs nothing the cost
+    model could see:
+
+    - {b Counters} (barrier executions, yellow-exception fires,
+      promotions, dirty-card finds, handshake acks, stalls) are bare int
+      increments and stay on unconditionally — like the CPU's own
+      performance counters, they are free of allocation and of simulated
+      cost.
+    - {b Instruments} (handshake-latency, allocation-stall and per-cycle
+      mutator-progress histograms) record only when {!set_enabled} has
+      been called; the record path itself is allocation-free
+      ({!Otfgc_support.Histogram}).
+
+    Nothing here charges the {!Cost} ledger or yields to the scheduler, so
+    enabling telemetry cannot change a run's schedule or its reported
+    figures — the invariant the digest-identity tests pin down. *)
+
+type t
+
+val create : unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** Off by default; gates the histograms only (counters are always on). *)
+
+val reset : t -> unit
+(** Zero everything (end-of-warmup measurement reset). *)
+
+(** {2 Counters} *)
+
+val hit_barrier : t -> unit
+(** one write-barrier execution *)
+
+val hit_yellow : t -> unit
+(** the Section 4 yellow-exception shaded an allocation-colored object *)
+
+val add_promotions : t -> int -> unit
+(** objects promoted by a cycle *)
+
+val hit_dirty_card : t -> unit
+(** ClearCards found a dirty card *)
+
+val hit_ack : t -> unit
+(** a mutator adopted a posted status *)
+
+val hit_stall : t -> unit
+(** a mutator entered the allocation slow path *)
+
+val hit_card_mark : t -> unit
+(** barrier dirtied (or re-dirtied) a card *)
+
+val hit_remset_record : t -> unit
+(** remembered-set append (deduplicated) *)
+
+val barrier_updates : t -> int
+val yellow_fires : t -> int
+val promotions : t -> int
+val dirty_card_finds : t -> int
+val handshake_acks : t -> int
+val stalls : t -> int
+val card_marks : t -> int
+val remset_records : t -> int
+
+(** {2 Instruments} (no-ops while disabled) *)
+
+val handshake_posted : t -> at:int -> unit
+(** The collector posted a handshake at elapsed time [at]. *)
+
+val handshake_completed : t -> Status.t -> at:int -> unit
+(** The last mutator acked: records [at - posted_at] into the per-status
+    latency histogram. *)
+
+val record_stall : t -> int -> unit
+(** Work-unit span a mutator spent in the allocation slow path. *)
+
+val record_progress : t -> int -> unit
+(** Mutator work performed while one collection cycle was active — the
+    pause-free-progress measure. *)
+
+val handshake_latency : t -> Status.t -> Otfgc_support.Histogram.t
+val stall_latency : t -> Otfgc_support.Histogram.t
+val cycle_progress : t -> Otfgc_support.Histogram.t

@@ -143,6 +143,112 @@ let of_runtime ~workload rt =
       mean Gc_stats.Partial (fun c -> fi c.Gc_stats.card_scan_bytes);
   }
 
+(* JSON round-trip.  One (name, inject, project) row per field keeps the
+   writer and the reader in lockstep: a field added to the record without a
+   row here is a compile error in [to_json]/[of_json] construction below. *)
+module Json = Otfgc_support.Json
+
+let to_json t =
+  Json.Obj
+    [
+      ("workload", Json.String t.workload);
+      ("mode", Json.String t.mode);
+      ("elapsed_multi", Json.Int t.elapsed_multi);
+      ("elapsed_uni", Json.Int t.elapsed_uni);
+      ("mutator_work", Json.Int t.mutator_work);
+      ("collector_work", Json.Int t.collector_work);
+      ("stall_work", Json.Int t.stall_work);
+      ("total_alloc_bytes", Json.Int t.total_alloc_bytes);
+      ("total_alloc_objects", Json.Int t.total_alloc_objects);
+      ("final_capacity", Json.Int t.final_capacity);
+      ("n_partial", Json.Int t.n_partial);
+      ("n_full", Json.Int t.n_full);
+      ("n_non_gen", Json.Int t.n_non_gen);
+      ("pct_time_gc", Json.Float t.pct_time_gc);
+      ("avg_intergen_scanned", Json.Float t.avg_intergen_scanned);
+      ("avg_scanned_partial", Json.Float t.avg_scanned_partial);
+      ("avg_scanned_full", Json.Float t.avg_scanned_full);
+      ("avg_scanned_non_gen", Json.Float t.avg_scanned_non_gen);
+      ("pct_bytes_freed_partial", Json.Float t.pct_bytes_freed_partial);
+      ("pct_objects_freed_partial", Json.Float t.pct_objects_freed_partial);
+      ("pct_objects_freed_full", Json.Float t.pct_objects_freed_full);
+      ("pct_objects_freed_non_gen", Json.Float t.pct_objects_freed_non_gen);
+      ("avg_work_partial", Json.Float t.avg_work_partial);
+      ("avg_work_full", Json.Float t.avg_work_full);
+      ("avg_work_non_gen", Json.Float t.avg_work_non_gen);
+      ("avg_objects_freed_partial", Json.Float t.avg_objects_freed_partial);
+      ("avg_objects_freed_full", Json.Float t.avg_objects_freed_full);
+      ("avg_objects_freed_non_gen", Json.Float t.avg_objects_freed_non_gen);
+      ("avg_bytes_freed_partial", Json.Float t.avg_bytes_freed_partial);
+      ("avg_bytes_freed_full", Json.Float t.avg_bytes_freed_full);
+      ("avg_bytes_freed_non_gen", Json.Float t.avg_bytes_freed_non_gen);
+      ("avg_pages_partial", Json.Float t.avg_pages_partial);
+      ("avg_pages_full", Json.Float t.avg_pages_full);
+      ("avg_pages_non_gen", Json.Float t.avg_pages_non_gen);
+      ("pct_dirty_cards", Json.Float t.pct_dirty_cards);
+      ("avg_card_scan_bytes", Json.Float t.avg_card_scan_bytes);
+    ]
+
+exception Bad_field of string
+
+let of_json j =
+  let str k =
+    match Option.bind (Json.member k j) Json.as_string with
+    | Some s -> s
+    | None -> raise (Bad_field k)
+  in
+  let int k =
+    match Option.bind (Json.member k j) Json.as_int with
+    | Some i -> i
+    | None -> raise (Bad_field k)
+  in
+  let flt k =
+    match Option.bind (Json.member k j) Json.as_float with
+    | Some f -> f
+    | None -> raise (Bad_field k)
+  in
+  try
+    Ok
+      {
+        workload = str "workload";
+        mode = str "mode";
+        elapsed_multi = int "elapsed_multi";
+        elapsed_uni = int "elapsed_uni";
+        mutator_work = int "mutator_work";
+        collector_work = int "collector_work";
+        stall_work = int "stall_work";
+        total_alloc_bytes = int "total_alloc_bytes";
+        total_alloc_objects = int "total_alloc_objects";
+        final_capacity = int "final_capacity";
+        n_partial = int "n_partial";
+        n_full = int "n_full";
+        n_non_gen = int "n_non_gen";
+        pct_time_gc = flt "pct_time_gc";
+        avg_intergen_scanned = flt "avg_intergen_scanned";
+        avg_scanned_partial = flt "avg_scanned_partial";
+        avg_scanned_full = flt "avg_scanned_full";
+        avg_scanned_non_gen = flt "avg_scanned_non_gen";
+        pct_bytes_freed_partial = flt "pct_bytes_freed_partial";
+        pct_objects_freed_partial = flt "pct_objects_freed_partial";
+        pct_objects_freed_full = flt "pct_objects_freed_full";
+        pct_objects_freed_non_gen = flt "pct_objects_freed_non_gen";
+        avg_work_partial = flt "avg_work_partial";
+        avg_work_full = flt "avg_work_full";
+        avg_work_non_gen = flt "avg_work_non_gen";
+        avg_objects_freed_partial = flt "avg_objects_freed_partial";
+        avg_objects_freed_full = flt "avg_objects_freed_full";
+        avg_objects_freed_non_gen = flt "avg_objects_freed_non_gen";
+        avg_bytes_freed_partial = flt "avg_bytes_freed_partial";
+        avg_bytes_freed_full = flt "avg_bytes_freed_full";
+        avg_bytes_freed_non_gen = flt "avg_bytes_freed_non_gen";
+        avg_pages_partial = flt "avg_pages_partial";
+        avg_pages_full = flt "avg_pages_full";
+        avg_pages_non_gen = flt "avg_pages_non_gen";
+        pct_dirty_cards = flt "pct_dirty_cards";
+        avg_card_scan_bytes = flt "avg_card_scan_bytes";
+      }
+  with Bad_field k -> Error (Printf.sprintf "missing or mistyped field %S" k)
+
 let elapsed t ~multiprocessor =
   fi (if multiprocessor then t.elapsed_multi else t.elapsed_uni)
 

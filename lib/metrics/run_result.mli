@@ -53,6 +53,15 @@ type t = {
 val of_runtime : workload:string -> Otfgc.Runtime.t -> t
 (** Summarise a finished run. *)
 
+val to_json : t -> Otfgc_support.Json.t
+(** Flat object, one member per field.  Floats are printed with enough
+    digits that {!of_json} restores the exact value ([of_json (to_json t)
+    = Ok t]). *)
+
+val of_json : Otfgc_support.Json.t -> (t, string) result
+(** Inverse of {!to_json}; [Error] names the first missing or mistyped
+    field. *)
+
 val elapsed : t -> multiprocessor:bool -> float
 (** The elapsed-time proxy selected by the experiment. *)
 

@@ -1,0 +1,244 @@
+module Histogram = Otfgc_support.Histogram
+module Textable = Otfgc_support.Textable
+module Json = Otfgc_support.Json
+module Cost = Otfgc.Cost
+module Status = Otfgc.Status
+
+type hist = {
+  count : int;
+  total : int;
+  min : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+
+type summary = {
+  workload : string;
+  mode : string;
+  collector_work : int;
+  phase_work : (string * int) list;
+  mutator_work : int;
+  category_work : (string * int) list;
+  stall_work : int;
+  barrier_updates : int;
+  yellow_fires : int;
+  promotions : int;
+  dirty_card_finds : int;
+  handshake_acks : int;
+  stalls : int;
+  card_marks : int;
+  remset_records : int;
+  events_logged : int;
+  events_dropped : int;
+  handshake_latency : (string * hist) list;
+  stall_latency : hist;
+  cycle_progress : hist;
+}
+
+let snapshot_hist h =
+  {
+    count = Histogram.count h;
+    total = Histogram.total h;
+    min = Histogram.min_value h;
+    max = Histogram.max_value h;
+    mean = Histogram.mean h;
+    p50 = Histogram.percentile h 50.;
+    p90 = Histogram.percentile h 90.;
+    p99 = Histogram.percentile h 99.;
+  }
+
+let of_runtime ?(workload = "") rt =
+  let open Otfgc in
+  let cost = Runtime.cost rt in
+  let tel = Runtime.telemetry rt in
+  let events = Runtime.events rt in
+  let st = Runtime.state rt in
+  {
+    workload;
+    mode = Gc_config.mode_name st.State.cfg.Gc_config.mode;
+    collector_work = Cost.collector_work cost;
+    phase_work =
+      List.map (fun p -> (Cost.phase_name p, Cost.phase_work cost p)) Cost.phases;
+    mutator_work = Cost.mutator_work cost;
+    category_work =
+      List.map
+        (fun c -> (Cost.category_name c, Cost.category_work cost c))
+        Cost.categories;
+    stall_work = Cost.stall_work cost;
+    barrier_updates = Telemetry.barrier_updates tel;
+    yellow_fires = Telemetry.yellow_fires tel;
+    promotions = Telemetry.promotions tel;
+    dirty_card_finds = Telemetry.dirty_card_finds tel;
+    handshake_acks = Telemetry.handshake_acks tel;
+    stalls = Telemetry.stalls tel;
+    card_marks = Telemetry.card_marks tel;
+    remset_records = Telemetry.remset_records tel;
+    events_logged = Event_log.length events;
+    events_dropped = Event_log.dropped events;
+    handshake_latency =
+      List.map
+        (fun s ->
+          ( Status.to_string s,
+            snapshot_hist (Telemetry.handshake_latency tel s) ))
+        [ Status.Sync1; Status.Sync2; Status.Async ];
+    stall_latency = snapshot_hist (Telemetry.stall_latency tel);
+    cycle_progress = snapshot_hist (Telemetry.cycle_progress tel);
+  }
+
+let pct part whole =
+  if whole = 0 then "0.0"
+  else Textable.fmt_f1 (float_of_int part /. float_of_int whole *. 100.)
+
+let work_table s =
+  let tbl =
+    Textable.create ~title:"work attribution (units)"
+      [ "ledger"; "class"; "units"; "% of ledger" ]
+  in
+  List.iter
+    (fun (name, units) ->
+      Textable.add_row tbl
+        [ "collector"; name; string_of_int units; pct units s.collector_work ])
+    s.phase_work;
+  Textable.add_row tbl
+    [ "collector"; "total"; string_of_int s.collector_work; "100.0" ];
+  List.iter
+    (fun (name, units) ->
+      Textable.add_row tbl
+        [ "mutator"; name; string_of_int units; pct units s.mutator_work ])
+    s.category_work;
+  Textable.add_row tbl
+    [ "mutator"; "total"; string_of_int s.mutator_work; "100.0" ];
+  Textable.add_row tbl [ "stall"; "total"; string_of_int s.stall_work; "" ];
+  tbl
+
+let counter_table s =
+  let tbl = Textable.create ~title:"event counters" [ "counter"; "count" ] in
+  let row name v = Textable.add_row tbl [ name; string_of_int v ] in
+  row "barrier updates" s.barrier_updates;
+  row "yellow-exception fires" s.yellow_fires;
+  row "promotions" s.promotions;
+  row "dirty cards found" s.dirty_card_finds;
+  row "handshake acks" s.handshake_acks;
+  row "allocation stalls" s.stalls;
+  row "card marks" s.card_marks;
+  row "remset records" s.remset_records;
+  row "events logged" s.events_logged;
+  row "events dropped" s.events_dropped;
+  tbl
+
+let latency_table s =
+  let tbl =
+    Textable.create ~title:"latency histograms (work units)"
+      [ "instrument"; "count"; "min"; "mean"; "p50"; "p90"; "p99"; "max" ]
+  in
+  let row name h =
+    Textable.add_row tbl
+      [
+        name;
+        string_of_int h.count;
+        string_of_int h.min;
+        Textable.fmt_f1 h.mean;
+        string_of_int h.p50;
+        string_of_int h.p90;
+        string_of_int h.p99;
+        string_of_int h.max;
+      ]
+  in
+  List.iter
+    (fun (status, h) -> row ("handshake " ^ status) h)
+    s.handshake_latency;
+  row "alloc stall" s.stall_latency;
+  row "cycle progress" s.cycle_progress;
+  tbl
+
+let hist_to_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("total", Json.Int h.total);
+      ("min", Json.Int h.min);
+      ("max", Json.Int h.max);
+      ("mean", Json.Float h.mean);
+      ("p50", Json.Int h.p50);
+      ("p90", Json.Int h.p90);
+      ("p99", Json.Int h.p99);
+    ]
+
+let to_json s =
+  Json.Obj
+    [
+      ("workload", Json.String s.workload);
+      ("mode", Json.String s.mode);
+      ("collector_work", Json.Int s.collector_work);
+      ( "phase_work",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.phase_work) );
+      ("mutator_work", Json.Int s.mutator_work);
+      ( "category_work",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.category_work) );
+      ("stall_work", Json.Int s.stall_work);
+      ("barrier_updates", Json.Int s.barrier_updates);
+      ("yellow_fires", Json.Int s.yellow_fires);
+      ("promotions", Json.Int s.promotions);
+      ("dirty_card_finds", Json.Int s.dirty_card_finds);
+      ("handshake_acks", Json.Int s.handshake_acks);
+      ("stalls", Json.Int s.stalls);
+      ("card_marks", Json.Int s.card_marks);
+      ("remset_records", Json.Int s.remset_records);
+      ("events_logged", Json.Int s.events_logged);
+      ("events_dropped", Json.Int s.events_dropped);
+      ( "handshake_latency",
+        Json.Obj
+          (List.map (fun (k, h) -> (k, hist_to_json h)) s.handshake_latency) );
+      ("stall_latency", hist_to_json s.stall_latency);
+      ("cycle_progress", hist_to_json s.cycle_progress);
+    ]
+
+let to_csv s =
+  let b = Buffer.create 1024 in
+  let line k v = Buffer.add_string b (Printf.sprintf "%s,%s\n" k v) in
+  line "metric" "value";
+  line "workload" s.workload;
+  line "mode" s.mode;
+  line "collector_work" (string_of_int s.collector_work);
+  List.iter
+    (fun (k, v) -> line ("phase." ^ k) (string_of_int v))
+    s.phase_work;
+  line "mutator_work" (string_of_int s.mutator_work);
+  List.iter
+    (fun (k, v) -> line ("category." ^ k) (string_of_int v))
+    s.category_work;
+  line "stall_work" (string_of_int s.stall_work);
+  line "barrier_updates" (string_of_int s.barrier_updates);
+  line "yellow_fires" (string_of_int s.yellow_fires);
+  line "promotions" (string_of_int s.promotions);
+  line "dirty_card_finds" (string_of_int s.dirty_card_finds);
+  line "handshake_acks" (string_of_int s.handshake_acks);
+  line "stalls" (string_of_int s.stalls);
+  line "card_marks" (string_of_int s.card_marks);
+  line "remset_records" (string_of_int s.remset_records);
+  line "events_logged" (string_of_int s.events_logged);
+  line "events_dropped" (string_of_int s.events_dropped);
+  let hist name h =
+    line (name ^ ".count") (string_of_int h.count);
+    line (name ^ ".total") (string_of_int h.total);
+    line (name ^ ".min") (string_of_int h.min);
+    line (name ^ ".mean") (Printf.sprintf "%.3f" h.mean);
+    line (name ^ ".p50") (string_of_int h.p50);
+    line (name ^ ".p90") (string_of_int h.p90);
+    line (name ^ ".p99") (string_of_int h.p99);
+    line (name ^ ".max") (string_of_int h.max)
+  in
+  List.iter
+    (fun (status, h) -> hist ("handshake_latency." ^ status) h)
+    s.handshake_latency;
+  hist "stall_latency" s.stall_latency;
+  hist "cycle_progress" s.cycle_progress;
+  Buffer.contents b
+
+let print s =
+  Textable.print (work_table s);
+  Textable.print (counter_table s);
+  Textable.print (latency_table s)

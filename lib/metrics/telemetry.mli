@@ -1,0 +1,66 @@
+(** Telemetry summarisation and export — the reporting half of the
+    observability layer ({!Otfgc.Telemetry} is the recording half).
+
+    Reads a finished runtime's attribution ledgers, counters and
+    histograms into a plain [summary] value, and renders it as tables
+    ([gcsim stats]), JSON and CSV.  The per-phase and per-category
+    breakdowns sum exactly to the headline [collector_work] and
+    [mutator_work] ledgers — the invariant the property tests check. *)
+
+type hist = {
+  count : int;
+  total : int;
+  min : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+(** Snapshot of one {!Otfgc_support.Histogram}. *)
+
+type summary = {
+  workload : string;
+  mode : string;
+  (* work attribution *)
+  collector_work : int;
+  phase_work : (string * int) list;  (** by phase, {!Otfgc.Cost.phases} order *)
+  mutator_work : int;
+  category_work : (string * int) list;  (** by mutator work class *)
+  stall_work : int;
+  (* event counters *)
+  barrier_updates : int;
+  yellow_fires : int;
+  promotions : int;
+  dirty_card_finds : int;
+  handshake_acks : int;
+  stalls : int;
+  card_marks : int;
+  remset_records : int;
+  events_logged : int;
+  events_dropped : int;
+  (* latency instruments (all-zero unless telemetry was enabled) *)
+  handshake_latency : (string * hist) list;  (** per posted status *)
+  stall_latency : hist;
+  cycle_progress : hist;
+}
+
+val of_runtime : ?workload:string -> Otfgc.Runtime.t -> summary
+(** Snapshot a finished run's telemetry ([workload] defaults to [""]). *)
+
+val work_table : summary -> Otfgc_support.Textable.t
+(** Phase and category breakdown with percent-of-ledger columns. *)
+
+val counter_table : summary -> Otfgc_support.Textable.t
+
+val latency_table : summary -> Otfgc_support.Textable.t
+(** One row per histogram: count, min, mean, p50/p90/p99, max. *)
+
+val to_json : summary -> Otfgc_support.Json.t
+
+val to_csv : summary -> string
+(** Flat [metric,value] lines (histograms flattened to
+    [name.count], [name.mean], ...) — trivially greppable/joinable. *)
+
+val print : summary -> unit
+(** All three tables to stdout — the body of [gcsim stats]. *)

@@ -1,0 +1,242 @@
+module Json = Otfgc_support.Json
+open Otfgc
+
+let pid = 1
+let collector_tid = 0
+let mutator_tid mid = 1 + mid
+
+let kind_label = function
+  | Gc_stats.Partial -> "partial"
+  | Gc_stats.Full -> "full"
+  | Gc_stats.Non_gen -> "non-gen"
+
+let span ~name ~ts ~dur ~tid args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "X");
+       ("ts", Json.Int ts);
+       ("dur", Json.Int dur);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let instant ~name ~ts ~tid args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "i");
+       ("ts", Json.Int ts);
+       ("s", Json.String "t");
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let metadata ~name ~tid value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String value) ]);
+    ]
+
+let of_runtime ?(workload = "") rt =
+  let st = Runtime.state rt in
+  let mode = Gc_config.mode_name st.State.cfg.Gc_config.mode in
+  let acc = ref [] in
+  let push e = acc := e :: !acc in
+  let label = if workload = "" then mode else workload ^ " (" ^ mode ^ ")" in
+  push (metadata ~name:"process_name" ~tid:collector_tid ("gcsim " ^ label));
+  push (metadata ~name:"thread_name" ~tid:collector_tid "collector");
+  List.iter
+    (fun m ->
+      push
+        (metadata ~name:"thread_name" ~tid:(mutator_tid (Mutator.id m))
+           (Mutator.name m)))
+    st.State.mutators;
+  (* Slice reconstruction: cycles and handshakes are delimited by explicit
+     begin/end events; the trace and sweep spans are recovered from the
+     cycle's internal sequence (last handshake completion -> Trace_complete
+     -> Sweep_complete); stalls are per-mutator begin/end pairs. *)
+  let cycle_open = ref None in
+  let hs_open = ref None in
+  let seg_start = ref None in
+  let stall_open = Hashtbl.create 8 in
+  Event_log.iter (Runtime.events rt) (fun { Event_log.at; phase } ->
+      match phase with
+      | Event_log.Cycle_start { kind; full } ->
+          cycle_open := Some (at, kind_label kind, full)
+      | Event_log.Init_full_done -> (
+          match !cycle_open with
+          | Some (t0, _, _) ->
+              push (span ~name:"init-full" ~ts:t0 ~dur:(at - t0)
+                      ~tid:collector_tid [])
+          | None -> ())
+      | Event_log.Handshake_posted s -> hs_open := Some (at, s)
+      | Event_log.Handshake_complete s ->
+          (match !hs_open with
+          | Some (t0, s0) when Status.equal s s0 ->
+              push
+                (span ~name:("handshake " ^ Status.to_string s) ~ts:t0
+                   ~dur:(at - t0) ~tid:collector_tid [])
+          | _ -> ());
+          hs_open := None;
+          seg_start := Some at
+      | Event_log.Intergen_scanned { seeds } ->
+          push (instant ~name:"card-scan" ~ts:at ~tid:collector_tid
+                  [ ("seeds", Json.Int seeds) ])
+      | Event_log.Colors_toggled ->
+          push (instant ~name:"colors-toggled" ~ts:at ~tid:collector_tid [])
+      | Event_log.Trace_complete { traced } ->
+          (match !seg_start with
+          | Some t0 ->
+              push (span ~name:"trace" ~ts:t0 ~dur:(at - t0) ~tid:collector_tid
+                      [ ("traced", Json.Int traced) ])
+          | None -> ());
+          seg_start := Some at
+      | Event_log.Sweep_complete { freed; bytes } ->
+          (match !seg_start with
+          | Some t0 ->
+              push (span ~name:"sweep" ~ts:t0 ~dur:(at - t0) ~tid:collector_tid
+                      [ ("freed", Json.Int freed); ("bytes", Json.Int bytes) ])
+          | None -> ());
+          seg_start := None
+      | Event_log.Promoted { count } ->
+          push (instant ~name:"promoted" ~ts:at ~tid:collector_tid
+                  [ ("count", Json.Int count) ])
+      | Event_log.Heap_grown { capacity } ->
+          push (instant ~name:"heap-grown" ~ts:at ~tid:collector_tid
+                  [ ("capacity", Json.Int capacity) ])
+      | Event_log.Cycle_end ->
+          (match !cycle_open with
+          | Some (t0, kind, full) ->
+              push (span ~name:("cycle " ^ kind) ~ts:t0 ~dur:(at - t0)
+                      ~tid:collector_tid [ ("full", Json.Bool full) ])
+          | None -> ());
+          cycle_open := None;
+          seg_start := None
+      | Event_log.Mutator_ack { mid; status } ->
+          push (instant ~name:("ack " ^ Status.to_string status) ~ts:at
+                  ~tid:(mutator_tid mid) [])
+      | Event_log.Stall_begin { mid } -> Hashtbl.replace stall_open mid at
+      | Event_log.Stall_end { mid } -> (
+          match Hashtbl.find_opt stall_open mid with
+          | Some t0 ->
+              Hashtbl.remove stall_open mid;
+              push (span ~name:"alloc stall" ~ts:t0 ~dur:(at - t0)
+                      ~tid:(mutator_tid mid) [])
+          | None -> ()));
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !acc));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let field name j = Json.member name j
+
+let validate doc =
+  let ( let* ) = Result.bind in
+  let* events =
+    match Option.bind (field "traceEvents" doc) Json.as_list with
+    | Some l -> Ok l
+    | None -> Error "no traceEvents array"
+  in
+  let err i msg = Error (Printf.sprintf "event %d: %s" i msg) in
+  let check_event i e =
+    let str k = Option.bind (field k e) Json.as_string in
+    let int k = Option.bind (field k e) Json.as_int in
+    let* () = if str "name" = None then err i "missing name" else Ok () in
+    let* () = if int "pid" = None then err i "missing pid" else Ok () in
+    let* () = if int "tid" = None then err i "missing tid" else Ok () in
+    match str "ph" with
+    | Some "X" -> (
+        match (int "ts", int "dur") with
+        | Some _, Some d when d >= 0 -> Ok ()
+        | Some _, Some _ -> err i "negative dur"
+        | _ -> err i "duration event lacks integer ts/dur")
+    | Some "i" -> if int "ts" = None then err i "instant lacks ts" else Ok ()
+    | Some "M" -> Ok ()
+    | Some ph -> err i ("unsupported phase " ^ ph)
+    | None -> err i "missing ph"
+  in
+  let rec check_all i = function
+    | [] -> Ok ()
+    | e :: rest ->
+        let* () = check_event i e in
+        check_all (i + 1) rest
+  in
+  let* () = check_all 0 events in
+  (* Slices on one track must nest: sort by (ts, wider-first) and run a
+     stack of open intervals; a slice poking out past its enclosing slice
+     means the exporter produced partial overlap. *)
+  let slices = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match Option.bind (field "ph" e) Json.as_string with
+      | Some "X" ->
+          let get k =
+            Option.value ~default:0 (Option.bind (field k e) Json.as_int)
+          in
+          let tid = get "tid" in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt slices tid) in
+          Hashtbl.replace slices tid ((get "ts", get "dur") :: prev)
+      | _ -> ())
+    events;
+  let nested = ref (Ok ()) in
+  Hashtbl.iter
+    (fun tid spans ->
+      if Result.is_ok !nested then begin
+        let spans =
+          List.sort
+            (fun (t0, d0) (t1, d1) ->
+              if t0 <> t1 then compare t0 t1 else compare d1 d0)
+            spans
+        in
+        let stack = ref [] in
+        List.iter
+          (fun (ts, dur) ->
+            if Result.is_ok !nested then begin
+              while
+                match !stack with
+                | fin :: rest when ts >= fin ->
+                    stack := rest;
+                    true
+                | _ -> false
+              do
+                ()
+              done;
+              (match !stack with
+              | fin :: _ when ts + dur > fin ->
+                  nested :=
+                    Error
+                      (Printf.sprintf
+                         "track %d: slice at ts=%d dur=%d overlaps its \
+                          enclosing slice"
+                         tid ts dur)
+              | _ -> ());
+              stack := (ts + dur) :: !stack
+            end)
+          spans
+      end)
+    slices;
+  let* () = !nested in
+  let has_collector_thread =
+    List.exists
+      (fun e ->
+        Option.bind (field "ph" e) Json.as_string = Some "M"
+        && Option.bind (field "name" e) Json.as_string = Some "thread_name"
+        && Option.bind (field "args" e) (field "name")
+           |> Fun.flip Option.bind Json.as_string
+           = Some "collector")
+      events
+  in
+  if has_collector_thread then Ok ()
+  else Error "no collector thread_name metadata"

@@ -1,0 +1,28 @@
+(** Chrome/Perfetto trace-event export of a run's event log.
+
+    Converts {!Otfgc.Event_log} into the JSON trace-event format that
+    [chrome://tracing] and [ui.perfetto.dev] load directly: one timeline
+    track for the collector (cycle, handshake, trace and sweep slices,
+    plus instants for the card scan, color toggle, promotions and heap
+    growth) and one per mutator (handshake-ack instants, allocation-stall
+    slices).  Timestamps are the simulator's elapsed work units, presented
+    as microseconds.
+
+    The writer emits slices when they close, so the event array is not
+    globally sorted by timestamp — the viewers do not require it, and
+    {!validate} checks the structural invariants instead (well-formed
+    records, non-negative durations, properly nested slices per track). *)
+
+val collector_tid : int
+(** Thread id of the collector track (0; mutator [m] gets [1 + m]). *)
+
+val of_runtime : ?workload:string -> Otfgc.Runtime.t -> Otfgc_support.Json.t
+(** Build the trace document ([{"traceEvents": [...]}]) from the runtime's
+    event log.  Meaningful only if the log was enabled for the run. *)
+
+val validate : Otfgc_support.Json.t -> (unit, string) result
+(** Structural check used by tests and [gcsim validate-trace]: the
+    document has a [traceEvents] array; every event carries [name], [ph],
+    [pid] and [tid]; duration events ([ph = "X"]) carry integer [ts] and
+    [dur >= 0]; instants carry [ts]; slices on one track nest without
+    partial overlap; and metadata names a ["collector"] thread. *)

@@ -1,0 +1,49 @@
+(** Log-scaled streaming histogram of non-negative integer samples
+    (HdrHistogram-style), for latency-class telemetry.
+
+    The value range is covered by power-of-two major buckets, each divided
+    into 16 linear sub-buckets, so relative precision is better than 1/16
+    (~6%) everywhere while the whole table is one fixed [int array] of 960
+    slots.  {!record} is allocation-free and branch-cheap — it may sit on
+    the simulator's instrumented paths without perturbing the cost model —
+    and querying walks the table only when asked.
+
+    Samples are work units (or any non-negative int); negative samples are
+    clamped to 0 rather than rejected, because instrumented clocks can
+    legitimately read 0-length gaps. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Add one sample.  No allocation. *)
+
+val count : t -> int
+(** Total samples recorded. *)
+
+val total : t -> int
+(** Sum of all samples. *)
+
+val min_value : t -> int
+(** Smallest sample; [0] when empty. *)
+
+val max_value : t -> int
+(** Largest sample; [0] when empty. *)
+
+val mean : t -> float
+(** [0.] when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [0..100]: an upper bound of the bucket
+    holding the p-th percentile sample, clamped to [max_value] (the
+    HdrHistogram "highest equivalent value" convention).  [0] when empty. *)
+
+val iter : t -> (lo:int -> hi:int -> count:int -> unit) -> unit
+(** Visit every non-empty bucket in increasing value order; [lo..hi] is the
+    inclusive sample range the bucket covers. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count, min/mean/p50/p90/p99/max. *)

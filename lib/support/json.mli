@@ -1,0 +1,38 @@
+(** Minimal JSON tree, writer and parser — no external dependencies.
+
+    Just enough JSON for the simulator's export surface: {!Run_result}
+    round-trips, figure tables, telemetry summaries and Chrome/Perfetto
+    trace files.  Integers and floats are kept distinct so that a
+    round-trip restores the exact OCaml value: floats are printed with 17
+    significant digits (enough to reconstruct any double) and always carry
+    a ['.'] or exponent so the parser can tell them from ints. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.  The
+    error string carries a character offset. *)
+
+(** {2 Accessors} (shallow, [None] on shape mismatch) *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]. *)
+
+val as_list : t -> t list option
+val as_int : t -> int option
+val as_float : t -> float option
+(** [as_float] accepts both [Int] and [Float]. *)
+
+val as_string : t -> string option

@@ -69,6 +69,23 @@ let print t =
   print_string (render t);
   print_newline ()
 
+let to_json t =
+  Json.Obj
+    [
+      ( "title",
+        match t.title with Some s -> Json.String s | None -> Json.Null );
+      ( "headers",
+        Json.List (Array.to_list (Array.map (fun h -> Json.String h) t.headers))
+      );
+      ( "rows",
+        Json.List
+          (List.rev_map
+             (fun row ->
+               Json.List
+                 (Array.to_list (Array.map (fun c -> Json.String c) row)))
+             t.rows) );
+    ]
+
 let fmt_pct v = Printf.sprintf "%.1f" v
 let fmt_f1 v = Printf.sprintf "%.1f" v
 let fmt_f2 v = Printf.sprintf "%.2f" v

@@ -26,6 +26,11 @@ val render : t -> string
 val print : t -> unit
 (** [render] to stdout, followed by a blank line. *)
 
+val to_json : t -> Json.t
+(** Machine-readable form of the table: an object with [title] (string or
+    null), [headers] (string list) and [rows] (list of string lists, in
+    display order) — what [gcsim fig --json] emits. *)
+
 (** {2 Cell formatting helpers} *)
 
 val fmt_pct : float -> string

@@ -7,10 +7,12 @@ module Run_result = Otfgc_metrics.Run_result
 let default_heap =
   { Heap.initial_bytes = 1 lsl 20; max_bytes = 4 lsl 20; card_size = 16 }
 
-let run ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0) ~gc profile =
+let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
+    ?(instrument = fun (_ : Runtime.t) -> ()) ~gc profile =
   Profile.validate profile;
   let rt = Runtime.create ~heap_config:heap ~gc_config:gc () in
   Runtime.set_fine_grained rt false;
+  instrument rt;
   let master = Rng.make seed in
   let sched = Sched.create ~policy:(Sched.random_policy (Rng.split master)) () in
   ignore (Runtime.spawn_collector rt sched);
@@ -41,6 +43,8 @@ let run ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0) ~gc profile =
       ignore (Runtime.collect_and_wait rt m ~full:true : Otfgc.Gc_stats.cycle);
       Otfgc.Gc_stats.reset (Runtime.stats rt);
       Otfgc.Cost.reset (Runtime.cost rt);
+      Otfgc.Event_log.clear (Runtime.events rt);
+      Otfgc.Telemetry.reset (Runtime.telemetry rt);
       Heap.reset_allocation_stats (Runtime.heap rt);
       (Runtime.state rt).Otfgc.State.bytes_since_gc <- 0;
       warm := true
@@ -61,7 +65,10 @@ let run ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0) ~gc profile =
            Runtime.retire_mutator rt m))
   done;
   Sched.run sched;
-  Run_result.of_runtime ~workload:profile.Profile.name rt
+  (Run_result.of_runtime ~workload:profile.Profile.name rt, rt)
+
+let run ?heap ?seed ?scale ~gc profile =
+  fst (run_rt ?heap ?seed ?scale ~gc profile)
 
 let run_pair ?heap ?seed ?scale ~gc profile =
   let candidate = run ?heap ?seed ?scale ~gc profile in

@@ -11,6 +11,21 @@ val default_heap : Otfgc_heap.Heap.config
 (** 1 MB initial, 4 MB maximum — the paper's 1→32 MB scaled by 8, matching
     the 512 KB default young generation (the paper's 4 MB / 8). *)
 
+val run_rt :
+  ?heap:Otfgc_heap.Heap.config ->
+  ?seed:int ->
+  ?scale:float ->
+  ?instrument:(Otfgc.Runtime.t -> unit) ->
+  gc:Otfgc.Gc_config.t ->
+  Profile.t ->
+  Otfgc_metrics.Run_result.t * Otfgc.Runtime.t
+(** Like {!run}, but also hands back the runtime so callers can read the
+    event log, telemetry and histograms after the fact.  [instrument] runs
+    right after the runtime is created — the place to enable the event log
+    or telemetry instruments (both off by default).  The warmup reset
+    clears the event log and telemetry along with the ledgers, so what
+    remains covers exactly the measured lap. *)
+
 val run :
   ?heap:Otfgc_heap.Heap.config ->
   ?seed:int ->

@@ -1,0 +1,547 @@
+(* Tests for the telemetry layer: the histogram and JSON support modules,
+   the bounded event ring, the phase/category attribution invariants, the
+   Run_result JSON round-trip and the Perfetto trace export. *)
+
+open Otfgc
+module Histogram = Otfgc_support.Histogram
+module Json = Otfgc_support.Json
+module Run_result = Otfgc_metrics.Run_result
+module Telemetry_report = Otfgc_metrics.Telemetry
+module Trace_export = Otfgc_metrics.Trace_export
+module Driver = Otfgc_workloads.Driver
+module Profile = Otfgc_workloads.Profile
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_basic () =
+  let h = Histogram.create () in
+  check_int "empty count" 0 (Histogram.count h);
+  check_int "empty percentile" 0 (Histogram.percentile h 50.);
+  List.iter (Histogram.record h) [ 5; 10; 20; 1000 ];
+  check_int "count" 4 (Histogram.count h);
+  check_int "total" 1035 (Histogram.total h);
+  check_int "min" 5 (Histogram.min_value h);
+  check_int "max" 1000 (Histogram.max_value h);
+  check "mean" true (abs_float (Histogram.mean h -. 258.75) < 1e-9);
+  Histogram.clear h;
+  check_int "cleared" 0 (Histogram.count h);
+  check_int "cleared total" 0 (Histogram.total h)
+
+let test_hist_negative_clamped () =
+  let h = Histogram.create () in
+  Histogram.record h (-7);
+  check_int "clamped count" 1 (Histogram.count h);
+  check_int "clamped min" 0 (Histogram.min_value h);
+  check_int "clamped max" 0 (Histogram.max_value h)
+
+let test_hist_percentile_monotone () =
+  let h = Histogram.create () in
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 1000 do
+    Histogram.record h (Random.State.int st 1_000_000)
+  done;
+  let prev = ref 0 in
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile h p in
+      check "percentile monotone" true (v >= !prev);
+      prev := v)
+    [ 0.; 10.; 25.; 50.; 75.; 90.; 99.; 100. ];
+  check_int "p100 = max" (Histogram.max_value h) (Histogram.percentile h 100.)
+
+(* Each sample must land in a bucket whose [lo..hi] range contains it and
+   whose width is within the advertised ~6% relative precision. *)
+let test_hist_bucket_precision () =
+  List.iter
+    (fun v ->
+      let h = Histogram.create () in
+      Histogram.record h v;
+      let seen = ref false in
+      Histogram.iter h (fun ~lo ~hi ~count ->
+          check_int "single sample" 1 count;
+          check "bucket contains sample" true (lo <= v && v <= hi);
+          check "bucket narrow enough" true (hi - lo <= max 1 (v / 8));
+          seen := true);
+      check "bucket visited" true !seen)
+    [ 0; 1; 15; 16; 17; 100; 1023; 1024; 65535; 1_000_000; max_int / 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.Float 0.1);
+        ("c", Json.String "he said \"hi\"\n\t\\");
+        ("d", Json.List [ Json.Null; Json.Bool true; Json.Bool false ]);
+        ("e", Json.Obj [ ("nested", Json.List [ Json.Int (-7) ]) ]);
+        ("f", Json.Float 1e-300);
+        ("g", Json.Float (-3.0));
+        ("h", Json.Int min_int);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok doc' -> check "tree preserved" true (doc = doc')
+
+let test_json_int_float_distinct () =
+  (match Json.of_string "[1, 1.0]" with
+  | Ok (Json.List [ Json.Int 1; Json.Float 1.0 ]) -> ()
+  | _ -> Alcotest.fail "int/float not distinguished");
+  (* a float that prints without a fraction must come back as a float *)
+  match Json.of_string (Json.to_string (Json.Float 2.0)) with
+  | Ok (Json.Float 2.0) -> ()
+  | _ -> Alcotest.fail "whole float did not round-trip as float"
+
+let test_json_errors () =
+  check "trailing garbage" true
+    (Result.is_error (Json.of_string "{} extra"));
+  check "bad token" true (Result.is_error (Json.of_string "{bad}"));
+  check "unterminated string" true
+    (Result.is_error (Json.of_string "\"abc"));
+  check "empty input" true (Result.is_error (Json.of_string "  "))
+
+let test_json_unicode_escape () =
+  match Json.of_string {|"Aé"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "utf8" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "unicode escape"
+
+(* ------------------------------------------------------------------ *)
+(* Event ring                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_bounded () =
+  let log = Event_log.create ~max_events:4 () in
+  Event_log.set_enabled log true;
+  for i = 0 to 9 do
+    Event_log.emit log ~at:i (Event_log.Trace_complete { traced = i })
+  done;
+  check_int "length capped" 4 (Event_log.length log);
+  check_int "dropped" 6 (Event_log.dropped log);
+  let ats = List.map (fun e -> e.Event_log.at) (Event_log.events log) in
+  Alcotest.(check (list int)) "oldest-first tail" [ 6; 7; 8; 9 ] ats;
+  Event_log.clear log;
+  check_int "clear resets length" 0 (Event_log.length log);
+  check_int "clear resets dropped" 0 (Event_log.dropped log);
+  check "clear keeps enabled" true (Event_log.enabled log)
+
+let test_ring_growth_preserves_order () =
+  let log = Event_log.create () in
+  Event_log.set_enabled log true;
+  (* starts at 64-event capacity; 500 emits force several doublings *)
+  for i = 0 to 499 do
+    Event_log.emit log ~at:i Event_log.Cycle_end
+  done;
+  check_int "all kept" 500 (Event_log.length log);
+  check_int "nothing dropped" 0 (Event_log.dropped log);
+  let expected = List.init 500 (fun i -> i) in
+  Alcotest.(check (list int)) "order preserved" expected
+    (List.map (fun e -> e.Event_log.at) (Event_log.events log))
+
+let test_ring_payload_roundtrip () =
+  let log = Event_log.create () in
+  Event_log.set_enabled log true;
+  let phases =
+    [
+      Event_log.Cycle_start { kind = Gc_stats.Partial; full = false };
+      Event_log.Cycle_start { kind = Gc_stats.Full; full = true };
+      Event_log.Init_full_done;
+      Event_log.Handshake_posted Status.Sync1;
+      Event_log.Handshake_complete Status.Sync2;
+      Event_log.Intergen_scanned { seeds = 17 };
+      Event_log.Colors_toggled;
+      Event_log.Trace_complete { traced = 123 };
+      Event_log.Sweep_complete { freed = 45; bytes = 678 };
+      Event_log.Cycle_end;
+      Event_log.Heap_grown { capacity = 1 lsl 20 };
+      Event_log.Mutator_ack { mid = 3; status = Status.Async };
+      Event_log.Stall_begin { mid = 2 };
+      Event_log.Stall_end { mid = 2 };
+      Event_log.Promoted { count = 9 };
+    ]
+  in
+  List.iteri (fun i p -> Event_log.emit log ~at:i p) phases;
+  let decoded = List.map (fun e -> e.Event_log.phase) (Event_log.events log) in
+  check "payloads decode" true (decoded = phases)
+
+(* ------------------------------------------------------------------ *)
+(* Run_result JSON round-trip                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small_run ?(mode = Gc_config.generational ()) () =
+  Driver.run ~scale:0.02 ~gc:mode (Profile.anagram)
+
+let test_run_result_roundtrip () =
+  let r = small_run () in
+  match Json.of_string (Json.to_string (Run_result.to_json r)) with
+  | Error e -> Alcotest.fail ("reparse: " ^ e)
+  | Ok j -> (
+      match Run_result.of_json j with
+      | Error e -> Alcotest.fail ("of_json: " ^ e)
+      | Ok r' -> check "exact round-trip" true (r = r'))
+
+let test_run_result_of_json_errors () =
+  let j = Run_result.to_json (small_run ()) in
+  (* drop one field: must be reported by name *)
+  let mutilated =
+    match j with
+    | Json.Obj fields ->
+        Json.Obj (List.filter (fun (k, _) -> k <> "stall_work") fields)
+    | _ -> assert false
+  in
+  match Run_result.of_json mutilated with
+  | Error msg -> check "names the field" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "missing field accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Attribution invariants                                              *)
+(* ------------------------------------------------------------------ *)
+
+let instrumented_run ?(scale = 0.02) ~seed ~gc profile =
+  Driver.run_rt ~seed ~scale
+    ~instrument:(fun rt ->
+      Event_log.set_enabled (Runtime.events rt) true;
+      Telemetry.set_enabled (Runtime.telemetry rt) true)
+    ~gc profile
+
+let sum_phase cost =
+  List.fold_left (fun acc p -> acc + Cost.phase_work cost p) 0 Cost.phases
+
+let sum_category cost =
+  List.fold_left (fun acc c -> acc + Cost.category_work cost c) 0 Cost.categories
+
+(* Handshake latency gaps recomputed from the event log; [None] when a
+   ring overflow makes the log unreliable. *)
+let latency_from_events log =
+  if Event_log.dropped log > 0 then None
+  else begin
+    let posted = ref None in
+    let acc = Array.make 3 0 and counts = Array.make 3 0 in
+    let ordered = ref true in
+    let prev = ref min_int in
+    Event_log.iter log (fun { Event_log.at; phase } ->
+        if at < !prev then ordered := false;
+        prev := at;
+        match phase with
+        | Event_log.Handshake_posted s -> posted := Some (at, s)
+        | Event_log.Handshake_complete s ->
+            (match !posted with
+            | Some (t0, s0) when Status.equal s s0 ->
+                let i = Status.index s in
+                acc.(i) <- acc.(i) + (at - t0);
+                counts.(i) <- counts.(i) + 1
+            | _ -> ());
+            posted := None
+        | _ -> ());
+    if !ordered then Some (acc, counts) else None
+  end
+
+let check_invariants name (gc : Gc_config.t) seed =
+  let r, rt = instrumented_run ~seed ~gc (Profile.anagram) in
+  let cost = Runtime.cost rt in
+  let tel = Runtime.telemetry rt in
+  check_int
+    (name ^ ": phase work sums to collector_work")
+    (Cost.collector_work cost) (sum_phase cost);
+  check_int
+    (name ^ ": category work sums to mutator_work")
+    (Cost.mutator_work cost) (sum_category cost);
+  check_int
+    (name ^ ": ledger matches run result")
+    r.Run_result.collector_work (Cost.collector_work cost);
+  (match latency_from_events (Runtime.events rt) with
+  | None -> ()
+  | Some (gaps, counts) ->
+      List.iter
+        (fun s ->
+          let i = Status.index s in
+          let h = Telemetry.handshake_latency tel s in
+          check_int
+            (Printf.sprintf "%s: %s latency count = completes" name
+               (Status.to_string s))
+            counts.(i) (Histogram.count h);
+          check_int
+            (Printf.sprintf "%s: %s latency total = sum of event gaps" name
+               (Status.to_string s))
+            gaps.(i) (Histogram.total h);
+          check
+            (Printf.sprintf "%s: %s samples non-negative" name
+               (Status.to_string s))
+            true
+            (Histogram.min_value h >= 0))
+        [ Status.Async; Status.Sync1; Status.Sync2 ]);
+  (* cycle progress: one sample per completed cycle *)
+  let cycles = List.length (Gc_stats.cycles (Runtime.stats rt)) in
+  check_int
+    (name ^ ": one progress sample per cycle")
+    cycles
+    (Histogram.count (Telemetry.cycle_progress tel))
+
+let test_invariants_gen () = check_invariants "gen" (Gc_config.generational ()) 7
+
+let test_invariants_nongen () =
+  check_invariants "nongen" Gc_config.non_generational 7
+
+let test_invariants_aging () =
+  check_invariants "aging" (Gc_config.aging ~oldest_age:3 ()) 7
+
+let test_invariants_qcheck =
+  QCheck.Test.make ~count:6 ~name:"telemetry invariants hold for any seed"
+    QCheck.(pair (int_bound 1000) (int_bound 3))
+    (fun (seed, mode_i) ->
+      let gc =
+        match mode_i with
+        | 0 -> Gc_config.generational ()
+        | 1 -> Gc_config.non_generational
+        | 2 -> Gc_config.aging ~oldest_age:2 ()
+        | _ -> Gc_config.adaptive ()
+      in
+      let _, rt = instrumented_run ~seed ~gc (Profile.anagram) in
+      let cost = Runtime.cost rt in
+      sum_phase cost = Cost.collector_work cost
+      && sum_category cost = Cost.mutator_work cost
+      && Histogram.min_value
+           (Telemetry.stall_latency (Runtime.telemetry rt))
+         >= 0)
+
+(* Telemetry enabled/disabled must not change the result: the digest tests
+   pin this globally; here the same claim is made directly. *)
+let test_telemetry_inert () =
+  let r_plain = small_run () in
+  let r_instr, _ =
+    instrumented_run ~seed:42 ~gc:(Gc_config.generational ())
+      (Profile.anagram)
+  in
+  check "identical run result" true (r_plain = r_instr)
+
+let test_disabled_by_default () =
+  let rt = Runtime.create () in
+  check "telemetry instruments off" false (Telemetry.enabled (Runtime.telemetry rt));
+  check "event log off" false (Event_log.enabled (Runtime.events rt))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry report                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_summary () =
+  let _, rt =
+    instrumented_run ~seed:42 ~gc:(Gc_config.generational ())
+      (Profile.anagram)
+  in
+  let s = Telemetry_report.of_runtime ~workload:"anagram" rt in
+  let phase_sum = List.fold_left (fun a (_, v) -> a + v) 0 s.Telemetry_report.phase_work in
+  check_int "report phase sum" s.Telemetry_report.collector_work phase_sum;
+  let cat_sum =
+    List.fold_left (fun a (_, v) -> a + v) 0 s.Telemetry_report.category_work
+  in
+  check_int "report category sum" s.Telemetry_report.mutator_work cat_sum;
+  check "barriers counted" true (s.Telemetry_report.barrier_updates > 0);
+  check "acks counted" true (s.Telemetry_report.handshake_acks > 0);
+  (* export forms *)
+  let j = Telemetry_report.to_json s in
+  check "json reparses" true
+    (Result.is_ok (Json.of_string (Json.to_string j)));
+  let csv = Telemetry_report.to_csv s in
+  check "csv header" true
+    (String.length csv > 13 && String.sub csv 0 13 = "metric,value\n");
+  check "csv has phases" true
+    (List.exists
+       (fun line ->
+         String.length line > 6 && String.sub line 0 6 = "phase.")
+       (String.split_on_char '\n' csv))
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto trace export                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_doc () =
+  (* Scale 0.05 so the measured lap contains at least one cycle that runs
+     to completion; at smaller scales the sole mutator can retire between
+     trace and sweep, ending the run mid-cycle. *)
+  let _, rt =
+    instrumented_run ~scale:0.05 ~seed:42 ~gc:(Gc_config.generational ())
+      (Profile.anagram)
+  in
+  Trace_export.of_runtime ~workload:"anagram" rt
+
+let event_list doc =
+  match Option.bind (Json.member "traceEvents" doc) Json.as_list with
+  | Some l -> l
+  | None -> Alcotest.fail "no traceEvents"
+
+let test_trace_golden () =
+  let doc = trace_doc () in
+  (* the writer's own validator accepts it... *)
+  (match Trace_export.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("validate: " ^ e));
+  (* ...and so does a full serialize/reparse lap *)
+  (match Json.of_string (Json.to_string doc) with
+  | Ok reparsed -> (
+      match Trace_export.validate reparsed with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("validate after reparse: " ^ e))
+  | Error e -> Alcotest.fail ("reparse: " ^ e));
+  let events = event_list doc in
+  let name_of e =
+    Option.value ~default:"" (Option.bind (Json.member "name" e) Json.as_string)
+  in
+  let names = List.map name_of events in
+  List.iter
+    (fun expected ->
+      check ("has " ^ expected) true (List.mem expected names))
+    [ "thread_name"; "handshake sync1"; "handshake sync2"; "trace"; "sweep" ];
+  check "has a cycle slice" true
+    (List.exists
+       (fun n -> n = "cycle partial" || n = "cycle full" || n = "cycle non-gen")
+       names);
+  (* every event is track-addressed *)
+  List.iter
+    (fun e ->
+      check "has pid" true (Json.member "pid" e <> None);
+      check "has tid" true (Json.member "tid" e <> None))
+    events;
+  (* one track per mutator beside the collector *)
+  let tids =
+    List.filter_map (fun e -> Option.bind (Json.member "tid" e) Json.as_int) events
+    |> List.sort_uniq compare
+  in
+  check "collector track present" true (List.mem Trace_export.collector_tid tids);
+  check "mutator track present" true
+    (List.exists (fun t -> t <> Trace_export.collector_tid) tids);
+  (* durations non-negative and slices time-ordered per track *)
+  let slices_of tid =
+    List.filter_map
+      (fun e ->
+        match Option.bind (Json.member "ph" e) Json.as_string with
+        | Some "X" when Option.bind (Json.member "tid" e) Json.as_int = Some tid
+          ->
+            Some
+              ( Option.get (Option.bind (Json.member "ts" e) Json.as_int),
+                Option.get (Option.bind (Json.member "dur" e) Json.as_int) )
+        | _ -> None)
+      events
+  in
+  List.iter
+    (fun tid ->
+      List.iter
+        (fun (_, dur) -> check "dur >= 0" true (dur >= 0))
+        (slices_of tid))
+    tids
+
+let test_trace_validate_rejects () =
+  let bogus =
+    Json.Obj
+      [
+        ( "traceEvents",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("name", Json.String "x");
+                  ("ph", Json.String "X");
+                  ("ts", Json.Int 5);
+                  ("dur", Json.Int (-1));
+                  ("pid", Json.Int 1);
+                  ("tid", Json.Int 0);
+                ];
+            ] );
+      ]
+  in
+  check "negative dur rejected" true (Result.is_error (Trace_export.validate bogus));
+  check "missing traceEvents rejected" true
+    (Result.is_error (Trace_export.validate (Json.Obj [])));
+  (* partial overlap on one track *)
+  let overlap =
+    Json.Obj
+      [
+        ( "traceEvents",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("name", Json.String "thread_name");
+                  ("ph", Json.String "M");
+                  ("pid", Json.Int 1);
+                  ("tid", Json.Int 0);
+                  ("args", Json.Obj [ ("name", Json.String "collector") ]);
+                ];
+              Json.Obj
+                [
+                  ("name", Json.String "a");
+                  ("ph", Json.String "X");
+                  ("ts", Json.Int 0);
+                  ("dur", Json.Int 10);
+                  ("pid", Json.Int 1);
+                  ("tid", Json.Int 0);
+                ];
+              Json.Obj
+                [
+                  ("name", Json.String "b");
+                  ("ph", Json.String "X");
+                  ("ts", Json.Int 5);
+                  ("dur", Json.Int 10);
+                  ("pid", Json.Int 1);
+                  ("tid", Json.Int 0);
+                ];
+            ] );
+      ]
+  in
+  check "partial overlap rejected" true
+    (Result.is_error (Trace_export.validate overlap))
+
+let suites =
+  [
+    ( "telemetry.histogram",
+      [
+        Alcotest.test_case "basic stats" `Quick test_hist_basic;
+        Alcotest.test_case "negative clamped" `Quick test_hist_negative_clamped;
+        Alcotest.test_case "percentile monotone" `Quick
+          test_hist_percentile_monotone;
+        Alcotest.test_case "bucket precision" `Quick test_hist_bucket_precision;
+      ] );
+    ( "telemetry.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "int/float distinct" `Quick
+          test_json_int_float_distinct;
+        Alcotest.test_case "errors" `Quick test_json_errors;
+        Alcotest.test_case "unicode escape" `Quick test_json_unicode_escape;
+      ] );
+    ( "telemetry.ring",
+      [
+        Alcotest.test_case "bounded" `Quick test_ring_bounded;
+        Alcotest.test_case "growth preserves order" `Quick
+          test_ring_growth_preserves_order;
+        Alcotest.test_case "payload roundtrip" `Quick test_ring_payload_roundtrip;
+      ] );
+    ( "telemetry.run_result",
+      [
+        Alcotest.test_case "json roundtrip" `Quick test_run_result_roundtrip;
+        Alcotest.test_case "of_json errors" `Quick test_run_result_of_json_errors;
+      ] );
+    ( "telemetry.invariants",
+      [
+        Alcotest.test_case "generational" `Quick test_invariants_gen;
+        Alcotest.test_case "non-generational" `Quick test_invariants_nongen;
+        Alcotest.test_case "aging" `Quick test_invariants_aging;
+        QCheck_alcotest.to_alcotest test_invariants_qcheck;
+        Alcotest.test_case "telemetry is inert" `Quick test_telemetry_inert;
+        Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+      ] );
+    ( "telemetry.report",
+      [ Alcotest.test_case "summary" `Quick test_report_summary ] );
+    ( "telemetry.trace",
+      [
+        Alcotest.test_case "golden export" `Quick test_trace_golden;
+        Alcotest.test_case "validator rejects" `Quick test_trace_validate_rejects;
+      ] );
+  ]
