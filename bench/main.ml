@@ -9,6 +9,11 @@
      main.exe --quick         everything at reduced scale (CI smoke run)
      main.exe micro           only the Bechamel micro-benchmarks
                               (micro --quick: reduced quota, CI smoke)
+     main.exe trajectory      run the pinned perf-trajectory grid, diff it
+                              against the last committed BENCH_*.json and
+                              exit 1 on regression (trajectory --quick: the
+                              CI gate; --out FILE overrides BENCH_0005.json;
+                              --threshold PCT overrides the 5% noise bar)
      main.exe --scale 0.4     override the headline scale
      main.exe --jobs 8        simulation parallelism (domains; default
                               OTFGC_JOBS or the recommended domain count)
@@ -332,8 +337,13 @@ module Micro = struct
      free, with the observability layer left at its default (disabled;
      only the always-on flat counters tick) and fully enabled (counters,
      histograms and the event ring armed).  The disabled variant is the
-     zero-allocation guarantee the telemetry layer promises. *)
-  let mk_hot_loop ~instrumented =
+     zero-allocation guarantee the telemetry layer promises.  A third
+     variant additionally arms the heap observatory: the barrier's cost
+     charge crosses the cadence threshold every [sample_every] units and
+     triggers a full census (heap walk + reachability oracle), so the
+     measured delta is the amortised sampling overhead the acceptance
+     bar caps at 10%. *)
+  let mk_hot_loop ?(sample_every = 0) ~instrumented () =
     let rt =
       Runtime.create
         ~heap_config:{ Heap.initial_bytes = 256 * kb; max_bytes = 256 * kb; card_size = 16 }
@@ -344,6 +354,8 @@ module Micro = struct
       Otfgc.Event_log.set_enabled (Runtime.events rt) true;
       Otfgc.Telemetry.set_enabled (Runtime.telemetry rt) true
     end;
+    if sample_every > 0 then
+      Otfgc.Sampler.configure (Runtime.sampler rt) ~every:sample_every;
     let st = Runtime.state rt in
     let heap = Runtime.heap rt in
     let x = Option.get (Heap.alloc heap ~size:32 ~n_slots:2 ~color:Color.C0) in
@@ -356,11 +368,15 @@ module Micro = struct
 
   let test_hot_loop_telemetry_off =
     Test.make ~name:"telemetry: alloc+barrier+free (disabled)"
-      (Staged.stage (mk_hot_loop ~instrumented:false))
+      (Staged.stage (mk_hot_loop ~instrumented:false ()))
 
   let test_hot_loop_telemetry_on =
     Test.make ~name:"telemetry: alloc+barrier+free (enabled)"
-      (Staged.stage (mk_hot_loop ~instrumented:true))
+      (Staged.stage (mk_hot_loop ~instrumented:true ()))
+
+  let test_hot_loop_sampling_on =
+    Test.make ~name:"telemetry: alloc+barrier+free (sampling 64Ki)"
+      (Staged.stage (mk_hot_loop ~sample_every:65536 ~instrumented:true ()))
 
   (* MarkGray on a clear object (shade + push + undo) *)
   let test_mark_gray =
@@ -462,6 +478,7 @@ module Micro = struct
         test_barrier_idle;
         test_hot_loop_telemetry_off;
         test_hot_loop_telemetry_on;
+        test_hot_loop_sampling_on;
         test_mark_gray;
         test_full_cycle;
         test_iter_dirty;
@@ -489,6 +506,153 @@ module Micro = struct
         | _ -> Printf.printf "  %-45s (no estimate)\n" name)
       results;
     print_newline ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Perf-trajectory grid and regression gate                            *)
+(* ------------------------------------------------------------------ *)
+
+module Traj = struct
+  module Heap = Otfgc_heap.Heap
+  module Gc_config = Otfgc.Gc_config
+  module Profile = Otfgc_workloads.Profile
+  module Driver = Otfgc_workloads.Driver
+  module Trajectory = Otfgc_metrics.Trajectory
+  module Json = Otfgc_support.Json
+
+  let seed = 42
+  let young = 512 * 1024
+
+  (* The pinned scenario grid — the same eight configurations the test
+     suite's digest guard pins, so the gate and the guard watch the same
+     behaviours: both workload families, every collector mode, and the
+     young-trigger and card-size sensitivities. *)
+  let grid =
+    [
+      ("jack-gen", Profile.jack, Gc_config.generational ~young_bytes:young (), 16);
+      ( "jack-nongen",
+        Profile.jack,
+        { Gc_config.non_generational with Gc_config.young_bytes = young },
+        16 );
+      ( "jack-aging2",
+        Profile.jack,
+        Gc_config.aging ~young_bytes:young ~oldest_age:2 (),
+        16 );
+      ("jack-adaptive", Profile.jack, Gc_config.adaptive ~young_bytes:young (), 16);
+      ( "jack-young256k",
+        Profile.jack,
+        Gc_config.generational ~young_bytes:(256 * 1024) (),
+        16 );
+      ( "anagram-gen",
+        Profile.anagram,
+        Gc_config.generational ~young_bytes:young (),
+        16 );
+      ( "anagram-nongen",
+        Profile.anagram,
+        { Gc_config.non_generational with Gc_config.young_bytes = young },
+        16 );
+      ( "anagram-card64",
+        Profile.anagram,
+        Gc_config.generational ~young_bytes:young (),
+        64 );
+    ]
+
+  let run_scenario ~scale (name, profile, gc, card) =
+    let heap = { Driver.default_heap with Heap.card_size = card } in
+    let t0 = Unix.gettimeofday () in
+    (* always a fresh simulation — wall_ms must measure this machine,
+       and the gate must measure this build, so no cache on either axis *)
+    let r = Driver.run ~heap ~seed ~scale ~gc profile in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    Printf.printf "  %-16s %8.0f ms wall\n%!" name wall_ms;
+    Trajectory.scenario_of_result ~name ~wall_ms r
+
+  (* The baseline is the highest-numbered committed BENCH_NNNN.json,
+     found by walking from the working directory up toward the
+     filesystem root (dune runs executables from _build/default). *)
+  let bench_number name =
+    if
+      String.length name > String.length "BENCH_.json"
+      && String.sub name 0 6 = "BENCH_"
+      && Filename.check_suffix name ".json"
+    then int_of_string_opt (String.sub name 6 (String.length name - 11))
+    else None
+
+  let find_baseline () =
+    let best_in dir =
+      Array.fold_left
+        (fun acc name ->
+          match bench_number name with
+          | Some k -> (
+              match acc with
+              | Some (k0, _) when k0 >= k -> acc
+              | _ -> Some (k, Filename.concat dir name))
+          | None -> acc)
+        None
+        (try Sys.readdir dir with Sys_error _ -> [||])
+    in
+    let rec up dir =
+      match best_in dir with
+      | Some (_, path) -> Some path
+      | None ->
+          let parent = Filename.dirname dir in
+          if parent = dir then None else up parent
+    in
+    up (Sys.getcwd ())
+
+  let load path =
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string contents with
+    | Error e -> Error (Printf.sprintf "%s: JSON parse error: %s" path e)
+    | Ok j -> (
+        match Trajectory.of_json j with
+        | Error e -> Error (Printf.sprintf "%s: %s" path e)
+        | Ok t -> Ok t)
+
+  let write path t =
+    let oc = open_out path in
+    output_string oc (Json.to_string (Trajectory.to_json t));
+    output_char oc '\n';
+    close_out oc
+
+  (* Exit status: 0 = gate passed or (re)seeded, 1 = regression. *)
+  let run ~quick ~out ~threshold =
+    let scale = if quick then 0.05 else 0.2 in
+    Printf.printf
+      "Trajectory grid: %d scenarios at scale %.2f, seed %d (gated metrics \
+       are simulated and deterministic; wall times are informational).\n%!"
+      (List.length grid) scale seed;
+    let current =
+      Trajectory.make ~scale ~seed ~quick
+        (List.map (run_scenario ~scale) grid)
+    in
+    let seeded verdict =
+      write out current;
+      Printf.printf "%s\ntrajectory written to %s — commit it to arm the gate\n"
+        verdict out;
+      0
+    in
+    match find_baseline () with
+    | None -> seeded "no committed BENCH_*.json baseline found"
+    | Some path -> (
+        match load path with
+        | Error e -> seeded ("baseline unreadable (" ^ e ^ ")")
+        | Ok baseline -> (
+            match
+              Trajectory.diff ~threshold_pct:threshold ~baseline ~current ()
+            with
+            | Error e ->
+                seeded
+                  (Printf.sprintf "baseline %s not comparable: %s" path e)
+            | Ok regs ->
+                print_newline ();
+                print_string (Trajectory.render_diff ~baseline ~current regs);
+                write out current;
+                Printf.printf "trajectory written to %s (baseline: %s)\n" out
+                  path;
+                if regs = [] then 0 else 1))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -526,7 +690,31 @@ let () =
       args
   in
   let micro_only = List.mem "micro" args in
-  if micro_only then Micro.run ~quick ()
+  if List.mem "trajectory" args then begin
+    let out =
+      let rec find = function
+        | "--out" :: v :: _ -> v
+        | _ :: rest -> find rest
+        | [] -> "BENCH_0005.json"
+      in
+      find args
+    in
+    let threshold =
+      let rec find = function
+        | "--threshold" :: v :: _ -> (
+            match float_of_string_opt v with
+            | Some f when f >= 0. -> f
+            | _ ->
+                Printf.eprintf "--threshold wants a percentage, got %S\n" v;
+                exit 2)
+        | _ :: rest -> find rest
+        | [] -> 5.
+      in
+      find args
+    in
+    exit (Traj.run ~quick ~out ~threshold)
+  end
+  else if micro_only then Micro.run ~quick ()
   else begin
     let lab_main = Lab.create ~scale ~jobs ~cache_dir () in
     let lab_sweep = Lab.create ~scale:(scale /. 2.) ~jobs ~cache_dir () in

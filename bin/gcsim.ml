@@ -18,6 +18,8 @@ module Textable = Otfgc_support.Textable
 module Json = Otfgc_support.Json
 module Telemetry_report = Otfgc_metrics.Telemetry
 module Trace_export = Otfgc_metrics.Trace_export
+module Report = Otfgc_metrics.Report
+module Timeseries = Otfgc_support.Timeseries
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -100,13 +102,32 @@ let trace_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let sample_every_arg ~default =
+  let doc =
+    "Arm the heap observatory: take a census row (per-color occupancy, \
+     generation sizes, freelist/card/gray state, floating garbage) every \
+     $(docv) simulated cost units; 0 disarms.  Sampling is out of band — \
+     it charges no cost and cannot change the run."
+  in
+  Arg.(value & opt int default & info [ "sample-every" ] ~docv:"UNITS" ~doc)
+
 (* Enable recording before any mutator starts; [Driver.run_rt] calls this
    right after creating the runtime. *)
-let instrument_for ~trace ~telemetry ~trace_out rt =
+let instrument_for ~trace ~telemetry ~trace_out ?(sample_every = 0) rt =
   if trace || trace_out <> None then
     Otfgc.Event_log.set_enabled (Otfgc.Runtime.events rt) true;
   if telemetry || trace_out <> None then
-    Otfgc.Telemetry.set_enabled (Otfgc.Runtime.telemetry rt) true
+    Otfgc.Telemetry.set_enabled (Otfgc.Runtime.telemetry rt) true;
+  if sample_every > 0 then
+    Otfgc.Sampler.configure (Otfgc.Runtime.sampler rt) ~every:sample_every
+
+let warn_if_dropped rt =
+  let d = Otfgc.Event_log.dropped (Otfgc.Runtime.events rt) in
+  if d > 0 then
+    Printf.eprintf
+      "warning: event ring overflowed — %d events dropped (oldest first); \
+       timeline-derived output is incomplete for the run's start\n"
+      d
 
 let write_file path contents =
   let oc = open_out path in
@@ -116,6 +137,7 @@ let write_file path contents =
 
 let write_trace rt ~workload path =
   write_file path (Json.to_string (Trace_export.of_runtime ~workload rt));
+  warn_if_dropped rt;
   Printf.printf "trace written to %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -149,7 +171,8 @@ let run_cmd =
     let doc = "Print the collector's phase-event timeline after the run." in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run workload mode card young scale seed trace telemetry trace_out =
+  let run workload mode card young scale seed trace telemetry trace_out
+      sample_every =
     match parse_workload workload with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok profile -> (
@@ -159,7 +182,8 @@ let run_cmd =
             let heap = heap_of_card card in
             let r, rt =
               Driver.run_rt ~heap ~seed ~scale
-                ~instrument:(instrument_for ~trace ~telemetry ~trace_out)
+                ~instrument:
+                  (instrument_for ~trace ~telemetry ~trace_out ~sample_every)
                 ~gc profile
             in
             Format.printf "%a@." Run_result.pp r;
@@ -171,6 +195,12 @@ let run_cmd =
             if trace then
               Format.printf "@.phase timeline (elapsed work units):@.%a@?"
                 Otfgc.Event_log.pp_timeline (Otfgc.Runtime.events rt);
+            if sample_every > 0 then
+              Printf.printf
+                "observatory: %d census rows sampled (export with 'gcsim \
+                 census' or render with 'gcsim report')\n"
+                (Timeseries.length
+                   (Otfgc.Sampler.series (Otfgc.Runtime.sampler rt)));
             Option.iter
               (write_trace rt ~workload:profile.Profile.name)
               trace_out;
@@ -180,7 +210,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one workload under one collector and print its summary.")
     Term.(
       const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
-      $ seed_arg $ trace_arg $ telemetry_arg $ trace_out_arg)
+      $ seed_arg $ trace_arg $ telemetry_arg $ trace_out_arg
+      $ sample_every_arg ~default:0)
 
 (* ------------------------------------------------------------------ *)
 (* gcsim compare                                                       *)
@@ -259,6 +290,9 @@ let stats_cmd =
             let _, rt =
               Driver.run_rt ~heap:(heap_of_card card) ~seed ~scale
                 ~instrument:(fun rt ->
+                  (* the event log too, so the events-logged/dropped
+                     counters report the ring's real load *)
+                  Otfgc.Event_log.set_enabled (Otfgc.Runtime.events rt) true;
                   Otfgc.Telemetry.set_enabled (Otfgc.Runtime.telemetry rt) true)
                 ~gc profile
             in
@@ -269,6 +303,7 @@ let stats_cmd =
             | `Text -> Telemetry_report.print s
             | `Json -> print_endline (Json.to_string (Telemetry_report.to_json s))
             | `Csv -> print_string (Telemetry_report.to_csv s));
+            warn_if_dropped rt;
             0)
   in
   Cmd.v
@@ -312,6 +347,158 @@ let validate_trace_cmd =
        ~doc:
          "Check that a file written by --trace-out is well-formed \
           trace-event JSON (used by CI).")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gcsim census                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let out_arg ~what =
+  let doc = Printf.sprintf "Write the %s to $(docv) instead of stdout." what in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let census_cmd =
+  let format_arg =
+    let doc = "Output format: csv (one line per sample) or json (columnar)." in
+    Arg.(
+      value
+      & opt (enum [ ("csv", `Csv); ("json", `Json) ]) `Csv
+      & info [ "format" ] ~doc)
+  in
+  let run workload mode card young scale seed sample_every format out =
+    match parse_workload workload with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok profile -> (
+        match parse_mode ~young mode with
+        | Error (`Msg m) -> prerr_endline m; 1
+        | Ok gc ->
+            if sample_every <= 0 then begin
+              prerr_endline "--sample-every must be positive for a census";
+              1
+            end
+            else begin
+              let _, rt =
+                Driver.run_rt ~heap:(heap_of_card card) ~seed ~scale
+                  ~instrument:
+                    (instrument_for ~trace:false ~telemetry:false
+                       ~trace_out:None ~sample_every)
+                  ~gc profile
+              in
+              (* close the series with the end-of-run heap state *)
+              Otfgc.Observatory.sample_now (Otfgc.Runtime.state rt);
+              let series =
+                Otfgc.Sampler.series (Otfgc.Runtime.sampler rt)
+              in
+              let contents =
+                match format with
+                | `Csv -> Timeseries.to_csv series
+                | `Json -> Json.to_string (Timeseries.to_json series) ^ "\n"
+              in
+              (match out with
+              | None -> print_string contents
+              | Some path ->
+                  let oc = open_out path in
+                  output_string oc contents;
+                  close_out oc;
+                  Printf.printf "census written to %s (%d samples)\n" path
+                    (Timeseries.length series));
+              0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:
+         "Run one workload with the heap observatory armed and dump the \
+          census time series (per-color occupancy, generation sizes, \
+          freelist/card/gray state, floating garbage) as CSV or JSON.")
+    Term.(
+      const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
+      $ seed_arg
+      $ sample_every_arg ~default:20_000
+      $ format_arg
+      $ out_arg ~what:"census series")
+
+(* ------------------------------------------------------------------ *)
+(* gcsim report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let out_arg =
+    let doc = "Write the HTML report to $(docv)." in
+    Arg.(
+      value & opt string "report.html" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run workload mode card young scale seed sample_every out =
+    match parse_workload workload with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok profile -> (
+        match parse_mode ~young mode with
+        | Error (`Msg m) -> prerr_endline m; 1
+        | Ok gc ->
+            if sample_every <= 0 then begin
+              prerr_endline "--sample-every must be positive for a report";
+              1
+            end
+            else begin
+              let _, rt =
+                Driver.run_rt ~heap:(heap_of_card card) ~seed ~scale
+                  ~instrument:
+                    (instrument_for ~trace:true ~telemetry:true
+                       ~trace_out:None ~sample_every)
+                  ~gc profile
+              in
+              Otfgc.Observatory.sample_now (Otfgc.Runtime.state rt);
+              match Report.of_runtime ~workload:profile.Profile.name rt with
+              | Error e -> prerr_endline e; 1
+              | Ok html ->
+                  write_file out html;
+                  warn_if_dropped rt;
+                  Printf.printf "report written to %s (%d samples)\n" out
+                    (Timeseries.length
+                       (Otfgc.Sampler.series (Otfgc.Runtime.sampler rt)));
+                  0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run one workload with the observatory and event log armed and \
+          render a self-contained HTML/SVG report: occupancy ribbons per \
+          color, cycle/handshake/stall strips, promotion-rate line (the \
+          paper's Figure 7-9 presentation, over simulated time).")
+    Term.(
+      const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
+      $ seed_arg
+      $ sample_every_arg ~default:20_000
+      $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gcsim validate-report                                               *)
+(* ------------------------------------------------------------------ *)
+
+let validate_report_cmd =
+  let file_arg =
+    let doc = "HTML report file to validate." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Report.validate contents with
+    | Error e ->
+        Printf.eprintf "%s: invalid report: %s\n" file e;
+        1
+    | Ok () ->
+        Printf.printf "%s: valid report\n" file;
+        0
+  in
+  Cmd.v
+    (Cmd.info "validate-report"
+       ~doc:
+         "Check that a file written by 'gcsim report' is a well-formed \
+          self-contained HTML/SVG report (used by CI).")
     Term.(const run $ file_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -403,6 +590,9 @@ let () =
             run_cmd;
             compare_cmd;
             stats_cmd;
+            census_cmd;
+            report_cmd;
             fig_cmd;
             validate_trace_cmd;
+            validate_report_cmd;
           ]))

@@ -78,6 +78,7 @@ let charged_mark_gray st ~charge ~sync x =
    per unit of work than the mutators it runs beside. *)
 let charge_tick st k =
   Cost.collector st.cost k;
+  Observatory.maybe_sample st;
   st.collector_tick <- st.collector_tick + k;
   if st.collector_tick >= st.collector_speed then begin
     st.collector_tick <- 0;
@@ -134,6 +135,7 @@ let track_intergen st x =
 let update st m ~x ~i ~y =
   Telemetry.hit_barrier st.telemetry;
   Cost.mutator_cat st.cost Cost.Barrier_fast Cost.c_barrier_check;
+  Observatory.maybe_sample st;
   let charge = Cost.mutator_cat st.cost Cost.Barrier_slow in
   let in_sync = not (Status.equal (Mutator.status m) Status.Async) in
   (match mode_of st with
@@ -776,6 +778,17 @@ let run_cycle st ~full =
   cycle.Gc_stats.pages_touched <- Page_set.count st.pages;
   cycle.Gc_stats.live_objects_at_end <- Heap.object_count st.heap;
   cycle.Gc_stats.live_bytes_at_end <- Heap.allocated_bytes st.heap;
+  (* Floating garbage the sweep left behind, measured out of band (the
+     oracle charges no cost and never yields, so the schedule is
+     untouched).  No scheduling point separates this from the sweep's
+     last block, so the measure is exactly "what this cycle failed to
+     reclaim", not garbage the mutators create later in the window. *)
+  List.iter
+    (fun x ->
+      cycle.Gc_stats.floating_objects <- cycle.Gc_stats.floating_objects + 1;
+      cycle.Gc_stats.floating_bytes <-
+        cycle.Gc_stats.floating_bytes + Heap.size st.heap x)
+    (Oracle.garbage st);
   (* Pause-free progress: mutator work performed while this cycle ran. *)
   Telemetry.record_progress st.telemetry
     (Cost.mutator_work st.cost - mutator_work0);

@@ -31,6 +31,8 @@ type cycle = {
   mutable work : int;
   mutable pages_touched : int;
   mutable active_span : int;
+  mutable floating_objects : int;
+  mutable floating_bytes : int;
 }
 
 type t = { mutable completed : cycle list; mutable next_seq : int }
@@ -61,6 +63,8 @@ let begin_cycle t kind =
       work = 0;
       pages_touched = 0;
       active_span = 0;
+      floating_objects = 0;
+      floating_bytes = 0;
     }
   in
   t.next_seq <- t.next_seq + 1;

@@ -52,6 +52,12 @@ type cycle = {
           collector) work the system performed while the cycle was in
           progress — the wall-clock-activity measure behind Figure 10's
           "percent time GC active" *)
+  mutable floating_objects : int;
+      (** allocated-but-unreachable objects the cycle's sweep left behind
+          (floating garbage), measured out of band by the oracle right
+          after the sweep — Section 5's "at most one cycle" claim made
+          quantitative *)
+  mutable floating_bytes : int;
 }
 
 type t

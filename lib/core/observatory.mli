@@ -1,0 +1,23 @@
+(** The heap observatory — periodic heap censuses into the state's
+    {!Sampler} series.
+
+    {!maybe_sample} is the hook planted on the simulator's busiest
+    paths (allocation, application work, the write barrier, the
+    collector's pacing tick); while the sampler is disarmed it costs
+    two loads and a compare.  Once armed ({!Sampler.configure}), a
+    census row is taken each time {!Cost.elapsed_multi} crosses the
+    next cadence threshold, whichever side of the simulation gets there
+    first.
+
+    A census is strictly out of band: it only reads (heap walk, side
+    tables, counters, optionally the reachability {!Oracle}), charges
+    no cost, touches no pages and never yields — so arming the sampler
+    cannot change a run's schedule or results (digest-pinned). *)
+
+val maybe_sample : State.t -> unit
+(** Take a census iff sampling is armed and the cadence interval has
+    elapsed since the last row. *)
+
+val sample_now : State.t -> unit
+(** Take a census unconditionally (used for final-snapshot rows and by
+    tests; works even while the sampler is disarmed). *)

@@ -18,6 +18,7 @@ let stats t = t.st.stats
 let cost t = t.st.cost
 let events t = t.st.events
 let telemetry t = t.st.telemetry
+let sampler t = t.st.sampler
 
 let set_fine_grained t v = t.st.fine_grained <- v
 
@@ -94,6 +95,7 @@ let alloc t m ~size ~n_slots =
   Collector.cooperate st m;
   Sched.yield ();
   Cost.mutator st.cost Cost.c_alloc;
+  Observatory.maybe_sample st;
   match try_alloc t ~size ~n_slots with
   | Some addr ->
       st.bytes_since_gc <- st.bytes_since_gc + Heap.size st.heap addr;
@@ -134,6 +136,7 @@ let alloc t m ~size ~n_slots =
                else raise Out_of_memory);
             Collector.cooperate st m;
             Cost.stall st.cost Cost.c_cooperate;
+            Observatory.maybe_sample st;
             Sched.yield ()
       done;
       let stall_to = Cost.elapsed_multi st.cost in
@@ -180,6 +183,7 @@ let work t m n =
   Collector.cooperate st m;
   let units = n * Cost.c_compute in
   Cost.mutator st.cost units;
+  Observatory.maybe_sample st;
   (* Scheduled time must track charged work on both sides (the collector
      yields once per ~8 units), so a long computation burns proportionally
      many scheduling quanta — during which the collector runs. *)

@@ -34,6 +34,10 @@ val events : t -> Event_log.t
 val telemetry : t -> Telemetry.t
 (** Counters and latency histograms (see {!Telemetry}). *)
 
+val sampler : t -> Sampler.t
+(** The census sampler ({!Sampler.configure} arms it; the series fills
+    via the {!Observatory} hooks). *)
+
 val set_fine_grained : t -> bool -> unit
 (** Disable/enable micro-step yields (see {!State.t.fine_grained}).
     Benchmarks turn this off; correctness tests leave it on. *)

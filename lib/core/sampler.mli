@@ -1,0 +1,84 @@
+(** Census sampling state carried by {!State.t} — the data half of the
+    heap observatory ({!Observatory} is the logic half).
+
+    A sampler owns one {!Otfgc_support.Timeseries} whose columns are the
+    census schema below, plus the cadence bookkeeping the hot-path check
+    reads: sampling is armed by {!configure} with a positive interval in
+    simulated cost units, and {!Observatory.maybe_sample} fires once per
+    interval of {!Cost.elapsed_multi}.  Disabled (interval 0) by
+    default, and entirely out of band — taking a census charges no cost,
+    touches no pages and never yields, so enabling it cannot perturb a
+    run (pinned by the digest-identity tests). *)
+
+type t = {
+  mutable every : int;  (** cost units between samples; [0] = off *)
+  mutable next_at : int;
+      (** elapsed-time threshold for the next sample (maintained by
+          {!Observatory}) *)
+  mutable oracle : bool;
+      (** run the reachability oracle per census (floating-garbage
+          columns; zeros when off) *)
+  series : Otfgc_support.Timeseries.t;
+}
+(** Transparent like {!State.t}: the observatory updates the cadence
+    fields in place on the sampling fast path.  Outside code should
+    treat the record as read-only and go through {!configure}. *)
+
+val create : unit -> t
+(** Disabled sampler with an empty series. *)
+
+val configure : ?oracle:bool -> t -> every:int -> unit
+(** Arm sampling every [every] cost units ([0] disarms); [oracle]
+    (default [true]) controls whether each census runs the reachability
+    oracle for the floating-garbage columns.  Resets the cadence so the
+    next check samples immediately. *)
+
+val enabled : t -> bool
+val every : t -> int
+
+val series : t -> Otfgc_support.Timeseries.t
+(** The census series (one row per sample, columns as below). *)
+
+val reset : t -> unit
+(** Drop committed samples and re-arm (end-of-warmup measurement
+    reset).  Keeps the configured cadence. *)
+
+(** {2 Census schema}
+
+    Column names in index order, and the matching indices.  One row per
+    sample: elapsed time and collector phase, heap accounting, per-color
+    block/byte counts (blue = free blocks; the five colors partition the
+    heap, so the byte columns sum to [capacity]), young/old generation
+    sizes, freelist and card/gray/remset occupancy, the oracle's
+    floating-garbage measure, and cumulative promotion/stall counters. *)
+
+val columns : string array
+
+val i_at : int
+val i_phase : int
+val i_collecting : int
+val i_capacity : int
+val i_allocated_bytes : int
+val i_blue_blocks : int
+val i_blue_bytes : int
+val i_c0_objects : int
+val i_c0_bytes : int
+val i_c1_objects : int
+val i_c1_bytes : int
+val i_gray_objects : int
+val i_gray_bytes : int
+val i_black_objects : int
+val i_black_bytes : int
+val i_young_objects : int
+val i_young_bytes : int
+val i_old_objects : int
+val i_old_bytes : int
+val i_freelist_entries : int
+val i_freelist_stale : int
+val i_dirty_cards : int
+val i_gray_depth : int
+val i_remset_entries : int
+val i_floating_objects : int
+val i_floating_bytes : int
+val i_promotions : int
+val i_stalls : int

@@ -31,6 +31,7 @@ type t = {
   mutable fine_grained : bool;
   mutable collector_tick : int;
   mutable collector_speed : int;
+  sampler : Sampler.t;
 }
 
 let create heap cfg =
@@ -61,6 +62,7 @@ let create heap cfg =
     fine_grained = true;
     collector_tick = 0;
     collector_speed = 8;
+    sampler = Sampler.create ();
   }
 
 let step t = if t.fine_grained then Otfgc_sched.Sched.yield ()

@@ -63,6 +63,9 @@ type t = {
           CPUs, the driver raises this: the collector keeps a whole CPU
           while the mutators share what remains, making it ~N/3 times
           faster than each of N > 3 mutators. *)
+  sampler : Sampler.t;
+      (** census sampling cadence and series (off by default); driven by
+          {!Observatory} from the runtime/collector sampling hooks *)
 }
 
 val create : Otfgc_heap.Heap.t -> Gc_config.t -> t

@@ -28,7 +28,7 @@ let default_cache_dir = "_cache"
 (* Bump whenever the run semantics or Run_result layout change: every
    on-disk record carries this number and stale records are silently
    recomputed. *)
-let cache_version = 1
+let cache_version = 2
 
 let create ?(scale = 1.0) ?(seed = 42) ?jobs
     ?(cache_dir = Some default_cache_dir) () =

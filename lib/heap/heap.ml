@@ -52,6 +52,7 @@ let space t = t.space
 let cards t = t.cards
 let ages t = t.ages
 let remset t = t.remset
+let freelist t = t.freelist
 let layout t = t.layout
 
 let gi = Layout.granule_index

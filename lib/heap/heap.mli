@@ -36,6 +36,10 @@ val ages : t -> Age_table.t
 (* The remembered set used when the collector is configured with
    remembered-set inter-generational tracking instead of card marking. *)
 val remset : t -> Remset.t
+
+(* The segregated free lists (read-only occupancy view for the census:
+   [Freelist.entry_count] / [Freelist.stale_entries]). *)
+val freelist : t -> Freelist.t
 val layout : t -> Layout.tables
 
 val nil : int

@@ -38,6 +38,9 @@ type t = {
   avg_pages_non_gen : float;
   pct_dirty_cards : float;
   avg_card_scan_bytes : float;
+  avg_floating_objects : float;
+  avg_floating_bytes : float;
+  max_floating_bytes : int;
 }
 
 let fi = float_of_int
@@ -141,6 +144,24 @@ let of_runtime ~workload rt =
               (fi c.Gc_stats.dirty_cards /. fi c.Gc_stats.total_cards *. 100.));
     avg_card_scan_bytes =
       mean Gc_stats.Partial (fun c -> fi c.Gc_stats.card_scan_bytes);
+    avg_floating_objects =
+      (if cycles = [] then 0.
+       else
+         List.fold_left
+           (fun acc c -> acc +. fi c.Gc_stats.floating_objects)
+           0. cycles
+         /. fi (List.length cycles));
+    avg_floating_bytes =
+      (if cycles = [] then 0.
+       else
+         List.fold_left
+           (fun acc c -> acc +. fi c.Gc_stats.floating_bytes)
+           0. cycles
+         /. fi (List.length cycles));
+    max_floating_bytes =
+      List.fold_left
+        (fun acc c -> Stdlib.max acc c.Gc_stats.floating_bytes)
+        0 cycles;
   }
 
 (* JSON round-trip.  One (name, inject, project) row per field keeps the
@@ -187,6 +208,9 @@ let to_json t =
       ("avg_pages_non_gen", Json.Float t.avg_pages_non_gen);
       ("pct_dirty_cards", Json.Float t.pct_dirty_cards);
       ("avg_card_scan_bytes", Json.Float t.avg_card_scan_bytes);
+      ("avg_floating_objects", Json.Float t.avg_floating_objects);
+      ("avg_floating_bytes", Json.Float t.avg_floating_bytes);
+      ("max_floating_bytes", Json.Int t.max_floating_bytes);
     ]
 
 exception Bad_field of string
@@ -246,6 +270,9 @@ let of_json j =
         avg_pages_non_gen = flt "avg_pages_non_gen";
         pct_dirty_cards = flt "pct_dirty_cards";
         avg_card_scan_bytes = flt "avg_card_scan_bytes";
+        avg_floating_objects = flt "avg_floating_objects";
+        avg_floating_bytes = flt "avg_floating_bytes";
+        max_floating_bytes = int "max_floating_bytes";
       }
   with Bad_field k -> Error (Printf.sprintf "missing or mistyped field %S" k)
 
@@ -276,5 +303,7 @@ let pp ppf t =
     t.avg_work_full t.avg_work_non_gen;
   f ppf "pages/cycle: partial=%.0f full=%.0f nongen=%.0f@," t.avg_pages_partial
     t.avg_pages_full t.avg_pages_non_gen;
-  f ppf "cards: %.2f%% dirty, %.0f bytes scanned/partial@]" t.pct_dirty_cards
-    t.avg_card_scan_bytes
+  f ppf "cards: %.2f%% dirty, %.0f bytes scanned/partial@," t.pct_dirty_cards
+    t.avg_card_scan_bytes;
+  f ppf "floating garbage: %.0f objects (%.0f bytes)/cycle, worst %d bytes@]"
+    t.avg_floating_objects t.avg_floating_bytes t.max_floating_bytes

@@ -48,6 +48,10 @@ type t = {
   (* card behaviour (Figures 22 and 23) *)
   pct_dirty_cards : float;      (** dirty / covering cards, mean per partial *)
   avg_card_scan_bytes : float;  (** area scanned on dirty cards per partial *)
+  (* floating garbage (oracle-measured at each sweep's end) *)
+  avg_floating_objects : float; (** mean per cycle, all kinds *)
+  avg_floating_bytes : float;
+  max_floating_bytes : int;     (** worst cycle *)
 }
 
 val of_runtime : workload:string -> Otfgc.Runtime.t -> t

@@ -1,0 +1,71 @@
+(** Cross-run performance-trajectory store and regression gate.
+
+    [bench trajectory] runs a pinned scenario grid and serialises one
+    record per scenario — wall-clock time plus the deterministic
+    simulated-cost metrics from {!Run_result} — into a schema-versioned
+    [BENCH_NNNN.json].  Committing that file pins the trajectory; the
+    next run diffs itself against the last committed baseline and fails
+    with a readable table when a simulated metric regresses beyond the
+    noise threshold.
+
+    Only simulated metrics are gated: they are bit-deterministic (equal
+    code must produce equal numbers), so any drift is a real behaviour
+    change, and the threshold only exists to ignore deliberate small
+    trade-offs.  Wall-clock times are recorded for trend-reading but
+    never gated — CI machines are shared and noisy. *)
+
+type scenario = {
+  name : string;  (** e.g. ["jack-gen"] *)
+  wall_ms : float;  (** wall-clock of the simulation run (informational) *)
+  metrics : (string * float) list;  (** deterministic simulated metrics *)
+}
+
+type t = {
+  schema_version : int;
+  scale : float;  (** workload scale the grid ran at *)
+  seed : int;
+  quick : bool;
+  scenarios : scenario list;
+}
+
+val schema_version : int
+(** Current schema ([1]); {!of_json} rejects other versions. *)
+
+val make : scale:float -> seed:int -> quick:bool -> scenario list -> t
+
+val scenario_of_result :
+  name:string -> wall_ms:float -> Run_result.t -> scenario
+(** Extract the gated metric set (plus the run's headline counts) from
+    a finished run. *)
+
+val gated_metrics : string list
+(** Metric names the regression gate compares, all lower-is-better
+    simulated quantities.  Metrics outside this list (and [wall_ms])
+    are informational. *)
+
+type regression = {
+  r_scenario : string;
+  r_metric : string;
+  r_baseline : float;
+  r_current : float;
+  r_delta_pct : float;
+}
+
+val diff :
+  ?threshold_pct:float -> baseline:t -> current:t -> unit ->
+  (regression list, string) result
+(** Compare gated metrics scenario by scenario; a metric that grew more
+    than [threshold_pct] (default [5.]) over the baseline is a
+    regression.  [Error] when the records are incomparable (different
+    schema version, scale, seed or quick flag) — the caller should then
+    re-seed the baseline rather than gate.  Scenarios present on only
+    one side are skipped. *)
+
+val render_diff : baseline:t -> current:t -> regression list -> string
+(** Human-readable verdict: a table of regressed metrics (baseline,
+    current, delta) or a short all-clear line. *)
+
+val to_json : t -> Otfgc_support.Json.t
+val of_json : Otfgc_support.Json.t -> (t, string) result
+val validate : Otfgc_support.Json.t -> (unit, string) result
+(** Schema check ({!of_json} discarding the value). *)

@@ -76,7 +76,9 @@ let min_value t = t.min_v
 let max_value t = t.max_v
 let mean t = if t.count = 0 then 0. else float_of_int t.total /. float_of_int t.count
 
-let percentile t p =
+(* Shared percentile walk: find the slot holding the p-th sample, then
+   let [pick] choose which edge of the slot's value range to report. *)
+let percentile_with t p pick =
   if t.count = 0 then 0
   else begin
     let p = Float.max 0. (Float.min 100. p) in
@@ -84,13 +86,13 @@ let percentile t p =
       Stdlib.max 1
         (int_of_float (Float.ceil (p /. 100. *. float_of_int t.count)))
     in
-    let acc = ref 0 and slot = ref 0 and result = ref t.max_v in
+    let acc = ref 0 and slot = ref 0 and result = ref (pick t.max_v t.max_v) in
     (try
        while !slot < n_slots do
          acc := !acc + t.counts.(!slot);
          if !acc >= target then begin
-           let _, hi = bounds !slot in
-           result := Stdlib.min hi t.max_v;
+           let lo, hi = bounds !slot in
+           result := pick lo hi;
            raise Exit
          end;
          incr slot
@@ -98,6 +100,35 @@ let percentile t p =
      with Exit -> ());
     !result
   end
+
+let percentile t p =
+  percentile_with t p (fun _lo hi -> Stdlib.min hi t.max_v)
+
+let percentile_lower t p =
+  percentile_with t p (fun lo _hi -> Stdlib.max lo t.min_v)
+
+(* The merged histogram is equivalent to recording both sample streams
+   into a fresh table: counts add slot-wise and the summary fields
+   combine, so no precision is lost beyond the shared bucketing. *)
+let merge a b =
+  let t = create () in
+  for slot = 0 to n_slots - 1 do
+    t.counts.(slot) <- a.counts.(slot) + b.counts.(slot)
+  done;
+  t.count <- a.count + b.count;
+  t.total <- a.total + b.total;
+  (if t.count > 0 then
+     match (a.count, b.count) with
+     | 0, _ ->
+         t.min_v <- b.min_v;
+         t.max_v <- b.max_v
+     | _, 0 ->
+         t.min_v <- a.min_v;
+         t.max_v <- a.max_v
+     | _ ->
+         t.min_v <- Stdlib.min a.min_v b.min_v;
+         t.max_v <- Stdlib.max a.max_v b.max_v);
+  t
 
 let iter t f =
   for slot = 0 to n_slots - 1 do

@@ -39,6 +39,18 @@ val percentile : t -> float -> int
     holding the p-th percentile sample, clamped to [max_value] (the
     HdrHistogram "highest equivalent value" convention).  [0] when empty. *)
 
+val percentile_lower : t -> float -> int
+(** Lower-bound companion to {!percentile}: the low edge of the bucket
+    holding the p-th percentile sample, clamped to [min_value].  Together
+    the pair brackets the true percentile to within one sub-bucket
+    (~6% relative width).  [0] when empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram equivalent to recording both inputs'
+    sample streams into one table (counts add slot-wise; count/total/
+    min/max combine); neither argument is modified.  Used to fold
+    per-mutator latency histograms into whole-run percentiles. *)
+
 val iter : t -> (lo:int -> hi:int -> count:int -> unit) -> unit
 (** Visit every non-empty bucket in increasing value order; [lo..hi] is the
     inclusive sample range the bucket covers. *)

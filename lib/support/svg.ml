@@ -1,0 +1,121 @@
+type t = Element of string * (string * string) list * t list | Text of string
+
+let el name ?(attrs = []) children = Element (name, attrs, children)
+let text_node s = Text s
+
+(* Two decimals is below half a pixel at report scale; strip trailing
+   zeros so "12.00" and "12" (which compare equal) also print equal. *)
+let fmt_coord v =
+  if not (Float.is_finite v) then invalid_arg "Svg.fmt_coord: non-finite";
+  let s = Printf.sprintf "%.2f" v in
+  let n = String.length s in
+  let stop = ref n in
+  while !stop > 0 && s.[!stop - 1] = '0' do
+    decr stop
+  done;
+  if !stop > 0 && s.[!stop - 1] = '.' then decr stop;
+  if !stop = 0 then "0" else String.sub s 0 !stop
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec to_buffer buf node =
+  match node with
+  | Text s -> escape buf s
+  | Element (name, attrs, children) ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf name;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          escape buf v;
+          Buffer.add_char buf '"')
+        attrs;
+      if children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (to_buffer buf) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>'
+      end
+
+let to_string node =
+  let buf = Buffer.create 1024 in
+  to_buffer buf node;
+  Buffer.contents buf
+
+let cls_attr cls attrs =
+  match cls with None -> attrs | Some c -> ("class", c) :: attrs
+
+let svg ~w ~h ?(attrs = []) children =
+  el "svg"
+    ~attrs:
+      ([
+         ("xmlns", "http://www.w3.org/2000/svg");
+         ("width", string_of_int w);
+         ("height", string_of_int h);
+         ("viewBox", Printf.sprintf "0 0 %d %d" w h);
+       ]
+      @ attrs)
+    children
+
+let group ?cls ?(attrs = []) children = el "g" ~attrs:(cls_attr cls attrs) children
+
+let rect ~x ~y ~w ~h ?cls ?(attrs = []) () =
+  el "rect"
+    ~attrs:
+      (cls_attr cls
+         ([
+            ("x", fmt_coord x);
+            ("y", fmt_coord y);
+            ("width", fmt_coord w);
+            ("height", fmt_coord h);
+          ]
+         @ attrs))
+    []
+
+let line ~x1 ~y1 ~x2 ~y2 ?cls ?(attrs = []) () =
+  el "line"
+    ~attrs:
+      (cls_attr cls
+         ([
+            ("x1", fmt_coord x1);
+            ("y1", fmt_coord y1);
+            ("x2", fmt_coord x2);
+            ("y2", fmt_coord y2);
+          ]
+         @ attrs))
+    []
+
+let points_attr points =
+  let buf = Buffer.create (List.length points * 12) in
+  List.iteri
+    (fun i (x, y) ->
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (fmt_coord x);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (fmt_coord y))
+    points;
+  Buffer.contents buf
+
+let polyline ~points ?cls ?(attrs = []) () =
+  el "polyline" ~attrs:(cls_attr cls (("points", points_attr points) :: attrs)) []
+
+let polygon ~points ?cls ?(attrs = []) () =
+  el "polygon" ~attrs:(cls_attr cls (("points", points_attr points) :: attrs)) []
+
+let text ~x ~y ?cls ?(attrs = []) s =
+  el "text"
+    ~attrs:(cls_attr cls ([ ("x", fmt_coord x); ("y", fmt_coord y) ] @ attrs))
+    [ Text s ]

@@ -1,0 +1,54 @@
+(** Tiny hand-rolled SVG/XML emitter — just enough vocabulary for the
+    metrics reports (rects, lines, polylines/polygons, text, groups),
+    no external dependencies.
+
+    Documents are built as a node tree and serialised with
+    {!to_string}; all text content and attribute values are escaped, so
+    arbitrary workload names are safe.  Coordinates are printed with at
+    most two decimals and no trailing zeros, keeping the output both
+    compact and deterministic across platforms. *)
+
+type t
+
+val el : string -> ?attrs:(string * string) list -> t list -> t
+(** Generic element; empty child lists render self-closing. *)
+
+val text_node : string -> t
+(** Escaped character data. *)
+
+val fmt_coord : float -> string
+(** Canonical coordinate rendering ("12", "12.5", "12.25"); non-finite
+    inputs raise [Invalid_argument] so malformed geometry fails at
+    build time, not in the viewer. *)
+
+(** {2 Shape helpers} — [cls] becomes a [class] attribute when given. *)
+
+val svg : w:int -> h:int -> ?attrs:(string * string) list -> t list -> t
+(** Root element with [xmlns], [width]/[height] and a matching
+    [viewBox]. *)
+
+val group : ?cls:string -> ?attrs:(string * string) list -> t list -> t
+
+val rect :
+  x:float -> y:float -> w:float -> h:float -> ?cls:string ->
+  ?attrs:(string * string) list -> unit -> t
+
+val line :
+  x1:float -> y1:float -> x2:float -> y2:float -> ?cls:string ->
+  ?attrs:(string * string) list -> unit -> t
+
+val polyline :
+  points:(float * float) list -> ?cls:string ->
+  ?attrs:(string * string) list -> unit -> t
+
+val polygon :
+  points:(float * float) list -> ?cls:string ->
+  ?attrs:(string * string) list -> unit -> t
+
+val text :
+  x:float -> y:float -> ?cls:string -> ?attrs:(string * string) list ->
+  string -> t
+
+val to_string : t -> string
+
+val to_buffer : Buffer.t -> t -> unit

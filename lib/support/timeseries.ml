@@ -1,0 +1,103 @@
+type t = {
+  names : string array;
+  cols : int array array; (* one growable array per column *)
+  scratch : int array; (* pending row, staged by [set] *)
+  mutable len : int;
+  mutable cap : int;
+}
+
+let initial_cap = 64
+
+let create ~columns =
+  let n = Array.length columns in
+  if n = 0 then invalid_arg "Timeseries.create: no columns";
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun name ->
+      if Hashtbl.mem seen name then
+        invalid_arg ("Timeseries.create: duplicate column " ^ name);
+      Hashtbl.add seen name ())
+    columns;
+  {
+    names = Array.copy columns;
+    cols = Array.init n (fun _ -> [||]);
+    scratch = Array.make n 0;
+    len = 0;
+    cap = 0;
+  }
+
+let n_columns t = Array.length t.names
+let length t = t.len
+let columns t = Array.copy t.names
+
+let col_index t name =
+  let rec find i =
+    if i >= Array.length t.names then None
+    else if String.equal t.names.(i) name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let set t col v =
+  if col < 0 || col >= Array.length t.scratch then
+    invalid_arg "Timeseries.set: bad column";
+  t.scratch.(col) <- v
+
+let grow t =
+  let cap' = if t.cap = 0 then initial_cap else t.cap * 2 in
+  for c = 0 to Array.length t.cols - 1 do
+    let col' = Array.make cap' 0 in
+    Array.blit t.cols.(c) 0 col' 0 t.len;
+    t.cols.(c) <- col'
+  done;
+  t.cap <- cap'
+
+let commit t =
+  if t.len = t.cap then grow t;
+  for c = 0 to Array.length t.cols - 1 do
+    t.cols.(c).(t.len) <- t.scratch.(c)
+  done;
+  t.len <- t.len + 1
+
+let get t ~col ~row =
+  if col < 0 || col >= Array.length t.cols then
+    invalid_arg "Timeseries.get: bad column";
+  if row < 0 || row >= t.len then invalid_arg "Timeseries.get: bad row";
+  t.cols.(col).(row)
+
+let clear t =
+  t.len <- 0;
+  Array.fill t.scratch 0 (Array.length t.scratch) 0
+
+let to_csv t =
+  let buf = Buffer.create (256 + (t.len * 8 * n_columns t)) in
+  Array.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf name)
+    t.names;
+  Buffer.add_char buf '\n';
+  for row = 0 to t.len - 1 do
+    for c = 0 to Array.length t.cols - 1 do
+      if c > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int t.cols.(c).(row))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let to_json t =
+  let col_json c =
+    Json.List (List.init t.len (fun row -> Json.Int t.cols.(c).(row)))
+  in
+  Json.Obj
+    [
+      ( "columns",
+        Json.List
+          (Array.to_list (Array.map (fun n -> Json.String n) t.names)) );
+      ("length", Json.Int t.len);
+      ( "series",
+        Json.Obj
+          (List.init (Array.length t.names) (fun c -> (t.names.(c), col_json c)))
+      );
+    ]

@@ -1,0 +1,58 @@
+(** Allocation-lean columnar time series of integer samples.
+
+    A series is created once with a fixed set of named columns; each
+    sample (row) is staged into a preallocated scratch row with {!set}
+    and appended with {!commit}.  Storage is one growable [int array]
+    per column — committing a row allocates nothing except when a
+    column array doubles, so the structure may be fed from the
+    simulator's instrumented paths without perturbing its allocation
+    profile.
+
+    Rows are immutable once committed; readers address cells by
+    [(column index, row index)].  Export to CSV or {!Json.t} walks the
+    arrays only when asked. *)
+
+type t
+
+val create : columns:string array -> t
+(** [create ~columns] makes an empty series with the given column
+    names (copied).  Raises [Invalid_argument] if [columns] is empty
+    or contains a duplicate name. *)
+
+val n_columns : t -> int
+
+val length : t -> int
+(** Committed rows. *)
+
+val columns : t -> string array
+(** Copy of the column names, in column-index order. *)
+
+val col_index : t -> string -> int option
+(** Index of a named column. *)
+
+val set : t -> int -> int -> unit
+(** [set t col v] stages value [v] for column [col] of the pending
+    row.  Columns not set since the last {!commit} keep their previous
+    staged value (initially 0).  Raises [Invalid_argument] on a bad
+    column index. *)
+
+val commit : t -> unit
+(** Append the staged row.  Amortised O(columns), allocation-free
+    except when capacity doubles. *)
+
+val get : t -> col:int -> row:int -> int
+(** Cell of a committed row.  Raises [Invalid_argument] out of
+    bounds. *)
+
+val clear : t -> unit
+(** Drop all committed rows and zero the staged row.  Capacity is
+    retained. *)
+
+val to_csv : t -> string
+(** Header line of column names, then one comma-separated line per
+    row. *)
+
+val to_json : t -> Json.t
+(** [{ "columns": [names...], "length": n,
+       "series": { name: [v0; v1; ...], ... } }] — columnar layout, one
+    integer array per column. *)

@@ -45,6 +45,7 @@ let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
       Otfgc.Cost.reset (Runtime.cost rt);
       Otfgc.Event_log.clear (Runtime.events rt);
       Otfgc.Telemetry.reset (Runtime.telemetry rt);
+      Otfgc.Sampler.reset (Runtime.sampler rt);
       Heap.reset_allocation_stats (Runtime.heap rt);
       (Runtime.state rt).Otfgc.State.bytes_since_gc <- 0;
       warm := true

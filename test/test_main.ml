@@ -15,6 +15,7 @@ let () =
          Test_differential.suites;
          Test_extensions.suites;
          Test_observability.suites;
+         Test_observatory.suites;
          Test_telemetry.suites;
          Test_runtime.suites;
          Test_structs.suites;

@@ -70,6 +70,74 @@ let test_hist_bucket_precision () =
       check "bucket visited" true !seen)
     [ 0; 1; 15; 16; 17; 100; 1023; 1024; 65535; 1_000_000; max_int / 2 ]
 
+(* percentile_lower brackets the percentile from below: never above the
+   upper-bound convention, never below the histogram minimum, and the
+   pair tracks the same bucket (~6% relative width apart at most). *)
+let test_hist_percentile_lower_brackets () =
+  let h = Histogram.create () in
+  check_int "empty lower" 0 (Histogram.percentile_lower h 50.);
+  let st = Random.State.make [| 23 |] in
+  for _ = 1 to 1000 do
+    Histogram.record h (1 + Random.State.int st 1_000_000)
+  done;
+  List.iter
+    (fun p ->
+      let lo = Histogram.percentile_lower h p in
+      let hi = Histogram.percentile h p in
+      check "lower <= upper" true (lo <= hi);
+      check "lower >= min" true (lo >= Histogram.min_value h);
+      check "pair brackets one bucket" true (hi - lo <= max 1 (hi / 8)))
+    [ 0.; 10.; 50.; 90.; 99.; 100. ];
+  check_int "p0 lower = min" (Histogram.min_value h)
+    (Histogram.percentile_lower h 0.);
+  (* exact small values: bucket resolution is 1, so the pair pins the
+     sample itself *)
+  let e = Histogram.create () in
+  List.iter (Histogram.record e) [ 3; 3; 3; 9 ];
+  check_int "exact p50 lower" 3 (Histogram.percentile_lower e 50.);
+  check_int "exact p50 upper" 3 (Histogram.percentile e 50.);
+  check_int "exact p100 lower" 9 (Histogram.percentile_lower e 100.)
+
+let test_hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 5; 10; 20 ];
+  List.iter (Histogram.record b) [ 1; 1000; 50_000 ];
+  let m = Histogram.merge a b in
+  check_int "merged count" 6 (Histogram.count m);
+  check_int "merged total" (35 + 51_001) (Histogram.total m);
+  check_int "merged min" 1 (Histogram.min_value m);
+  check_int "merged max" 50_000 (Histogram.max_value m);
+  (* inputs untouched *)
+  check_int "a count unchanged" 3 (Histogram.count a);
+  check_int "b count unchanged" 3 (Histogram.count b);
+  (* merged table equals one table fed both streams, bucket by bucket *)
+  let direct = Histogram.create () in
+  List.iter (Histogram.record direct) [ 5; 10; 20; 1; 1000; 50_000 ];
+  let buckets h =
+    let acc = ref [] in
+    Histogram.iter h (fun ~lo ~hi ~count -> acc := (lo, hi, count) :: !acc);
+    List.rev !acc
+  in
+  check "bucket-identical to direct recording" true
+    (buckets m = buckets direct);
+  List.iter
+    (fun p ->
+      check_int
+        (Printf.sprintf "p%.0f matches direct" p)
+        (Histogram.percentile direct p) (Histogram.percentile m p))
+    [ 50.; 90.; 99. ]
+
+let test_hist_merge_empty () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 7; 70 ];
+  let m1 = Histogram.merge a b and m2 = Histogram.merge b a in
+  check_int "merge with empty keeps count" 2 (Histogram.count m1);
+  check_int "min survives empty side" 7 (Histogram.min_value m1);
+  check_int "max survives empty side" 70 (Histogram.max_value m2);
+  let e = Histogram.merge b (Histogram.create ()) in
+  check_int "empty + empty count" 0 (Histogram.count e);
+  check_int "empty + empty min" 0 (Histogram.min_value e)
+
 (* ------------------------------------------------------------------ *)
 (* Json                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -507,6 +575,10 @@ let suites =
         Alcotest.test_case "percentile monotone" `Quick
           test_hist_percentile_monotone;
         Alcotest.test_case "bucket precision" `Quick test_hist_bucket_precision;
+        Alcotest.test_case "percentile_lower brackets" `Quick
+          test_hist_percentile_lower_brackets;
+        Alcotest.test_case "merge" `Quick test_hist_merge;
+        Alcotest.test_case "merge with empty" `Quick test_hist_merge_empty;
       ] );
     ( "telemetry.json",
       [
