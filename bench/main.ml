@@ -9,11 +9,17 @@
      main.exe --quick         everything at reduced scale (CI smoke run)
      main.exe micro           only the Bechamel micro-benchmarks
                               (micro --quick: reduced quota, CI smoke)
-     main.exe trajectory      run the pinned perf-trajectory grid, diff it
-                              against the last committed BENCH_*.json and
-                              exit 1 on regression (trajectory --quick: the
-                              CI gate; --out FILE overrides BENCH_0005.json;
+     main.exe trajectory      run the pinned perf-trajectory grid (fanned
+                              out across --jobs domains), diff it against
+                              the last committed BENCH_*.json and exit 1 on
+                              regression (trajectory --quick: the CI gate;
+                              --out FILE overrides BENCH_0005.json;
                               --threshold PCT overrides the 5% noise bar)
+     main.exe speedup         real-domains wall-clock speedup sweep:
+                              raytracer at fixed total work for mutator
+                              counts 1,2,4..., written in the trajectory
+                              schema to --out (default speedup.json);
+                              machine-dependent, never gated
      main.exe --scale 0.4     override the headline scale
      main.exe --jobs 8        simulation parallelism (domains; default
                               OTFGC_JOBS or the recommended domain count)
@@ -393,7 +399,10 @@ module Micro = struct
     in
     Test.make ~name:"collector: mark_gray + reset"
       (Staged.stage (fun () ->
-           ignore (Collector.mark_gray st ~sync:false x : bool);
+           ignore
+             (Collector.mark_gray st ~tel:st.Otfgc.State.telemetry ~sync:false
+                x
+               : bool);
            Heap.set_color heap x st.Otfgc.State.clear_color;
            ignore (Otfgc.Gray_queue.pop st.Otfgc.State.gray)))
 
@@ -618,15 +627,24 @@ module Traj = struct
     close_out oc
 
   (* Exit status: 0 = gate passed or (re)seeded, 1 = regression. *)
-  let run ~quick ~out ~threshold =
+  let run ~quick ~jobs ~out ~threshold =
     let scale = if quick then 0.05 else 0.2 in
     Printf.printf
-      "Trajectory grid: %d scenarios at scale %.2f, seed %d (gated metrics \
-       are simulated and deterministic; wall times are informational).\n%!"
-      (List.length grid) scale seed;
+      "Trajectory grid: %d scenarios at scale %.2f, seed %d, %d job(s) \
+       (gated metrics are simulated and deterministic; wall times are \
+       informational).\n%!"
+      (List.length grid) scale seed jobs;
+    (* Each scenario is an independent deterministic simulation, so the
+       grid fans out across a domain pool; wall_ms measures the scenario's
+       own domain, which is as meaningful as the sequential number on a
+       shared CI machine (both are informational, never gated). *)
+    let scenarios =
+      Otfgc_support.Pool.with_pool ~jobs (fun pool ->
+          Otfgc_support.Pool.map pool (run_scenario ~scale)
+            (Array.of_list grid))
+    in
     let current =
-      Trajectory.make ~scale ~seed ~quick
-        (List.map (run_scenario ~scale) grid)
+      Trajectory.make ~scale ~seed ~quick (Array.to_list scenarios)
     in
     let seeded verdict =
       write out current;
@@ -653,6 +671,111 @@ module Traj = struct
                 Printf.printf "trajectory written to %s (baseline: %s)\n" out
                   path;
                 if regs = [] then 0 else 1))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Real-domains speedup sweep                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Speedup = struct
+  module Gc_config = Otfgc.Gc_config
+  module Runtime = Otfgc.Runtime
+  module Telemetry = Otfgc.Telemetry
+  module Status = Otfgc.Status
+  module Histogram = Otfgc_support.Histogram
+  module Profile = Otfgc_workloads.Profile
+  module Driver = Otfgc_workloads.Driver
+  module Substrate = Otfgc_sched.Substrate
+  module Trajectory = Otfgc_metrics.Trajectory
+  module Run_result = Otfgc_metrics.Run_result
+  module Json = Otfgc_support.Json
+
+  let seed = 42
+
+  (* Mutator counts swept: 1, 2, 4, ... up to the machine, capped at 8
+     (the paper's interesting range is a 4-way SMP).  Always at least
+     1 and 2, so the curve has a slope even on small CI runners. *)
+  let mutator_counts () =
+    let cores = Domain.recommended_domain_count () in
+    let rec up acc m = if m > Stdlib.max 2 (Stdlib.min 8 cores) then List.rev acc else up (m :: acc) (m * 2) in
+    up [] 1
+
+  let p99_us h = Histogram.percentile h 99.0
+
+  (* One sweep point: the raytracer workload on [m] real domains at fixed
+     TOTAL allocation volume (per-thread scale = base / m), so the curve
+     answers "does adding mutator domains shorten the wall clock for the
+     same total work while the collector runs concurrently?". *)
+  let run_point ~scale m =
+    let profile = Profile.raytracer ~threads:m in
+    let t0 = Unix.gettimeofday () in
+    let result, rt =
+      Driver.run_rt ~seed ~scale:(scale /. float_of_int m)
+        ~substrate:Substrate.Domains
+        ~instrument:(fun rt -> Telemetry.set_enabled (Runtime.telemetry rt) true)
+        ~gc:(Gc_config.generational ()) profile
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let tel = Runtime.telemetry rt in
+    let hs =
+      (* the three handshakes share one merged latency distribution *)
+      let h = Histogram.create () in
+      List.iter
+        (fun s -> Histogram.add_into ~src:(Telemetry.handshake_latency tel s) ~dst:h)
+        [ Status.Sync1; Status.Sync2; Status.Async ];
+      h
+    in
+    let throughput_mb_s =
+      float_of_int result.Run_result.total_alloc_bytes
+      /. (1024. *. 1024.) /. wall_s
+    in
+    Printf.printf
+      "  m=%d  %7.1f MB alloc  %6.2f s wall  %8.2f MB/s  p99 handshake %d us  \
+       p99 stall %d us\n%!"
+      m
+      (float_of_int result.Run_result.total_alloc_bytes /. (1024. *. 1024.))
+      wall_s throughput_mb_s (p99_us hs)
+      (p99_us (Telemetry.stall_latency tel));
+    {
+      Trajectory.name = Printf.sprintf "speedup-m%d" m;
+      wall_ms = wall_s *. 1000.;
+      metrics =
+        [
+          ("mutators", float_of_int m);
+          ("throughput_mb_s", throughput_mb_s);
+          ("total_alloc_bytes", float_of_int result.Run_result.total_alloc_bytes);
+          ("p99_handshake_us", float_of_int (p99_us hs));
+          ("p99_stall_us", float_of_int (p99_us (Telemetry.stall_latency tel)));
+          ("n_cycles",
+           float_of_int
+             (result.Run_result.n_partial + result.Run_result.n_full
+            + result.Run_result.n_non_gen));
+        ];
+    }
+
+  (* Wall-clock speedup curve on real domains.  Everything here is
+     machine-dependent and NEVER gated: the output goes to its own JSON
+     (CI uploads it as an artifact for trend-reading), reusing the
+     trajectory schema so existing tooling parses it.  [quick] shrinks
+     the volume for smoke runs. *)
+  let run ~quick ~out =
+    let scale = if quick then 0.05 else 0.5 in
+    let counts = mutator_counts () in
+    Printf.printf
+      "Speedup sweep: raytracer on real domains, fixed total work (scale \
+       %.2f), m in {%s}, %d core(s) visible.\nWall-clock numbers are \
+       machine-dependent — recorded, never gated.\n%!"
+      scale
+      (String.concat ", " (List.map string_of_int counts))
+      (Domain.recommended_domain_count ());
+    let scenarios = List.map (run_point ~scale) counts in
+    let t = Trajectory.make ~scale ~seed ~quick scenarios in
+    let oc = open_out out in
+    output_string oc (Json.to_string (Trajectory.to_json t));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "speedup curve written to %s\n" out;
+    0
 end
 
 (* ------------------------------------------------------------------ *)
@@ -712,7 +835,18 @@ let () =
       in
       find args
     in
-    exit (Traj.run ~quick ~out ~threshold)
+    exit (Traj.run ~quick ~jobs ~out ~threshold)
+  end
+  else if List.mem "speedup" args then begin
+    let out =
+      let rec find = function
+        | "--out" :: v :: _ -> v
+        | _ :: rest -> find rest
+        | [] -> "speedup.json"
+      in
+      find args
+    in
+    exit (Speedup.run ~quick ~out)
   end
   else if micro_only then Micro.run ~quick ()
   else begin

@@ -54,6 +54,27 @@ let seed_arg =
   let doc = "Random seed (scheduler and workload)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let substrate_arg =
+  let doc =
+    "Execution substrate: sim (default; deterministic cooperative \
+     simulator) or domains (every mutator and the collector on its own \
+     OCaml domain — real atomics, real wall clock, schedules not \
+     reproducible)."
+  in
+  Arg.(value & opt string "sim" & info [ "substrate" ] ~doc)
+
+let mutators_arg =
+  let doc =
+    "Override the workload's mutator thread count (e.g. for domain-count \
+     sweeps)."
+  in
+  Arg.(value & opt (some int) None & info [ "mutators" ] ~docv:"N" ~doc)
+
+let parse_substrate = function
+  | "sim" -> Ok Otfgc_sched.Substrate.Sim
+  | "domains" -> Ok Otfgc_sched.Substrate.Domains
+  | s -> Error (`Msg (Printf.sprintf "unknown substrate %S (sim|domains)" s))
+
 let parse_workload name =
   match Profile.find name with
   | Some p -> Ok p
@@ -171,21 +192,33 @@ let run_cmd =
     let doc = "Print the collector's phase-event timeline after the run." in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run workload mode card young scale seed trace telemetry trace_out
-      sample_every =
+  let run workload mode card young scale seed substrate mutators trace
+      telemetry trace_out sample_every =
     match parse_workload workload with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok profile -> (
         match parse_mode ~young mode with
         | Error (`Msg m) -> prerr_endline m; 1
-        | Ok gc ->
+        | Ok gc -> (
+          match parse_substrate substrate with
+          | Error (`Msg m) -> prerr_endline m; 1
+          | Ok substrate ->
             let heap = heap_of_card card in
+            let t0 = Unix.gettimeofday () in
             let r, rt =
-              Driver.run_rt ~heap ~seed ~scale
+              Driver.run_rt ~heap ~seed ~scale ~substrate ?threads:mutators
                 ~instrument:
                   (instrument_for ~trace ~telemetry ~trace_out ~sample_every)
                 ~gc profile
             in
+            if substrate = Otfgc_sched.Substrate.Domains then
+              Printf.printf
+                "domains substrate: %.2f s wall, %d mutator domain(s) + \
+                 collector\n"
+                (Unix.gettimeofday () -. t0)
+                (match mutators with
+                | Some n -> n
+                | None -> profile.Profile.threads);
             Format.printf "%a@." Run_result.pp r;
             if telemetry then begin
               print_newline ();
@@ -204,14 +237,14 @@ let run_cmd =
             Option.iter
               (write_trace rt ~workload:profile.Profile.name)
               trace_out;
-            0)
+            0))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one collector and print its summary.")
     Term.(
       const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
-      $ seed_arg $ trace_arg $ telemetry_arg $ trace_out_arg
-      $ sample_every_arg ~default:0)
+      $ seed_arg $ substrate_arg $ mutators_arg $ trace_arg $ telemetry_arg
+      $ trace_out_arg $ sample_every_arg ~default:0)
 
 (* ------------------------------------------------------------------ *)
 (* gcsim compare                                                       *)

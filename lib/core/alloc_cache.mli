@@ -1,0 +1,49 @@
+(** Per-mutator allocation cache for the real-domains substrate.
+
+    The simulator's allocation path takes one free-list pop per object;
+    under real domains that would serialise every mutator on the heap
+    lock.  Instead each mutator keeps a small cache of {e reserved}
+    blocks — popped from the shared free list in batches under the lock,
+    held as kind-[Allocated]/color-[Blue] sentinels the sweep skips — and
+    the hot path hands out cached blocks with no synchronisation at all
+    (the cache is owned by exactly one domain).
+
+    The cache also batches the heap's allocation counters: issued bytes
+    and objects accumulate in [pending] and are flushed under the heap
+    lock at each refill and at retirement, so the shared totals are exact
+    at quiescence without a per-allocation atomic.
+
+    Blocks are binned by size in granules; only small sizes (under
+    {!max_cached_bytes}) are cached — larger requests fall through to the
+    locked slow path, exactly like a TLAB overflow allocation. *)
+
+type t
+
+val create : unit -> t
+
+val max_cached_bytes : int
+(** Requests at or above this size bypass the cache. *)
+
+val cacheable : size:int -> bool
+
+val get : t -> size:int -> int option
+(** Pop a reserved block of exactly [size] bytes, if one is cached. *)
+
+val put : t -> size:int -> int -> unit
+(** Add a reserved block (called during refill, under the heap lock). *)
+
+val level : t -> size:int -> int
+(** Cached blocks of the given size class. *)
+
+val note_issued : t -> bytes:int -> unit
+(** Record one object issued from the cache ([bytes] = its block size);
+    accumulates into the pending counters. *)
+
+val take_pending : t -> int * int
+(** [(bytes, objects)] issued since the last call, and reset.  Flush the
+    result into {!Otfgc_heap.Heap.add_alloc_stats} under the heap lock. *)
+
+val drain : t -> (int -> unit) -> unit
+(** Empty every bin, passing each still-reserved block to the callback
+    (which returns it to the free list under the heap lock).  Called at
+    mutator retirement. *)

@@ -6,7 +6,7 @@ module Age_table = Otfgc_heap.Age_table
 module Page_set = Otfgc_heap.Page_set
 module Remset = Otfgc_heap.Remset
 module Layout = Otfgc_heap.Layout
-module Sched = Otfgc_sched.Sched
+module Substrate = Otfgc_sched.Substrate
 open State
 
 let mode_of st = st.cfg.Gc_config.mode
@@ -45,8 +45,10 @@ let is_old st x = Color.equal (Heap.color st.heap x) Color.Black
    toggle).  Figure 4 (aging) and the non-generational DLG barrier shade
    the clear color only.  A scheduling point sits between the color load
    and the gray store: the paper's machine model only makes individual
-   loads and stores atomic. *)
-let mark_gray st ~sync x =
+   loads and stores atomic.  [tel] is the caller-context telemetry —
+   per-mutator under real domains when a barrier shades, shared when the
+   collector does. *)
+let mark_gray st ~tel ~sync x =
   if x = Heap.nil then false
   else begin
     let c = Heap.color st.heap x in
@@ -61,7 +63,11 @@ let mark_gray st ~sync x =
              false)
     in
     if clearish || yellow then begin
-      if yellow then Telemetry.hit_yellow st.telemetry;
+      if yellow then Telemetry.hit_yellow tel;
+      (* Shade, then publish.  Under real domains the color write is
+         plain but the push's mutex release orders it before any
+         collector pop (see Gray_queue); duplicate pushes from racing
+         shaders are tolerated — the trace re-checks colors. *)
       Heap.set_color st.heap x Color.Gray;
       Gray_queue.push st.gray x;
       true
@@ -69,20 +75,21 @@ let mark_gray st ~sync x =
     else false
   end
 
-let charged_mark_gray st ~charge ~sync x =
-  if mark_gray st ~sync x then charge Cost.c_mark_gray
+let charged_mark_gray st ~charge ~tel ~sync x =
+  if mark_gray st ~tel ~sync x then charge Cost.c_mark_gray
 
 (* Collector-side charge that also paces the collector process: one yield
    per ~8 work units, so scheduled time advances proportionally to the
    cost model on both sides — the collector owns a CPU and is not slower
-   per unit of work than the mutators it runs beside. *)
+   per unit of work than the mutators it runs beside.  (On the domains
+   substrate the yield point is free — the hardware paces for real.) *)
 let charge_tick st k =
   Cost.collector st.cost k;
   Observatory.maybe_sample st;
   st.collector_tick <- st.collector_tick + k;
   if st.collector_tick >= st.collector_speed then begin
     st.collector_tick <- 0;
-    Sched.yield ()
+    Substrate.yield ()
   end
 
 (* Phase-transition and mutator-event log entry (no cost: observability
@@ -97,13 +104,15 @@ let emit st phase =
 (* Mutator side: dirty the card holding the object's header.  With 16-byte
    cards this is the paper's "object marking".  The card-cache model
    charges the locality cost of touching a scattered card table
-   (Section 8.5.3). *)
-let mutator_mark_card st x =
+   (Section 8.5.3) — a simulated-cost artifact, skipped under real domains
+   where the hardware's own cache does the charging and the model's shared
+   state would race. *)
+let mutator_mark_card st ~cost ~tel x =
   let cards = Heap.cards st.heap in
   let idx = Card_table.card_of_addr cards x in
-  let hit = Card_cache.access st.card_cache idx in
-  Telemetry.hit_card_mark st.telemetry;
-  Cost.mutator_cat st.cost Cost.Card_mark
+  let hit = if st.parallel then true else Card_cache.access st.card_cache idx in
+  Telemetry.hit_card_mark tel;
+  Cost.mutator_cat cost Cost.Card_mark
     (Cost.c_mark_card + if hit then 0 else Cost.c_card_miss);
   State.step st;
   Card_table.mark_card cards idx
@@ -111,32 +120,37 @@ let mutator_mark_card st x =
 (* Remembered-set alternative (Section 3.1 ablation): remember the exact
    object instead of dirtying its card.  The dedup flag sits in a side
    table with the same locality concerns as the card table. *)
-let mutator_record_remset st x =
+let mutator_record_remset st ~cost ~tel x =
   let rs = Heap.remset st.heap in
-  let hit = Card_cache.access st.remset_cache (Layout.granule_index x) in
-  Cost.mutator_cat st.cost Cost.Card_mark
+  let hit =
+    if st.parallel then true
+    else Card_cache.access st.remset_cache (Layout.granule_index x)
+  in
+  Cost.mutator_cat cost Cost.Card_mark
     (Cost.c_remset_test + if hit then 0 else Cost.c_card_miss);
   State.step st;
   if Remset.record rs x then begin
-    Telemetry.hit_remset_record st.telemetry;
-    Cost.mutator_cat st.cost Cost.Card_mark Cost.c_remset_append
+    Telemetry.hit_remset_record tel;
+    Cost.mutator_cat cost Cost.Card_mark Cost.c_remset_append
   end
 
 (* Inter-generational tracking as configured (simple promotion only). *)
-let track_intergen st x =
+let track_intergen st ~cost ~tel x =
   match st.cfg.Gc_config.intergen with
-  | Gc_config.Card_marking -> mutator_mark_card st x
-  | Gc_config.Remembered_set -> mutator_record_remset st x
+  | Gc_config.Card_marking -> mutator_mark_card st ~cost ~tel x
+  | Gc_config.Remembered_set -> mutator_record_remset st ~cost ~tel x
 
 (* ------------------------------------------------------------------ *)
 (* The write barrier: Update (Figure 1 / Figure 4)                     *)
 (* ------------------------------------------------------------------ *)
 
 let update st m ~x ~i ~y =
-  Telemetry.hit_barrier st.telemetry;
-  Cost.mutator_cat st.cost Cost.Barrier_fast Cost.c_barrier_check;
+  let cost = State.mcost st m in
+  let tel = State.mtelemetry st m in
+  Telemetry.hit_barrier tel;
+  Cost.mutator_cat cost Cost.Barrier_fast Cost.c_barrier_check;
   Observatory.maybe_sample st;
-  let charge = Cost.mutator_cat st.cost Cost.Barrier_slow in
+  let charge = Cost.mutator_cat cost Cost.Barrier_slow in
   let in_sync = not (Status.equal (Mutator.status m) Status.Async) in
   (match mode_of st with
   | Gc_config.Non_generational ->
@@ -145,17 +159,17 @@ let update st m ~x ~i ~y =
       if in_sync then begin
         let old = Heap.get_slot st.heap x i in
         State.step st;
-        charged_mark_gray st ~charge ~sync:true old;
-        charged_mark_gray st ~charge ~sync:true y
+        charged_mark_gray st ~charge ~tel ~sync:true old;
+        charged_mark_gray st ~charge ~tel ~sync:true y
       end
-      else if st.tracing then begin
+      else if Atomic.get st.tracing then begin
         let old = Heap.get_slot st.heap x i in
         State.step st;
-        charged_mark_gray st ~charge ~sync:false old
+        charged_mark_gray st ~charge ~tel ~sync:false old
       end;
       State.step st;
       Heap.set_slot st.heap x i y;
-      Cost.mutator st.cost Cost.c_store
+      Cost.mutator cost Cost.c_store
   | Gc_config.Generational ->
       (* Figure 1: card marking only during async (Section 7.1); the
          sync1/sync2 graying of both values — including yellow ones via
@@ -164,59 +178,66 @@ let update st m ~x ~i ~y =
       if in_sync then begin
         let old = Heap.get_slot st.heap x i in
         State.step st;
-        charged_mark_gray st ~charge ~sync:true old;
-        charged_mark_gray st ~charge ~sync:true y
+        charged_mark_gray st ~charge ~tel ~sync:true old;
+        charged_mark_gray st ~charge ~tel ~sync:true y
       end
-      else if st.tracing then begin
+      else if Atomic.get st.tracing then begin
         let old = Heap.get_slot st.heap x i in
         State.step st;
-        charged_mark_gray st ~charge ~sync:false old;
-        track_intergen st x
+        charged_mark_gray st ~charge ~tel ~sync:false old;
+        track_intergen st ~cost ~tel x
       end
-      else track_intergen st x;
+      else track_intergen st ~cost ~tel x;
       State.step st;
       Heap.set_slot st.heap x i y;
-      Cost.mutator st.cost Cost.c_store
+      Cost.mutator cost Cost.c_store
   | Gc_config.Generational_aging _ | Gc_config.Generational_adaptive ->
       (* Figure 4: cards are marked in every phase, and strictly after the
-         store — the ordering half of the Section 7.2 race argument. *)
+         store — the ordering half of the Section 7.2 race argument.
+         Under real domains the card mark is an atomic (SC) store, so the
+         plain slot store above it cannot be reordered past it. *)
       if in_sync then begin
         let old = Heap.get_slot st.heap x i in
         State.step st;
-        charged_mark_gray st ~charge ~sync:true old;
-        charged_mark_gray st ~charge ~sync:true y
+        charged_mark_gray st ~charge ~tel ~sync:true old;
+        charged_mark_gray st ~charge ~tel ~sync:true y
       end
-      else if st.tracing then begin
+      else if Atomic.get st.tracing then begin
         let old = Heap.get_slot st.heap x i in
         State.step st;
-        charged_mark_gray st ~charge ~sync:false old
+        charged_mark_gray st ~charge ~tel ~sync:false old
       end;
       State.step st;
       Heap.set_slot st.heap x i y;
-      Cost.mutator st.cost Cost.c_store;
-      mutator_mark_card st x)
+      Cost.mutator cost Cost.c_store;
+      mutator_mark_card st ~cost ~tel x)
 
 (* ------------------------------------------------------------------ *)
 (* Cooperate (Figure 1)                                                *)
 (* ------------------------------------------------------------------ *)
 
 let cooperate st m =
-  Cost.mutator_cat st.cost Cost.Barrier_fast Cost.c_cooperate;
-  if not (Status.equal (Mutator.status m) st.status_c) then begin
-    let target = st.status_c in
+  let cost = State.mcost st m in
+  Cost.mutator_cat cost Cost.Barrier_fast Cost.c_cooperate;
+  if not (Status.equal (Mutator.status m) (Atomic.get st.status_c)) then begin
+    let tel = State.mtelemetry st m in
+    let target = Atomic.get st.status_c in
     if Status.equal (Mutator.status m) Status.Sync2 then
       (* Responding to the third handshake: mark own roots gray.  The
          mutator is still in sync2 here, so in [Generational] mode the
          yellow exception applies to its roots as well. *)
       Mutator.iter_roots m (fun r ->
-          Cost.mutator_cat st.cost Cost.Barrier_slow Cost.c_root;
+          Cost.mutator_cat cost Cost.Barrier_slow Cost.c_root;
           State.step st;
           charged_mark_gray st
-            ~charge:(Cost.mutator_cat st.cost Cost.Barrier_slow)
-            ~sync:true r);
+            ~charge:(Cost.mutator_cat cost Cost.Barrier_slow)
+            ~tel ~sync:true r);
     State.step st;
+    (* The ack: an atomic store, so under real domains the root-marking
+       writes above are published to the collector's wait_handshake
+       poll. *)
     Mutator.set_status m target;
-    Telemetry.hit_ack st.telemetry;
+    Telemetry.hit_ack tel;
     if Event_log.enabled st.events then
       emit st (Event_log.Mutator_ack { mid = Mutator.id m; status = target })
   end
@@ -241,7 +262,9 @@ let allocation_color st =
          object created before the first handshake is never traced, and
          root marking does not shade it, so the clear chain hanging off it
          is reclaimed while reachable. *)
-      if st.tracing || st.sweeping then st.allocation_color else st.clear_color
+      if Atomic.get st.tracing || Atomic.get st.sweeping then
+        st.allocation_color
+      else st.clear_color
   | Gc_config.Generational | Gc_config.Generational_aging _
   | Gc_config.Generational_adaptive ->
       st.allocation_color
@@ -253,23 +276,27 @@ let allocation_color st =
 let post_handshake st s =
   Cost.set_phase st.cost Cost.Handshake;
   Cost.collector st.cost
-    (Cost.c_handshake * (1 + List.length (State.active_mutators st)));
-  Sched.yield ();
-  st.status_c <- s;
+    (Cost.c_handshake * (1 + State.count_active_mutators st));
+  Substrate.yield ();
+  (* The post is the release store every mutator's cooperate acquires:
+     whatever the collector wrote before (color toggles, card clears) is
+     visible to a mutator once it has adopted [s]. *)
+  Atomic.set st.status_c s;
   (* The latency sample and the event share one timestamp, so the recorded
      latency equals the posted->complete event gap exactly. *)
-  let at = Cost.elapsed_multi st.cost in
+  let at = State.now_units st in
   Telemetry.handshake_posted st.telemetry ~at;
   Event_log.emit st.events ~at (Event_log.Handshake_posted s)
 
 let wait_handshake st =
-  Sched.wait_until (fun () ->
-      List.for_all
-        (fun m -> Status.equal (Mutator.status m) st.status_c)
-        (State.active_mutators st));
-  let at = Cost.elapsed_multi st.cost in
-  Telemetry.handshake_completed st.telemetry st.status_c ~at;
-  Event_log.emit st.events ~at (Event_log.Handshake_complete st.status_c)
+  Substrate.wait_until (fun () ->
+      let target = Atomic.get st.status_c in
+      State.for_all_active_mutators st (fun m ->
+          Status.equal (Mutator.status m) target));
+  let at = State.now_units st in
+  Telemetry.handshake_completed st.telemetry (Atomic.get st.status_c) ~at;
+  Event_log.emit st.events ~at
+    (Event_log.Handshake_complete (Atomic.get st.status_c))
 
 let switch_allocation_clear_colors st =
   (* Two separate stores, as in Figure 3; a mutator allocating between them
@@ -296,7 +323,11 @@ let touch_card_table_scan st n =
    (old) objects on it, seeding the partial trace with the sources of all
    potential inter-generational pointers.  Marks can be cleared
    unconditionally: every survivor is promoted, so surviving
-   inter-generational pointers become intra-generational. *)
+   inter-generational pointers become intra-generational.
+
+   The heap lock (parallel mode only) brackets each dirty card's object
+   walk: [iter_objects_on_card] reads the block structure, which mutator
+   cache refills may be splitting concurrently. *)
 let clear_cards_simple st cycle =
   Cost.set_phase st.cost Cost.Card_scan;
   let heap = st.heap in
@@ -312,6 +343,7 @@ let clear_cards_simple st cycle =
       charge_tick st Cost.c_card_visit;
       Card_table.clear_card cards card;
       State.step st;
+      State.lock_heap st;
       Heap.iter_objects_on_card heap card (fun x ->
           charge_tick st Cost.c_card_obj;
           Page_set.touch_range st.pages x Layout.granule;
@@ -326,7 +358,8 @@ let clear_cards_simple st cycle =
             Heap.set_color heap x Color.Gray;
             Gray_queue.push st.gray x;
             Cost.collector st.cost Cost.c_mark_gray
-          end)
+          end);
+      State.unlock_heap st
     end
   done
 
@@ -365,6 +398,7 @@ let clear_cards_aging st cycle =
          clears the card's mark" — requires this wider check, and the
          narrower one demonstrably loses objects: see test_props.ml.) *)
       let has_young = ref false in
+      State.lock_heap st;
       Heap.iter_objects_on_card heap card (fun x ->
           charge_tick st Cost.c_card_obj;
           Page_set.touch_range st.pages x Layout.granule;
@@ -386,13 +420,14 @@ let clear_cards_aging st cycle =
             if y <> Heap.nil then begin
               if old then begin
                 charged_mark_gray st ~charge:(Cost.collector st.cost)
-                  ~sync:false y;
+                  ~tel:st.telemetry ~sync:false y;
                 Page_set.touch_color st.pages y
               end;
               Page_set.touch_age st.pages y;
               if not (is_old st y) then has_young := true
             end
           done);
+      State.unlock_heap st;
       (* Step 3: keep the mark consistent with what the scan found. *)
       if naive then begin
         if not !has_young then begin
@@ -426,6 +461,7 @@ let scan_remset_simple st cycle =
       State.step st;
       (* entries can be stale: the recorded object may have died in the
          previous cycle (its dedup flag was dropped at free time) *)
+      State.lock_heap st;
       if Heap.is_object heap x && Color.equal (Heap.color heap x) Color.Black
       then begin
         cycle.Gc_stats.intergen_scanned <- cycle.Gc_stats.intergen_scanned + 1;
@@ -436,7 +472,8 @@ let scan_remset_simple st cycle =
         Heap.set_color heap x Color.Gray;
         Gray_queue.push st.gray x;
         Cost.collector st.cost Cost.c_mark_gray
-      end)
+      end;
+      State.unlock_heap st)
     entries
 
 let clear_cards st cycle =
@@ -458,7 +495,13 @@ let clear_cards st cycle =
    sweep.  The simple algorithm also wipes the card table (all pointers
    become intra-generational); the aging algorithm keeps the dirty bits —
    old objects stay old through a full collection, so their
-   inter-generational pointers remain relevant (Section 6). *)
+   inter-generational pointers remain relevant (Section 6).
+
+   Parallel mode takes the heap lock per block step: refills split blocks
+   ahead of the cursor, but a split only introduces boundaries and the
+   end boundary of the current block survives, so the cursor advance
+   stays valid across the unlock (the same argument the sweep relies
+   on). *)
 let init_full_collection st ~clear_card_marks =
   Cost.set_phase st.cost Cost.Clear;
   let heap = st.heap in
@@ -466,6 +509,7 @@ let init_full_collection st ~clear_card_marks =
   let addr = ref 0 in
   while !addr < Heap.capacity heap do
     charge_tick st 2;
+    State.lock_heap st;
     (* header-to-header walk: the cursor is a block start by construction,
        so the bounds-check-free accessors apply *)
     let size = Space.unsafe_size space !addr in
@@ -475,6 +519,7 @@ let init_full_collection st ~clear_card_marks =
        if Color.equal c Color.Black || Color.equal c Color.Gray then
          Heap.set_color heap !addr st.allocation_color
      end);
+    State.unlock_heap st;
     addr := !addr + size
   done;
   if clear_card_marks then
@@ -515,7 +560,8 @@ let mark_black st cycle x =
       let y = Heap.get_slot heap x i in
       State.step st;
       if y <> Heap.nil then begin
-        charged_mark_gray st ~charge:(Cost.collector st.cost) ~sync:false y;
+        charged_mark_gray st ~charge:(Cost.collector st.cost)
+          ~tel:st.telemetry ~sync:false y;
         Page_set.touch_color st.pages y
       end
     done;
@@ -562,9 +608,13 @@ let sweep st cycle =
   let tenure = survivals_to_tenure st in
   let addr = ref 0 in
   while !addr < Heap.capacity heap do
+    State.lock_heap st;
     (* header-to-header walk, so the bounds-check-free accessors apply;
        merge_free_prev and free only ever move block boundaries at or
-       before the cursor, never ahead of it *)
+       before the cursor, never ahead of it.  In parallel mode the lock
+       covers one block step; a refill splitting a free block ahead of
+       the cursor between steps preserves this block's end boundary, so
+       the advance below stays a block start. *)
     let size = Space.unsafe_size space !addr in
     (* sweeping is linear in bytes: header cost plus a per-64-byte term *)
     charge_tick st (Cost.c_sweep_block + (size / 64));
@@ -576,7 +626,11 @@ let sweep st cycle =
     | Space.Allocated ->
         Page_set.touch_color st.pages x;
         let c = Heap.color heap x in
-        if Color.equal c st.clear_color then begin
+        if Color.equal c Color.Blue then
+          (* a reserved block in some mutator's allocation cache (real
+             domains only): not an object yet — leave it alone *)
+          ()
+        else if Color.equal c st.clear_color then begin
           charge_tick st Cost.c_free;
           cycle.Gc_stats.objects_freed <- cycle.Gc_stats.objects_freed + 1;
           cycle.Gc_stats.bytes_freed <- cycle.Gc_stats.bytes_freed + size;
@@ -624,6 +678,7 @@ let sweep st cycle =
                 Cost.collector st.cost 1
               end
         end);
+    State.unlock_heap st;
     addr := !addr + size
   done
 
@@ -635,15 +690,18 @@ let sweep st cycle =
    moment the trace is about to start (out of band: no cost, no pages, no
    yields).  Taken after the color toggle, so "% freed in partial
    collections" (Figure 12) has a well-defined denominator that later
-   allocations (yellow) cannot perturb. *)
+   allocations (yellow) cannot perturb.  Reserved cache blocks are
+   allocated-but-Blue and never clear-colored, so they do not count. *)
 let census st cycle =
   let heap = st.heap in
   let young_o = ref 0 and young_b = ref 0 in
+  State.lock_heap st;
   Heap.iter_objects heap (fun x ->
       if Color.equal (Heap.color heap x) st.clear_color then begin
         incr young_o;
         young_b := !young_b + Heap.size heap x
       end);
+  State.unlock_heap st;
   cycle.Gc_stats.young_objects_at_start <- !young_o;
   cycle.Gc_stats.young_bytes_at_start <- !young_b
 
@@ -658,10 +716,15 @@ let run_cycle st ~full =
     | Gc_config.Non_generational -> Gc_stats.Non_gen
     | _ -> if full then Gc_stats.Full else Gc_stats.Partial
   in
-  st.collecting <- true;
-  st.gc_request <- No_request;
-  let window_bytes = st.bytes_since_gc in
-  st.bytes_since_gc <- 0;
+  (* Raising [collecting] under the registration lock fences out a
+     mutator mid-registration: after this, newcomers wait for the cycle
+     to finish (Runtime.new_mutator), so the handshake set is stable
+     modulo retirement. *)
+  if st.parallel then Mutex.lock st.reg_lock;
+  Atomic.set st.collecting true;
+  if st.parallel then Mutex.unlock st.reg_lock;
+  Atomic.set st.gc_request No_request;
+  let window_bytes = Atomic.exchange st.bytes_since_gc 0 in
   let cycle = Gc_stats.begin_cycle st.stats kind in
   (* Figure 22 reports dirty cards as a percentage of "allocated cards":
      the cards covered by the allocation window since the last collection. *)
@@ -716,14 +779,15 @@ let run_cycle st ~full =
       end);
   wait_handshake st;
   census st cycle;
-  st.tracing <- true;
+  Atomic.set st.tracing true;
   post_handshake st Status.Async;
   (* mark global roots (attributed to the trace: they seed it) *)
   Cost.set_phase st.cost Cost.Trace;
   List.iter
     (fun g ->
       charge_tick st Cost.c_root;
-      charged_mark_gray st ~charge:(Cost.collector st.cost) ~sync:false g)
+      charged_mark_gray st ~charge:(Cost.collector st.cost) ~tel:st.telemetry
+        ~sync:false g)
     st.globals;
   wait_handshake st;
   (* trace *)
@@ -733,8 +797,8 @@ let run_cycle st ~full =
      create color never observes a gap between the two phases (a clear
      object created in such a gap, held only in a register, would be
      reclaimed by this very sweep). *)
-  st.sweeping <- true;
-  st.tracing <- false;
+  Atomic.set st.sweeping true;
+  Atomic.set st.tracing false;
   (* sweep *)
   sweep st cycle;
   emit st
@@ -753,7 +817,7 @@ let run_cycle st ~full =
          the new mark color — it floats for one cycle, harmlessly. *)
       switch_allocation_clear_colors st
   | _ -> ());
-  st.sweeping <- false;
+  Atomic.set st.sweeping false;
   (* Dynamic tenuring (Section 6's future-work hook): promote sooner when
      virtually everything young dies (survivors are proven long-lived);
      let objects age longer when many survive their first collection (they
@@ -776,26 +840,32 @@ let run_cycle st ~full =
   cycle.Gc_stats.work <- Cost.collector_work st.cost - work0;
   cycle.Gc_stats.active_span <- Cost.elapsed_multi st.cost - elapsed0;
   cycle.Gc_stats.pages_touched <- Page_set.count st.pages;
+  State.lock_heap st;
   cycle.Gc_stats.live_objects_at_end <- Heap.object_count st.heap;
   cycle.Gc_stats.live_bytes_at_end <- Heap.allocated_bytes st.heap;
+  State.unlock_heap st;
   (* Floating garbage the sweep left behind, measured out of band (the
      oracle charges no cost and never yields, so the schedule is
      untouched).  No scheduling point separates this from the sweep's
      last block, so the measure is exactly "what this cycle failed to
-     reclaim", not garbage the mutators create later in the window. *)
-  List.iter
-    (fun x ->
-      cycle.Gc_stats.floating_objects <- cycle.Gc_stats.floating_objects + 1;
-      cycle.Gc_stats.floating_bytes <-
-        cycle.Gc_stats.floating_bytes + Heap.size st.heap x)
-    (Oracle.garbage st);
+     reclaim", not garbage the mutators create later in the window.
+     Simulator only: under real domains the mutators keep running, so
+     there is no consistent snapshot to take — the cross-check instead
+     runs the oracle at quiescence (see Driver). *)
+  if not st.parallel then
+    List.iter
+      (fun x ->
+        cycle.Gc_stats.floating_objects <- cycle.Gc_stats.floating_objects + 1;
+        cycle.Gc_stats.floating_bytes <-
+          cycle.Gc_stats.floating_bytes + Heap.size st.heap x)
+      (Oracle.garbage st);
   (* Pause-free progress: mutator work performed while this cycle ran. *)
   Telemetry.record_progress st.telemetry
     (Cost.mutator_work st.cost - mutator_work0);
   Cost.set_phase st.cost Cost.Idle;
   Gc_stats.end_cycle st.stats cycle;
   st.cur_cycle <- None;
-  st.collecting <- false;
+  Atomic.set st.collecting false;
   (* Post-cycle growth towards the maximum (the paper's 1 MB -> 32 MB):
      (a) keep a fraction of the capacity free — the baseline headroom
      heuristic, identical for every collector; (b) for the generational
@@ -816,19 +886,26 @@ let run_cycle st ~full =
   (* GC-overhead bound (any collector): collections firing more than twice
      per young-generation window mean the heap is thrashing — grow. *)
   let thrashing = window_bytes < young / 2 in
-  if Heap.free_bytes st.heap < need || premature_full || thrashing then
-    (* grow by half steps: finer capacity granularity keeps trigger
-       windows from jumping discontinuously *)
-    if Heap.grow st.heap ~want_bytes:(Stdlib.max (cap / 2) 65536) then
-      emit st (Event_log.Heap_grown { capacity = Heap.capacity st.heap });
+  (if Heap.free_bytes st.heap < need || premature_full || thrashing then begin
+     (* grow by half steps: finer capacity granularity keeps trigger
+        windows from jumping discontinuously *)
+     State.lock_heap st;
+     let grown = Heap.grow st.heap ~want_bytes:(Stdlib.max (cap / 2) 65536) in
+     State.unlock_heap st;
+     if grown then
+       emit st (Event_log.Heap_grown { capacity = Heap.capacity st.heap })
+   end);
   emit st Event_log.Cycle_end;
   cycle
 
 let collector_loop st =
-  while not st.shutdown do
-    Sched.wait_until (fun () -> st.shutdown || st.gc_request <> No_request);
-    if not st.shutdown then begin
-      let full = match st.gc_request with Want_full -> true | _ -> false in
+  while not (Atomic.get st.shutdown) do
+    Substrate.wait_until (fun () ->
+        Atomic.get st.shutdown || Atomic.get st.gc_request <> No_request);
+    if not (Atomic.get st.shutdown) then begin
+      let full =
+        match Atomic.get st.gc_request with Want_full -> true | _ -> false
+      in
       ignore (run_cycle st ~full : Gc_stats.cycle)
     end
   done

@@ -51,11 +51,12 @@ val collector_loop : State.t -> unit
 
 (** {2 Exposed for tests} *)
 
-val mark_gray : State.t -> sync:bool -> int -> bool
+val mark_gray : State.t -> tel:Telemetry.t -> sync:bool -> int -> bool
 (** The [MarkGray] routine; [sync] is the caller's "my status is not
     async" flag (enables the yellow-graying exception in [Generational]
-    mode).  Returns whether the object was shaded.  No cost is charged —
-    callers do. *)
+    mode); [tel] is the caller-context telemetry (the shared ledger under
+    the simulator).  Returns whether the object was shaded.  No cost is
+    charged — callers do. *)
 
 val clear_cards : State.t -> Gc_stats.cycle -> unit
 (** The card-scanning routine of the current mode (Figure 3 or Figure 6),

@@ -93,6 +93,20 @@ let elapsed_multi t = t.mutator_work + t.collector_work + t.stall_work
    collector, but nothing else makes progress, so stalls weigh double. *)
 let elapsed_uni t = t.mutator_work + t.collector_work + (2 * t.stall_work)
 
+(* Fold a per-mutator ledger (real-domains substrate) into the shared
+   one.  Work adds linearly, so the merged totals equal what a single
+   shared ledger would have accumulated without the races. *)
+let merge_into ~src ~dst =
+  dst.mutator_work <- dst.mutator_work + src.mutator_work;
+  dst.collector_work <- dst.collector_work + src.collector_work;
+  dst.stall_work <- dst.stall_work + src.stall_work;
+  for i = 0 to n_phases - 1 do
+    dst.by_phase.(i) <- dst.by_phase.(i) + src.by_phase.(i)
+  done;
+  for i = 0 to n_categories - 1 do
+    dst.by_category.(i) <- dst.by_category.(i) + src.by_category.(i)
+  done
+
 let reset t =
   t.mutator_work <- 0;
   t.collector_work <- 0;

@@ -93,6 +93,11 @@ val elapsed_uni : t -> int
 val reset : t -> unit
 (** Zero the ledger (end-of-warmup measurement reset). *)
 
+val merge_into : src:t -> dst:t -> unit
+(** Add every counter of [src] into [dst] ([src] unchanged).  The
+    real-domains substrate gives each mutator its own ledger to avoid
+    racy increments and folds them into the shared one at end of run. *)
+
 (** {2 Cost constants}
 
     Rough relative magnitudes; what matters for the reproduced figures is

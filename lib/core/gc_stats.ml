@@ -35,13 +35,20 @@ type cycle = {
   mutable floating_bytes : int;
 }
 
-type t = { mutable completed : cycle list; mutable next_seq : int }
+type t = {
+  mutable completed : cycle list;
+  mutable next_seq : int;
+  (* Completed-cycle count, readable without synchronisation from other
+     domains (the list itself is only prefix-consistent under races). *)
+  n_done : int Atomic.t;
+}
 
-let create () = { completed = []; next_seq = 0 }
+let create () = { completed = []; next_seq = 0; n_done = Atomic.make 0 }
 
 let reset t =
   t.completed <- [];
-  t.next_seq <- 0
+  t.next_seq <- 0;
+  Atomic.set t.n_done 0
 
 let begin_cycle t kind =
   let c =
@@ -70,7 +77,11 @@ let begin_cycle t kind =
   t.next_seq <- t.next_seq + 1;
   c
 
-let end_cycle t c = t.completed <- c :: t.completed
+let end_cycle t c =
+  t.completed <- c :: t.completed;
+  Atomic.incr t.n_done
+
+let n_completed t = Atomic.get t.n_done
 
 let cycles t = List.rev t.completed
 

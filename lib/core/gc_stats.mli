@@ -76,6 +76,12 @@ val end_cycle : t -> cycle -> unit
 val cycles : t -> cycle list
 (** Completed cycles, oldest first. *)
 
+val n_completed : t -> int
+(** Number of completed cycles, as an atomic read — the form mutators on
+    the real-domains substrate poll while waiting for a cycle they
+    requested (the list in {!cycles} is only safe to read from the
+    collector's own domain or at quiescence). *)
+
 val count : t -> kind -> int
 
 val total_collector_work : t -> int

@@ -2,13 +2,28 @@
    stack, which allocated one minor-heap cell per shaded object; pushes
    and pops are now stores into a flat buffer that only the occasional
    doubling reallocates.  LIFO order is identical, so trace order — and
-   therefore every simulated figure — is unchanged. *)
+   therefore every simulated figure — is unchanged.
 
-type t = { mutable buf : int array; mutable size : int; mutable max_size : int }
+   Under the real-domains substrate mutators and the collector push and
+   pop concurrently, so the driver arms a mutex ([set_locked]); the
+   cooperative substrate leaves it off and pays nothing.  The mutex also
+   carries the publication ordering the DLG barrier needs: a mutator's
+   plain color-byte write (shading) happens-before its push's unlock,
+   which happens-before the collector's pop of the same entry. *)
 
-let create () = { buf = Array.make 64 0; size = 0; max_size = 0 }
+type t = {
+  mutable buf : int array;
+  mutable size : int;
+  mutable max_size : int;
+  mutable lock : Mutex.t option;
+}
 
-let push t x =
+let create () = { buf = Array.make 64 0; size = 0; max_size = 0; lock = None }
+
+let set_locked t v =
+  t.lock <- (if v then Some (Mutex.create ()) else None)
+
+let push_unlocked t x =
   let n = t.size in
   if n = Array.length t.buf then begin
     let bigger = Array.make (2 * n) 0 in
@@ -19,7 +34,7 @@ let push t x =
   t.size <- n + 1;
   if t.size > t.max_size then t.max_size <- t.size
 
-let pop t =
+let pop_unlocked t =
   if t.size = 0 then None
   else begin
     let n = t.size - 1 in
@@ -27,7 +42,39 @@ let pop t =
     Some (Array.unsafe_get t.buf n)
   end
 
-let is_empty t = t.size = 0
-let clear t = t.size <- 0
+let push t x =
+  match t.lock with
+  | None -> push_unlocked t x
+  | Some l ->
+      Mutex.lock l;
+      push_unlocked t x;
+      Mutex.unlock l
+
+let pop t =
+  match t.lock with
+  | None -> pop_unlocked t
+  | Some l ->
+      Mutex.lock l;
+      let r = pop_unlocked t in
+      Mutex.unlock l;
+      r
+
+let is_empty t =
+  match t.lock with
+  | None -> t.size = 0
+  | Some l ->
+      Mutex.lock l;
+      let r = t.size = 0 in
+      Mutex.unlock l;
+      r
+
+let clear t =
+  match t.lock with
+  | None -> t.size <- 0
+  | Some l ->
+      Mutex.lock l;
+      t.size <- 0;
+      Mutex.unlock l
+
 let size t = t.size
 let max_size t = t.max_size

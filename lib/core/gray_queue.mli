@@ -16,6 +16,14 @@
 type t
 
 val create : unit -> t
+
+val set_locked : t -> bool -> unit
+(** Arm (or disarm) an internal mutex around every operation.  Off by
+    default — the cooperative substrate's interleavings are already
+    one-step-atomic.  The real-domains driver arms it; the mutex then
+    also provides the release/acquire edge that publishes a shading
+    mutator's plain color write to the collector's trace. *)
+
 val push : t -> int -> unit
 val pop : t -> int option
 val is_empty : t -> bool

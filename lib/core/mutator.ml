@@ -3,11 +3,21 @@ let nil = Otfgc_heap.Heap.nil
 type t = {
   id : int;
   name : string;
-  mutable status : Status.t;
-  mutable active : bool;
+  (* Atomic so the real-domains substrate's three-handshake protocol is a
+     genuine wait-free poll: the collector reads every mutator's status
+     word, each mutator CASes only its own.  Under the cooperative
+     substrate the atomic is uncontended and the simulated schedule is
+     untouched (get/set are not yield points). *)
+  status : Status.t Atomic.t;
+  active : bool Atomic.t;
   regs : int array;
   mutable stack : int array;
   mutable sp : int;
+  (* Real-domains substrate extensions; unused (and cost-free) under the
+     cooperative substrate. *)
+  cache : Alloc_cache.t;
+  mutable own_cost : Cost.t option;
+  mutable own_telemetry : Telemetry.t option;
 }
 
 let create ~id ~name ~n_regs =
@@ -15,19 +25,30 @@ let create ~id ~name ~n_regs =
   {
     id;
     name;
-    status = Status.Async;
-    active = true;
+    status = Atomic.make Status.Async;
+    active = Atomic.make true;
     regs = Array.make n_regs nil;
     stack = Array.make 16 nil;
     sp = 0;
+    cache = Alloc_cache.create ();
+    own_cost = None;
+    own_telemetry = None;
   }
 
 let id t = t.id
 let name t = t.name
-let status t = t.status
-let set_status t s = t.status <- s
-let active t = t.active
-let retire t = t.active <- false
+let status t = Atomic.get t.status
+let set_status t s = Atomic.set t.status s
+let active t = Atomic.get t.active
+let retire t = Atomic.set t.active false
+
+let cache t = t.cache
+let own_cost t = t.own_cost
+let own_telemetry t = t.own_telemetry
+
+let set_own_ledgers t cost telemetry =
+  t.own_cost <- Some cost;
+  t.own_telemetry <- Some telemetry
 
 let n_regs t = Array.length t.regs
 let get_reg t i = t.regs.(i)

@@ -17,12 +17,34 @@ val id : t -> int
 val name : t -> string
 
 val status : t -> Status.t
+(** The handshake status word.  Stored in an [Atomic.t]: under the
+    real-domains substrate the collector polls it from another domain,
+    and the ack in [Cooperate] is the release store that publishes the
+    mutator's preceding root-marking writes. *)
+
 val set_status : t -> Status.t -> unit
 
 val active : t -> bool
-(** An inactive (retired) mutator no longer participates in handshakes. *)
+(** An inactive (retired) mutator no longer participates in handshakes.
+    Atomic, for the same cross-domain poll. *)
 
 val retire : t -> unit
+
+(** {2 Real-domains substrate extensions}
+
+    Unused under the cooperative substrate: the cache stays empty and the
+    ledgers stay [None], so simulated runs are bit-identical. *)
+
+val cache : t -> Alloc_cache.t
+(** This mutator's domain-local allocation cache. *)
+
+val own_cost : t -> Cost.t option
+val own_telemetry : t -> Telemetry.t option
+
+val set_own_ledgers : t -> Cost.t -> Telemetry.t -> unit
+(** Give the mutator private cost/telemetry ledgers (installed by
+    [Runtime.new_mutator] when the runtime is in parallel mode; folded
+    into the shared ledgers at end of run). *)
 
 (** {2 Registers} *)
 

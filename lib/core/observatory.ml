@@ -88,7 +88,8 @@ let sample st ~now =
   Timeseries.set ts Sampler.i_at now;
   Timeseries.set ts Sampler.i_phase
     (Cost.phase_index (Cost.current_phase st.cost));
-  Timeseries.set ts Sampler.i_collecting (if st.collecting then 1 else 0);
+  Timeseries.set ts Sampler.i_collecting
+    (if Atomic.get st.collecting then 1 else 0);
   Timeseries.set ts Sampler.i_capacity (Heap.capacity heap);
   Timeseries.set ts Sampler.i_allocated_bytes (Heap.allocated_bytes heap);
   Timeseries.set ts Sampler.i_blue_blocks !blue_n;

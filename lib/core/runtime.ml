@@ -1,5 +1,6 @@
 module Heap = Otfgc_heap.Heap
 module Sched = Otfgc_sched.Sched
+module Substrate = Otfgc_sched.Substrate
 open State
 
 exception Out_of_memory
@@ -21,23 +22,73 @@ let telemetry t = t.st.telemetry
 let sampler t = t.st.sampler
 
 let set_fine_grained t v = t.st.fine_grained <- v
+let set_parallel t v = t.st.parallel <- v; Gray_queue.set_locked t.st.gray v
 
+(* Registration must not race a cycle start: the handshake set has to be
+   stable from the moment [collecting] rises (a mutator registering
+   mid-handshake would either miss the posted status or be waited on
+   without ever having seen it).  The collector raises [collecting] under
+   [reg_lock] (Collector.run_cycle), so holding the lock and seeing
+   [collecting = false] guarantees no cycle can begin until we release —
+   the fresh mutator is published (status = Async = status_c) before any
+   handshake is posted.  Under the simulator the wait alone suffices, as
+   it always has: nothing runs between our check and the registration. *)
 let new_mutator t ~name ?(n_regs = 16) () =
-  if t.st.collecting then Sched.wait_until (fun () -> not t.st.collecting);
-  let m = Mutator.create ~id:t.next_mutator_id ~name ~n_regs in
-  t.next_mutator_id <- t.next_mutator_id + 1;
-  (* Idle collector means status_c = Async, matching the fresh mutator. *)
-  Mutator.set_status m t.st.status_c;
-  t.st.mutators <- t.st.mutators @ [ m ];
-  m
+  let st = t.st in
+  if st.parallel then begin
+    let made = ref None in
+    while !made = None do
+      Substrate.wait_until (fun () -> not (Atomic.get st.collecting));
+      Mutex.lock st.reg_lock;
+      if Atomic.get st.collecting then Mutex.unlock st.reg_lock
+      else begin
+        let m = Mutator.create ~id:t.next_mutator_id ~name ~n_regs in
+        t.next_mutator_id <- t.next_mutator_id + 1;
+        let c = Cost.create () in
+        let tel = Telemetry.create () in
+        Telemetry.set_enabled tel (Telemetry.enabled st.telemetry);
+        Mutator.set_own_ledgers m c tel;
+        Mutator.set_status m (Atomic.get st.status_c);
+        State.register_mutator st m;
+        Mutex.unlock st.reg_lock;
+        made := Some m
+      end
+    done;
+    Option.get !made
+  end
+  else begin
+    if Atomic.get st.collecting then
+      Sched.wait_until (fun () -> not (Atomic.get st.collecting));
+    let m = Mutator.create ~id:t.next_mutator_id ~name ~n_regs in
+    t.next_mutator_id <- t.next_mutator_id + 1;
+    (* Idle collector means status_c = Async, matching the fresh mutator. *)
+    Mutator.set_status m (Atomic.get st.status_c);
+    State.register_mutator st m;
+    m
+  end
 
-let retire_mutator _t m = Mutator.retire m
+let retire_mutator t m =
+  let st = t.st in
+  if st.parallel then begin
+    (* Return the allocation cache's reserved blocks and flush the batched
+       counters before the mutator stops participating — after [retire]
+       nobody would ever drain them. *)
+    let cache = Mutator.cache m in
+    State.lock_heap st;
+    Alloc_cache.drain cache (fun addr -> Heap.release_reserved st.heap addr);
+    let bytes, objects = Alloc_cache.take_pending cache in
+    if objects > 0 || bytes > 0 then
+      Heap.add_alloc_stats st.heap ~bytes ~objects;
+    State.unlock_heap st
+  end;
+  Mutator.retire m
 
 let spawn_collector t sched =
   Sched.spawn sched ~daemon:true ~name:"collector" (fun () ->
       Collector.collector_loop t.st)
 
-let shutdown t = t.st.shutdown <- true
+let collector_loop t = Collector.collector_loop t.st
+let shutdown t = Atomic.set t.st.shutdown true
 
 let cooperate t m = Collector.cooperate t.st m
 
@@ -45,31 +96,46 @@ let add_global t addr = t.st.globals <- addr :: t.st.globals
 
 let request_collection t ~full =
   let st = t.st in
-  if not st.collecting && st.gc_request = No_request then
-    st.gc_request <- (if full then Want_full else Want_partial)
+  if not (Atomic.get st.collecting) then
+    ignore
+      (Atomic.compare_and_set st.gc_request No_request
+         (if full then Want_full else Want_partial)
+        : bool)
+
+(* Busy-wait helper: under the simulator, cooperate-then-yield exactly as
+   the historical code did (schedules untouched); under domains, a
+   spin-then-sleep wait that still polls the handshake each iteration. *)
+let wait_while st m cond =
+  if st.parallel then
+    Substrate.wait_until (fun () ->
+        Collector.cooperate st m;
+        not (cond ()))
+  else
+    while cond () do
+      Collector.cooperate st m;
+      Sched.yield ()
+    done
 
 let collect_and_wait t m ~full =
   let st = t.st in
   (* Wait out any cycle already in progress so ours is a fresh one. *)
-  while st.collecting || st.gc_request <> No_request do
-    Collector.cooperate st m;
-    Sched.yield ()
-  done;
-  let n0 = List.length (Gc_stats.cycles st.stats) in
-  st.gc_request <- (if full then Want_full else Want_partial);
-  while List.length (Gc_stats.cycles st.stats) = n0 || st.collecting do
-    Collector.cooperate st m;
-    Sched.yield ()
-  done;
+  wait_while st m (fun () ->
+      Atomic.get st.collecting || Atomic.get st.gc_request <> No_request);
+  let n0 = Gc_stats.n_completed st.stats in
+  Atomic.set st.gc_request (if full then Want_full else Want_partial);
+  wait_while st m (fun () ->
+      Gc_stats.n_completed st.stats = n0 || Atomic.get st.collecting);
   List.nth (Gc_stats.cycles st.stats) n0
 
 (* Section 3.3 triggering: a partial collection once [young_bytes] have
    been allocated since the last collection; a full collection when the
    heap is "almost full" — the same full trigger with and without
-   generations (Section 8). *)
+   generations (Section 8).  The CAS posts the request only if none is
+   pending, which is exactly the old check-then-set under the simulator
+   and the required atomicity under domains. *)
 let maybe_trigger t =
   let st = t.st in
-  if (not st.collecting) && st.gc_request = No_request then begin
+  if not (Atomic.get st.collecting) then begin
     let cap = Heap.capacity st.heap in
     let almost_full =
       float_of_int (Heap.allocated_bytes st.heap)
@@ -78,19 +144,30 @@ let maybe_trigger t =
          collecting only when allocation actually fails; the fraction
          applies to current capacity, as in the prototype JVM *)
     in
-    if almost_full then st.gc_request <- Want_full
+    if almost_full then
+      ignore (Atomic.compare_and_set st.gc_request No_request Want_full : bool)
     else if
       Gc_config.is_generational st.cfg.Gc_config.mode
-      && st.bytes_since_gc >= st.cfg.Gc_config.young_bytes
-    then st.gc_request <- Want_partial
+      && Atomic.get st.bytes_since_gc >= st.cfg.Gc_config.young_bytes
+    then
+      ignore
+        (Atomic.compare_and_set st.gc_request No_request Want_partial : bool)
   end
 
 let try_alloc t ~size ~n_slots =
   let st = t.st in
+  State.lock_heap st;
   let color = Collector.allocation_color st in
-  Heap.alloc st.heap ~size ~n_slots ~color
+  let r = Heap.alloc st.heap ~size ~n_slots ~color in
+  State.unlock_heap st;
+  r
 
-let alloc t m ~size ~n_slots =
+let note_allocated st addr =
+  ignore (Atomic.fetch_and_add st.bytes_since_gc (Heap.size st.heap addr) : int)
+
+(* The simulator's allocation path: one free-list pop per object, inline
+   stall loop.  Byte-identical to the historical behavior. *)
+let alloc_sim t m ~size ~n_slots =
   let st = t.st in
   Collector.cooperate st m;
   Sched.yield ();
@@ -98,7 +175,7 @@ let alloc t m ~size ~n_slots =
   Observatory.maybe_sample st;
   match try_alloc t ~size ~n_slots with
   | Some addr ->
-      st.bytes_since_gc <- st.bytes_since_gc + Heap.size st.heap addr;
+      note_allocated st addr;
       maybe_trigger t;
       addr
   | None ->
@@ -126,12 +203,17 @@ let alloc t m ~size ~n_slots =
         match try_alloc t ~size ~n_slots with
         | Some addr -> result := addr
         | None ->
-            (if (not st.collecting) && st.gc_request = No_request then
-               if fulls_done () = !baseline then st.gc_request <- Want_full
+            (if
+               (not (Atomic.get st.collecting))
+               && Atomic.get st.gc_request = No_request
+             then
+               if fulls_done () = !baseline then
+                 Atomic.set st.gc_request Want_full
                else if
                  Heap.grow st.heap
                    ~want_bytes:
-                     (Stdlib.max size (Stdlib.max 65536 (Heap.capacity st.heap / 2)))
+                     (Stdlib.max size
+                        (Stdlib.max 65536 (Heap.capacity st.heap / 2)))
                then baseline := fulls_done ()
                else raise Out_of_memory);
             Collector.cooperate st m;
@@ -144,21 +226,137 @@ let alloc t m ~size ~n_slots =
       if Event_log.enabled st.events then
         Event_log.emit st.events ~at:stall_to
           (Event_log.Stall_end { mid = Mutator.id m });
-      st.bytes_since_gc <- st.bytes_since_gc + Heap.size st.heap !result;
+      note_allocated st !result;
       maybe_trigger t;
       !result
+
+(* Blocks a mutator pulls from the shared free list per lock acquisition:
+   the TLAB batch size.  Small enough that reserved memory stays a few KB
+   per mutator, large enough that the heap lock drops out of the hot
+   path. *)
+let refill_target = 16
+
+(* The domains allocation path: domain-local cache first, batched locked
+   refill second, collect-then-grow stall loop last (same policy as the
+   simulator's, with real waits). *)
+let alloc_domains t m ~size ~n_slots =
+  let st = t.st in
+  let heap = st.heap in
+  let cache = Mutator.cache m in
+  let cost = State.mcost st m in
+  Collector.cooperate st m;
+  Substrate.yield ();
+  Cost.mutator cost Cost.c_alloc;
+  let cacheable = Alloc_cache.cacheable ~size in
+  (* Lock-free: the block is already reserved (kind Allocated, Blue), so
+     issuing touches only its own granule entries; the allocation color is
+     read after cooperate, so its staleness is bounded by the handshake
+     window the protocol already tolerates. *)
+  let issue_from addr =
+    let color = Collector.allocation_color st in
+    let real = Heap.issue heap addr ~n_slots ~color in
+    Alloc_cache.note_issued cache ~bytes:real;
+    ignore (Atomic.fetch_and_add st.bytes_since_gc real : int);
+    maybe_trigger t;
+    addr
+  in
+  let refill () =
+    State.lock_heap st;
+    let bytes, objects = Alloc_cache.take_pending cache in
+    if objects > 0 || bytes > 0 then Heap.add_alloc_stats heap ~bytes ~objects;
+    let got = ref 0 in
+    (try
+       while !got < refill_target do
+         match Heap.reserve heap ~size with
+         | Some a ->
+             Alloc_cache.put cache ~size a;
+             incr got
+         | None -> raise Exit
+       done
+     with Exit -> ());
+    State.unlock_heap st;
+    !got > 0
+  in
+  let attempt () =
+    if cacheable then
+      match Alloc_cache.get cache ~size with
+      | Some addr -> Some (issue_from addr)
+      | None ->
+          if refill () then
+            match Alloc_cache.get cache ~size with
+            | Some addr -> Some (issue_from addr)
+            | None -> None
+          else None
+    else
+      match try_alloc t ~size ~n_slots with
+      | Some addr ->
+          note_allocated st addr;
+          maybe_trigger t;
+          Some addr
+      | None -> None
+  in
+  match attempt () with
+  | Some addr -> addr
+  | None ->
+      let tel = State.mtelemetry st m in
+      Telemetry.hit_stall tel;
+      let stall_from = State.now_units st in
+      let fulls_done () =
+        Gc_stats.count st.stats Gc_stats.Full
+        + Gc_stats.count st.stats Gc_stats.Non_gen
+      in
+      let baseline = ref (fulls_done ()) in
+      let result = ref Heap.nil in
+      while !result = Heap.nil do
+        match attempt () with
+        | Some addr -> result := addr
+        | None ->
+            (if
+               (not (Atomic.get st.collecting))
+               && Atomic.get st.gc_request = No_request
+             then
+               if fulls_done () = !baseline then
+                 ignore
+                   (Atomic.compare_and_set st.gc_request No_request Want_full
+                     : bool)
+               else begin
+                 State.lock_heap st;
+                 let grown =
+                   Heap.grow heap
+                     ~want_bytes:
+                       (Stdlib.max size
+                          (Stdlib.max 65536 (Heap.capacity heap / 2)))
+                 in
+                 State.unlock_heap st;
+                 if grown then baseline := fulls_done ()
+                 else raise Out_of_memory
+               end);
+            Cost.stall cost Cost.c_cooperate;
+            (* Sleep out the requested cycle (cooperating, or handshakes
+               would never complete), then retry. *)
+            Substrate.wait_until (fun () ->
+                Collector.cooperate st m;
+                (not (Atomic.get st.collecting))
+                && Atomic.get st.gc_request = No_request)
+      done;
+      Telemetry.record_stall tel (State.now_units st - stall_from);
+      !result
+
+let alloc t m ~size ~n_slots =
+  if t.st.parallel then alloc_domains t m ~size ~n_slots
+  else alloc_sim t m ~size ~n_slots
 
 let load t m ~x ~i =
   let st = t.st in
   Collector.cooperate st m;
-  Sched.yield ();
-  Cost.mutator st.cost Cost.c_load;
+  Substrate.yield ();
+  Cost.mutator (State.mcost st m) Cost.c_load;
   Heap.get_slot st.heap x i
 
 let store t m ~x ~i ~y =
   let st = t.st in
   Collector.cooperate st m;
-  Sched.yield ();
+  Substrate.yield ();
   Collector.update st m ~x ~i ~y
 
 (* Scalar fields need no write barrier: the collector only cares about
@@ -167,26 +365,26 @@ let store t m ~x ~i ~y =
 let load_data t m ~x ~i =
   let st = t.st in
   Collector.cooperate st m;
-  Sched.yield ();
-  Cost.mutator st.cost Cost.c_load;
+  Substrate.yield ();
+  Cost.mutator (State.mcost st m) Cost.c_load;
   Heap.get_data st.heap x i
 
 let store_data t m ~x ~i ~v =
   let st = t.st in
   Collector.cooperate st m;
-  Sched.yield ();
-  Cost.mutator st.cost Cost.c_store;
+  Substrate.yield ();
+  Cost.mutator (State.mcost st m) Cost.c_store;
   Heap.set_data st.heap x i v
 
 let work t m n =
   let st = t.st in
   Collector.cooperate st m;
   let units = n * Cost.c_compute in
-  Cost.mutator st.cost units;
+  Cost.mutator (State.mcost st m) units;
   Observatory.maybe_sample st;
   (* Scheduled time must track charged work on both sides (the collector
      yields once per ~8 units), so a long computation burns proportionally
      many scheduling quanta — during which the collector runs. *)
   for _ = 1 to Stdlib.max 1 (units / 8) do
-    Sched.yield ()
+    Substrate.yield ()
   done

@@ -42,18 +42,34 @@ val set_fine_grained : t -> bool -> unit
 (** Disable/enable micro-step yields (see {!State.t.fine_grained}).
     Benchmarks turn this off; correctness tests leave it on. *)
 
+val set_parallel : t -> bool -> unit
+(** Select the real-domains substrate: heap/registration locks engage, the
+    gray queue locks, allocation goes through per-mutator caches, and
+    mutator-context costs charge per-mutator ledgers.  Must be set before
+    any process starts (the driver does this); the default [false] keeps
+    the simulator's behavior bit-identical. *)
+
 (** {2 Threads} *)
 
 val new_mutator : t -> name:string -> ?n_regs:int -> unit -> Mutator.t
 (** Register a mutator (default 16 registers).  If a collection is in
     progress this waits for it to finish, so it must then be called from
-    inside a process. *)
+    inside a process.  Safe to call from a running domain under the
+    domains substrate: registration takes the registration lock, so it
+    cannot race a cycle start. *)
 
 val retire_mutator : t -> Mutator.t -> unit
-(** The thread exits: stop including it in handshakes, drop its roots. *)
+(** The thread exits: stop including it in handshakes, drop its roots.
+    Under the domains substrate this also drains the mutator's allocation
+    cache back to the shared free list and flushes its batched allocation
+    counters. *)
 
 val spawn_collector : t -> Otfgc_sched.Sched.t -> Otfgc_sched.Sched.pid
 (** Spawn {!Collector.collector_loop} as a daemon process. *)
+
+val collector_loop : t -> unit
+(** The collector daemon body, for substrates that spawn it themselves
+    (the driver's domains path passes this to {!Otfgc_sched.Parallel}). *)
 
 val shutdown : t -> unit
 (** Ask the collector loop to exit after the current cycle. *)

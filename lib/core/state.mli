@@ -8,7 +8,13 @@
     The record is deliberately transparent: the collectors in this library
     are the paper's Figures 1–6 transliterated, and hiding every field
     behind accessors would only obscure the correspondence.  Outside code
-    should treat it as read-only and go through {!Runtime}. *)
+    should treat it as read-only and go through {!Runtime}.
+
+    The fields both sides race on are [Atomic.t]: under the cooperative
+    substrate an atomic get/set is one simulated step, exactly as the
+    plain loads and stores were, so schedules — and every simulated
+    figure — are unchanged; under the real-domains substrate they carry
+    the inter-domain orderings DESIGN §10 spells out. *)
 
 type gc_request = No_request | Want_partial | Want_full
 
@@ -16,23 +22,29 @@ type t = {
   heap : Otfgc_heap.Heap.t;
   cfg : Gc_config.t;
   (* handshake machinery *)
-  mutable status_c : Status.t;  (** status posted by the collector *)
-  mutable mutators : Mutator.t list;
+  status_c : Status.t Atomic.t;  (** status posted by the collector *)
+  mutable mutator_slots : Mutator.t array;
+      (** registry backing store; read through {!iter_mutators} (count
+          first, then the array — the publication order) *)
+  n_mutators : int Atomic.t;
   mutable globals : int list;   (** global roots, marked by the collector *)
   (* colors *)
   mutable allocation_color : Otfgc_heap.Color.t;
       (** [Generational]/[Generational_aging]: the color newly created
           objects get ("yellow" while a cycle runs).  [Non_generational]:
-          the mark color — what the trace recolors live objects to. *)
+          the mark color — what the trace recolors live objects to.
+          Plain on purpose: only the collector writes it, and the
+          handshake protocol bounds every mutator's staleness (DESIGN
+          §10). *)
   mutable clear_color : Otfgc_heap.Color.t;
       (** the color the sweep reclaims *)
   (* phase flags, each written only by the collector *)
-  mutable tracing : bool;     (** the barrier's "Collector is tracing" *)
-  mutable sweeping : bool;    (** sweep in progress (create-color decision) *)
-  mutable collecting : bool;  (** a collection cycle is in progress *)
-  mutable gc_request : gc_request;
-  mutable bytes_since_gc : int;
-  mutable shutdown : bool;
+  tracing : bool Atomic.t;    (** the barrier's "Collector is tracing" *)
+  sweeping : bool Atomic.t;   (** sweep in progress (create-color decision) *)
+  collecting : bool Atomic.t; (** a collection cycle is in progress *)
+  gc_request : gc_request Atomic.t;
+  bytes_since_gc : int Atomic.t;
+  shutdown : bool Atomic.t;
   (* instrumentation *)
   gray : Gray_queue.t;
   stats : Gc_stats.t;
@@ -66,16 +78,66 @@ type t = {
   sampler : Sampler.t;
       (** census sampling cadence and series (off by default); driven by
           {!Observatory} from the runtime/collector sampling hooks *)
+  (* real-domains substrate *)
+  mutable parallel : bool;
+      (** running on real domains; set once by the driver before any
+          process starts *)
+  heap_lock : Mutex.t;
+      (** guards the space/free-list structure (block boundaries, kinds,
+          free-list entries, allocation counters) in parallel mode *)
+  reg_lock : Mutex.t;
+      (** guards mutator registration against cycle starts *)
 }
 
 val create : Otfgc_heap.Heap.t -> Gc_config.t -> t
 (** Fresh idle state: status [Async], allocation color {!Otfgc_heap.Color.C0},
-    clear color [C1], nothing requested. *)
+    clear color [C1], nothing requested, cooperative substrate. *)
 
 val step : t -> unit
-(** Fine-grained scheduling point: yields iff [fine_grained]. *)
+(** Fine-grained scheduling point: yields iff [fine_grained] (a no-op or
+    stress jitter under the domains substrate). *)
+
+(** {2 Mutator registry} *)
+
+val register_mutator : t -> Mutator.t -> unit
+(** Append to the registry — O(1) amortised.  In parallel mode callers
+    must hold [reg_lock]. *)
+
+val iter_mutators : t -> (Mutator.t -> unit) -> unit
+(** All registered mutators, in registration order; safe to call from any
+    domain concurrently with registration. *)
+
+val mutators : t -> Mutator.t list
+(** {!iter_mutators} as a list. *)
 
 val active_mutators : t -> Mutator.t list
+
+val for_all_active_mutators : t -> (Mutator.t -> bool) -> bool
+(** Allocation-free [List.for_all p (active_mutators t)] — the handshake
+    completion poll, run once per wait iteration on the domains
+    substrate. *)
+
+val count_active_mutators : t -> int
+
+(** {2 Parallel-mode helpers} *)
+
+val lock_heap : t -> unit
+(** Take [heap_lock] iff [parallel] (no-ops under the simulator, so the
+    cooperative schedule is untouched). *)
+
+val unlock_heap : t -> unit
+
+val mcost : t -> Mutator.t -> Cost.t
+(** The ledger mutator-context work is charged to: the shared ledger
+    under the simulator (bit-identical to the historical behavior), the
+    mutator's own under real domains. *)
+
+val mtelemetry : t -> Mutator.t -> Telemetry.t
+(** Likewise for telemetry counters/instruments hit from mutator code. *)
+
+val now_units : t -> int
+(** Timestamp for latency instruments: {!Cost.elapsed_multi} (simulated
+    units) under the simulator, real microseconds under domains. *)
 
 val young_color : t -> Otfgc_heap.Color.t -> bool
 (** Whether an object of the given color belongs to the young generation

@@ -52,6 +52,23 @@ let reset t =
   Histogram.clear t.cycle_progress;
   t.handshake_posted_at <- 0
 
+(* Fold a per-mutator telemetry (real-domains substrate) into the shared
+   one: counters add, histograms merge sample streams. *)
+let merge_into ~src ~dst =
+  dst.barrier_updates <- dst.barrier_updates + src.barrier_updates;
+  dst.yellow_fires <- dst.yellow_fires + src.yellow_fires;
+  dst.promotions <- dst.promotions + src.promotions;
+  dst.dirty_card_finds <- dst.dirty_card_finds + src.dirty_card_finds;
+  dst.handshake_acks <- dst.handshake_acks + src.handshake_acks;
+  dst.stalls <- dst.stalls + src.stalls;
+  dst.card_marks <- dst.card_marks + src.card_marks;
+  dst.remset_records <- dst.remset_records + src.remset_records;
+  Array.iteri
+    (fun i h -> Histogram.add_into ~src:h ~dst:dst.handshake_latency.(i))
+    src.handshake_latency;
+  Histogram.add_into ~src:src.stall_latency ~dst:dst.stall_latency;
+  Histogram.add_into ~src:src.cycle_progress ~dst:dst.cycle_progress
+
 (* counters *)
 let hit_barrier t = t.barrier_updates <- t.barrier_updates + 1
 let hit_yellow t = t.yellow_fires <- t.yellow_fires + 1

@@ -30,6 +30,12 @@ val set_enabled : t -> bool -> unit
 val reset : t -> unit
 (** Zero everything (end-of-warmup measurement reset). *)
 
+val merge_into : src:t -> dst:t -> unit
+(** Fold [src] into [dst] ([src] unchanged): counters add, histograms
+    merge sample streams.  The real-domains substrate records into
+    per-mutator telemetry and folds it into the shared one at end of
+    run. *)
+
 (** {2 Counters} *)
 
 val hit_barrier : t -> unit

@@ -1,60 +1,96 @@
-type t = { card_size : int; shift : int; marks : Bytes.t }
+(* Marks live in an array of atomic words, 32 cards per word (bit i of
+   word w covers card w*32 + i).  The paper stresses that a card's mark
+   must not share its cell with unrelated data or every pointer store
+   would need a compare-and-swap; packing marks into shared words does
+   reintroduce the CAS, but only against OTHER CARDS' MARKS — a
+   contended retry costs one loop iteration, never a lost mark, and the
+   real-domains substrate needs the mark itself to be an atomic
+   (sequentially consistent) store so the collector's 3-step
+   clear-scan-remark protocol observes marks and slot values in an order
+   the Section 7.2 race argument covers.  The cooperative substrate
+   performs the same get/CAS without contention, so simulated schedules
+   are unchanged. *)
+
+let word_shift = 5
+let word_bits = 1 lsl word_shift (* 32 cards per word *)
+
+type t = {
+  card_size : int;
+  shift : int;
+  n_cards : int;
+  words : int Atomic.t array;
+}
 
 let create ~card_size ~max_heap_bytes =
   if card_size < 16 || card_size > 4096 || not (Otfgc_support.Bits.is_pow2 card_size)
   then invalid_arg "Card_table.create: card size must be a power of two in [16,4096]";
   let n = (max_heap_bytes + card_size - 1) / card_size in
-  { card_size; shift = Otfgc_support.Bits.log2_exact card_size; marks = Bytes.make n '\000' }
+  let n_words = (n + word_bits - 1) lsr word_shift in
+  {
+    card_size;
+    shift = Otfgc_support.Bits.log2_exact card_size;
+    n_cards = n;
+    words = Array.init n_words (fun _ -> Atomic.make 0);
+  }
 
 let card_size t = t.card_size
-let n_cards t = Bytes.length t.marks
+let n_cards t = t.n_cards
 let card_of_addr t addr = addr lsr t.shift
 
-let mark t addr = Bytes.set t.marks (addr lsr t.shift) '\001'
-let clear_card t card = Bytes.set t.marks card '\000'
-let mark_card t card = Bytes.set t.marks card '\001'
-let is_dirty t card = Bytes.get t.marks card <> '\000'
-let clear_all t = Bytes.fill t.marks 0 (Bytes.length t.marks) '\000'
+let rec fetch_or a bit =
+  let old = Atomic.get a in
+  if old land bit <> bit then
+    if not (Atomic.compare_and_set a old (old lor bit)) then fetch_or a bit
+
+let rec fetch_andnot a bit =
+  let old = Atomic.get a in
+  if old land bit <> 0 then
+    if not (Atomic.compare_and_set a old (old land lnot bit)) then
+      fetch_andnot a bit
+
+let mark_card t card =
+  fetch_or t.words.(card lsr word_shift) (1 lsl (card land (word_bits - 1)))
+
+let mark t addr = mark_card t (addr lsr t.shift)
+
+let clear_card t card =
+  fetch_andnot t.words.(card lsr word_shift) (1 lsl (card land (word_bits - 1)))
+
+let is_dirty t card =
+  Atomic.get t.words.(card lsr word_shift) land (1 lsl (card land (word_bits - 1)))
+  <> 0
+
+let clear_all t = Array.iter (fun a -> Atomic.set a 0) t.words
 
 (* At small card sizes clean cards vastly outnumber dirty ones
    (Section 8.5.3: scanning the card table itself dominates partial
-   collections at 16-byte cards), so both scans below probe eight mark
-   bytes at a time with one 64-bit load and fall into the byte loop
-   only for a non-zero word. *)
+   collections at 16-byte cards), so both scans below probe a whole
+   32-card word at a time and fall into the bit loop only for a non-zero
+   word. *)
 
 let dirty_count t =
-  let marks = t.marks in
-  let n = Bytes.length marks in
-  let n_words = n lsr 3 in
   let count = ref 0 in
-  for w = 0 to n_words - 1 do
-    if Bytes.get_int64_ne marks (w lsl 3) <> 0L then
-      for i = w lsl 3 to (w lsl 3) + 7 do
-        if Bytes.unsafe_get marks i <> '\000' then incr count
-      done
-  done;
-  for i = n_words lsl 3 to n - 1 do
-    if Bytes.get marks i <> '\000' then incr count
-  done;
+  Array.iter
+    (fun a ->
+      let v = Atomic.get a in
+      if v <> 0 then count := !count + Otfgc_support.Bits.popcount v)
+    t.words;
   !count
 
 let card_bounds t card = (card * t.card_size, (card + 1) * t.card_size)
 
 let iter_dirty t f =
-  let marks = t.marks in
-  let n = Bytes.length marks in
-  let n_words = n lsr 3 in
+  let n_words = Array.length t.words in
   for w = 0 to n_words - 1 do
     (* The callback may clear or set marks, so once a word tests
        non-zero every one of its cards is re-read individually — the
        word probe only licenses skipping wholly-clean words, which the
        callback cannot have touched (it only runs for cards at or
        before the probe position). *)
-    if Bytes.get_int64_ne marks (w lsl 3) <> 0L then
-      for card = w lsl 3 to (w lsl 3) + 7 do
-        if Bytes.get marks card <> '\000' then f card
+    if Atomic.get t.words.(w) <> 0 then
+      let base = w lsl word_shift in
+      let last = Stdlib.min (base + word_bits - 1) (t.n_cards - 1) in
+      for card = base to last do
+        if is_dirty t card then f card
       done
-  done;
-  for card = n_words lsl 3 to n - 1 do
-    if Bytes.get marks card <> '\000' then f card
   done

@@ -104,6 +104,44 @@ let alloc t ~size ~n_slots ~color =
       t.total_alloc_objects <- t.total_alloc_objects + 1;
       Some addr
 
+(* --- Reserved blocks (real-domains allocation caches) ---------------
+
+   A reserved block has been popped from the free list and claimed by one
+   mutator's cache, but not yet issued as an object: kind [Allocated] so
+   no other allocation can take it, color [Blue] so every collector walk
+   (sweep, census, card scan, full-collection init) recognises it as
+   not-an-object and skips it.  The simulator never creates this state,
+   so all simulated figures are untouched.  [reserve]/[release_reserved]
+   mutate the block structure and must run under the runtime's heap lock;
+   [issue] touches only the block's own granule entries and runs
+   lock-free on the owning mutator's domain. *)
+
+let reserve t ~size =
+  match Freelist.pop t.freelist ~bytes_wanted:size with
+  | None -> None
+  | Some addr ->
+      Space.set_kind t.space addr Space.Allocated;
+      set_color t addr Color.Blue;
+      Some addr
+
+let issue t addr ~n_slots ~color =
+  set_color t addr color;
+  Age_table.set t.ages addr 0;
+  t.slots.(gi addr) <- (if n_slots = 0 then no_slots else Array.make n_slots nil);
+  let real = Space.block_size t.space addr in
+  let n_data = (real - 16 - (8 * n_slots)) / 8 in
+  t.datas.(gi addr) <- (if n_data = 0 then no_slots else Array.make n_data 0);
+  real
+
+let release_reserved t addr =
+  set_color t addr Color.Blue;
+  Space.set_kind t.space addr Space.Free;
+  Freelist.push t.freelist addr
+
+let add_alloc_stats t ~bytes ~objects =
+  t.total_alloc_bytes <- t.total_alloc_bytes + bytes;
+  t.total_alloc_objects <- t.total_alloc_objects + objects
+
 let free t addr =
   if not (is_object t addr) then
     invalid_arg (Printf.sprintf "Heap.free: %d is not an allocated object" addr);

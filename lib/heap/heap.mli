@@ -60,6 +60,35 @@ val free : t -> int -> unit
     release its slots and return its block to the free lists.  Does not
     coalesce — sweep does, via {!merge_free_prev}. *)
 
+(** {2 Reserved blocks (real-domains allocation caches)}
+
+    A reserved block is claimed by one mutator's domain-local cache but
+    not yet an object: kind [Allocated] (no other allocation can take
+    it), color {!Color.Blue} (every collector walk skips it).  The
+    simulator never creates this state.  {!reserve} and
+    {!release_reserved} change shared block structure — call them under
+    the runtime's heap lock; {!issue} touches only the block's own
+    entries and is called lock-free by the owning mutator. *)
+
+val reserve : t -> size:int -> int option
+(** Pop a free block of exactly [size] bytes and park it reserved.  Does
+    not touch the allocation counters ({!add_alloc_stats} flushes them in
+    batches when objects are actually issued). *)
+
+val issue : t -> int -> n_slots:int -> color:Color.t -> int
+(** Turn a reserved block into a live object: paint [color], age 0,
+    [n_slots] pointer slots at {!nil}, scalar words zeroed.  Returns the
+    block's real byte size, which the caller accumulates for
+    {!add_alloc_stats}. *)
+
+val release_reserved : t -> int -> unit
+(** Return a still-reserved block to the free list (cache drain at
+    mutator retirement). *)
+
+val add_alloc_stats : t -> bytes:int -> objects:int -> unit
+(** Batched counterpart of the counter updates {!alloc} performs inline:
+    add issued bytes/objects to the lifetime totals. *)
+
 val merge_free_prev : t -> int -> int
 (** [merge_free_prev t addr] merges the free block at [addr] into its
     predecessor if that predecessor is also free, returning the merged

@@ -57,7 +57,7 @@ let of_runtime ?(workload = "") rt =
       push
         (metadata ~name:"thread_name" ~tid:(mutator_tid (Mutator.id m))
            (Mutator.name m)))
-    st.State.mutators;
+    (State.mutators st);
   (* Slice reconstruction: cycles and handshakes are delimited by explicit
      begin/end events; the trace and sweep spans are recovered from the
      cycle's internal sequence (last handshake completion -> Trace_complete

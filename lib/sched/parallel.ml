@@ -1,0 +1,52 @@
+type proc = { name : string; daemon : bool; fn : unit -> unit }
+
+type t = {
+  on_quiesce : unit -> unit;
+  mutable procs : proc list; (* reverse registration order *)
+  mutable running : bool;
+}
+
+let create ?(on_quiesce = fun () -> ()) () =
+  { on_quiesce; procs = []; running = false }
+
+let spawn t ?(daemon = false) ~name fn =
+  if t.running then invalid_arg "Parallel.spawn: already running";
+  t.procs <- { name; daemon; fn } :: t.procs
+
+let body jitter idx p errs () =
+  Substrate.set_current Substrate.Domains;
+  (match jitter with
+  | Some (seed, prob, max_spin) ->
+      Substrate.set_jitter ~seed:(seed + (1549 * (idx + 1))) ~prob ~max_spin
+  | None -> ());
+  try p.fn ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    errs.(idx) <- Some (e, bt)
+
+let run t =
+  if t.running then invalid_arg "Parallel.run: already running";
+  t.running <- true;
+  let procs = Array.of_list (List.rev t.procs) in
+  let n = Array.length procs in
+  let errs = Array.make n None in
+  let jitter = Substrate.jitter_config () in
+  let domains =
+    Array.mapi (fun i p -> Domain.spawn (body jitter i p errs)) procs
+  in
+  Array.iteri (fun i p -> if not p.daemon then Domain.join domains.(i)) procs;
+  (* Quiesce runs even when a mutator failed: the daemons only exit in
+     response to it (collector shutdown), and we must join them before
+     re-raising or the process would leak running domains. *)
+  let quiesce_err = ref None in
+  (try t.on_quiesce ()
+   with e -> quiesce_err := Some (e, Printexc.get_raw_backtrace ()));
+  Array.iteri (fun i p -> if p.daemon then Domain.join domains.(i)) procs;
+  t.running <- false;
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+    errs;
+  match !quiesce_err with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()

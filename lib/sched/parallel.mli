@@ -1,0 +1,30 @@
+(** The real-domains substrate: each registered process runs on its own
+    {!Domain.t}.
+
+    Mirrors the {!Sched} lifecycle the driver expects — register
+    processes, then [run] — but the "scheduler" is the hardware, so it
+    satisfies the same {!Substrate.S} contract as {!Substrate.Cooperative}.
+    Daemons (the collector) are joined only after [on_quiesce] has run
+    with all non-daemons finished; [on_quiesce] is where the driver
+    performs the finale collections and requests collector shutdown, so a
+    daemon must exit in response to it.
+
+    Every spawned domain has its substrate set to {!Substrate.Domains}
+    and inherits the spawner's jitter configuration (re-seeded per
+    domain).  A process raising an exception does not tear down the
+    others: all domains are still joined (after [on_quiesce], which runs
+    regardless so daemons can exit), then the exception of the
+    lowest-indexed failing process is re-raised — mirroring
+    {!Otfgc_support.Pool}'s deterministic error choice. *)
+
+type t
+
+val create : ?on_quiesce:(unit -> unit) -> unit -> t
+(** [on_quiesce] runs in the calling domain once every non-daemon process
+    has been joined, before the daemons are joined. *)
+
+include Substrate.S with type t := t
+(** {!spawn} registers a process; unlike {!Sched.spawn}, registration is
+    only allowed before {!run} — the domains substrate starts every
+    process at once.  {!run} spawns one domain per registered process,
+    joins the non-daemons, calls [on_quiesce], then joins the daemons. *)

@@ -10,6 +10,20 @@ let log2_exact n =
    native int is 63 bits, so the classic 64-bit multiplicative hashes
    don't apply directly, and six compares are plenty fast for a
    once-per-allocation probe. *)
+(* Parallel bit-count (Hamming weight).  32-bit masks, applied twice to
+   cover OCaml's 63-bit int: callers pass card-table words (32 bits) or
+   occupancy bitmaps, and the halved reduction keeps every constant
+   inside the 63-bit literal range. *)
+let popcount n =
+  let pop32 v =
+    let v = v - ((v lsr 1) land 0x55555555) in
+    let v = (v land 0x33333333) + ((v lsr 2) land 0x33333333) in
+    let v = (v + (v lsr 4)) land 0x0F0F0F0F in
+    (* parenthesised: lsr binds tighter than * in OCaml *)
+    (v * 0x01010101) lsr 24 land 0x3F
+  in
+  pop32 (n land 0xFFFFFFFF) + pop32 ((n lsr 32) land 0x7FFFFFFF)
+
 let ctz n =
   if n = 0 then invalid_arg "Bits.ctz: zero has no trailing-zero count";
   let n = n land -n in

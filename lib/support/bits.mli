@@ -12,6 +12,10 @@ val log2_exact : int -> int
 (** [log2_exact n] is [k] such that [1 lsl k = n].  Raises
     [Invalid_argument] unless [n] is a positive power of two. *)
 
+val popcount : int -> int
+(** Number of set bits (defined on all non-negative ints).  The card
+    table counts dirty cards 32 at a time with this. *)
+
 val ctz : int -> int
 (** [ctz n] is the number of trailing zero bits of [n] — equivalently, the
     index of the lowest set bit.  Raises [Invalid_argument] on [0].  The

@@ -130,6 +130,26 @@ let merge a b =
          t.max_v <- Stdlib.max a.max_v b.max_v);
   t
 
+(* In-place [merge]: fold [src]'s samples into [dst].  Used to combine
+   per-mutator histograms into the shared ledger at end of run without
+   replacing the destination value (telemetry holds it by field). *)
+let add_into ~src ~dst =
+  if src.count > 0 then begin
+    for slot = 0 to n_slots - 1 do
+      dst.counts.(slot) <- dst.counts.(slot) + src.counts.(slot)
+    done;
+    if dst.count = 0 then begin
+      dst.min_v <- src.min_v;
+      dst.max_v <- src.max_v
+    end
+    else begin
+      dst.min_v <- Stdlib.min dst.min_v src.min_v;
+      dst.max_v <- Stdlib.max dst.max_v src.max_v
+    end;
+    dst.count <- dst.count + src.count;
+    dst.total <- dst.total + src.total
+  end
+
 let iter t f =
   for slot = 0 to n_slots - 1 do
     if t.counts.(slot) <> 0 then begin

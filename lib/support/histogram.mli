@@ -51,6 +51,12 @@ val merge : t -> t -> t
     min/max combine); neither argument is modified.  Used to fold
     per-mutator latency histograms into whole-run percentiles. *)
 
+val add_into : src:t -> dst:t -> unit
+(** In-place {!merge}: fold [src]'s samples into [dst] ([src] is not
+    modified).  The real-domains substrate records latencies into
+    per-mutator histograms and folds them into the shared telemetry with
+    this at end of run. *)
+
 val iter : t -> (lo:int -> hi:int -> count:int -> unit) -> unit
 (** Visit every non-empty bucket in increasing value order; [lo..hi] is the
     inclusive sample range the bucket covers. *)

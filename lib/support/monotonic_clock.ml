@@ -1,0 +1,14 @@
+(* OCaml's stdlib exposes no monotonic clock without external packages,
+   so this is gettimeofday re-based to a process-local epoch.  NTP steps
+   are the only non-monotonicity source; latency deltas clamp at zero so
+   a step can at worst flatten one histogram sample, never corrupt the
+   store. *)
+
+let epoch = Unix.gettimeofday ()
+
+let now_ns () =
+  let dt = Unix.gettimeofday () -. epoch in
+  let ns = int_of_float (dt *. 1e9) in
+  if ns < 0 then 0 else ns
+
+let ns_to_us ns = if ns <= 0 then 0 else (ns + 500) / 1000

@@ -1,0 +1,14 @@
+(** Wall-clock time for the real-domains substrate.
+
+    The simulator measures everything in abstract cost units
+    ({!Otfgc.Cost.elapsed_multi}); the domains substrate needs real
+    elapsed time for handshake and stall latency histograms.  Values are
+    nanoseconds from an arbitrary epoch fixed at module initialisation,
+    so differences are meaningful and fit comfortably in an [int]. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary process-local epoch.  Monotone
+    non-decreasing for the purposes of latency deltas. *)
+
+val ns_to_us : int -> int
+(** Round a nanosecond delta to microseconds (histogram bucketing). *)

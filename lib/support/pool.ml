@@ -1,69 +1,99 @@
 (* A small work-stealing pool of OCaml 5 domains.
 
-   Tasks here are coarse (whole workload simulations, milliseconds to
-   seconds each), so the stealing protocol favours simplicity over
-   lock-freedom: each worker owns a deque of thunks, all deques are
-   guarded by the single pool mutex, and an idle worker steals the
-   oldest task from the victim with the most work left.  Submission
-   distributes a batch round-robin and waits on a condition variable
-   for the completion count. *)
+   Tasks are coarse (whole workload simulations, milliseconds to seconds
+   each), so the stealing protocol favours simplicity over lock-freedom —
+   but the deques are no longer serialised behind one pool-wide mutex:
+   each worker's deque has its own lock, so concurrent owner pops and
+   steals of different deques never contend.  The pool mutex now guards
+   only the batch bookkeeping (outstanding count, stop flag) and backs
+   the two condition variables; the sleep/wake protocol rechecks the
+   deques while holding it, and [run] pushes while holding it, so a
+   worker can never miss a wakeup (lock order: pool mutex, then a deque
+   mutex — never the reverse). *)
 
 type task = unit -> unit
 
+type deque = { lock : Mutex.t; q : task Queue.t }
+
 type t = {
   jobs : int;
-  mutex : Mutex.t;
+  mutex : Mutex.t; (* batch bookkeeping + condition variables only *)
   work_ready : Condition.t;
   batch_done : Condition.t;
-  deques : task Queue.t array; (* deques.(w) owned by worker w *)
+  deques : deque array; (* deques.(w) owned by worker w *)
   mutable outstanding : int; (* unfinished tasks of the current batch *)
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
 }
 
 let default_jobs () =
-  match Sys.getenv_opt "OTFGC_JOBS" with
-  | Some s when (match int_of_string_opt (String.trim s) with
-                | Some n -> n >= 1
-                | None -> false) ->
-      int_of_string (String.trim s)
+  let parsed =
+    Option.bind (Sys.getenv_opt "OTFGC_JOBS") (fun s ->
+        int_of_string_opt (String.trim s))
+  in
+  match parsed with
+  | Some n when n >= 1 -> n
   | _ -> Domain.recommended_domain_count ()
 
 let jobs t = t.jobs
 
-(* Pop from our own deque, else steal the oldest task from the fullest
-   victim.  Caller holds [t.mutex]. *)
+let pop_deque d =
+  Mutex.lock d.lock;
+  let r = if Queue.is_empty d.q then None else Some (Queue.pop d.q) in
+  Mutex.unlock d.lock;
+  r
+
+(* Pop from our own deque, else steal the oldest task from the victim
+   with the most work left.  Queue lengths are read without the deque
+   locks — a racy but memory-safe heuristic; the actual pop revalidates
+   under the victim's lock and falls through to the next victim when it
+   lost the race. *)
 let take t w =
-  if not (Queue.is_empty t.deques.(w)) then Some (Queue.pop t.deques.(w))
-  else begin
-    let victim = ref (-1) and best = ref 0 in
-    Array.iteri
-      (fun i q ->
-        let len = Queue.length q in
-        if i <> w && len > !best then begin
-          victim := i;
-          best := len
-        end)
-      t.deques;
-    if !victim < 0 then None else Some (Queue.pop t.deques.(!victim))
-  end
+  match pop_deque t.deques.(w) with
+  | Some _ as r -> r
+  | None ->
+      let order = Array.init t.jobs (fun i -> (i, Queue.length t.deques.(i).q)) in
+      Array.sort (fun (_, a) (_, b) -> compare b a) order;
+      let r = ref None in
+      Array.iter
+        (fun (i, _) ->
+          if !r = None && i <> w then
+            match pop_deque t.deques.(i) with
+            | Some _ as got -> r := got
+            | None -> ())
+        order;
+      !r
 
 let worker t w () =
-  Mutex.lock t.mutex;
   let rec loop () =
     match take t w with
     | Some task ->
-        Mutex.unlock t.mutex;
         task ();
         Mutex.lock t.mutex;
         t.outstanding <- t.outstanding - 1;
         if t.outstanding = 0 then Condition.signal t.batch_done;
+        Mutex.unlock t.mutex;
         loop ()
     | None ->
+        Mutex.lock t.mutex;
         if t.stopping then Mutex.unlock t.mutex
         else begin
-          Condition.wait t.work_ready t.mutex;
-          loop ()
+          (* Recheck with the pool mutex held: [run] pushes while holding
+             it, so either the recheck sees the new tasks or we are inside
+             [Condition.wait] when the broadcast fires. *)
+          match take t w with
+          | Some task ->
+              Mutex.unlock t.mutex;
+              task ();
+              Mutex.lock t.mutex;
+              t.outstanding <- t.outstanding - 1;
+              if t.outstanding = 0 then Condition.signal t.batch_done;
+              Mutex.unlock t.mutex;
+              loop ()
+          | None ->
+              Condition.wait t.work_ready t.mutex;
+              Mutex.unlock t.mutex;
+              loop ()
         end
   in
   loop ()
@@ -77,7 +107,8 @@ let create ?jobs () =
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       batch_done = Condition.create ();
-      deques = Array.init jobs (fun _ -> Queue.create ());
+      deques =
+        Array.init jobs (fun _ -> { lock = Mutex.create (); q = Queue.create () });
       outstanding = 0;
       stopping = false;
       domains = [];
@@ -107,17 +138,18 @@ let run (type a) t (tasks : (unit -> a) array) : a array =
     let results : a option array = Array.make n None in
     (* first error by task index, so a failing batch raises the same
        exception regardless of execution order *)
+    let err_lock = Mutex.create () in
     let err : (int * exn * Printexc.raw_backtrace) option ref = ref None in
     let wrap i () =
       match tasks.(i) () with
       | v -> results.(i) <- Some v
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
-          Mutex.lock t.mutex;
+          Mutex.lock err_lock;
           (match !err with
           | Some (j, _, _) when j < i -> ()
           | _ -> err := Some (i, e, bt));
-          Mutex.unlock t.mutex
+          Mutex.unlock err_lock
     in
     Mutex.lock t.mutex;
     if t.outstanding > 0 then begin
@@ -125,7 +157,10 @@ let run (type a) t (tasks : (unit -> a) array) : a array =
       invalid_arg "Pool.run: pool is already running a batch"
     end;
     for i = 0 to n - 1 do
-      Queue.push (wrap i) t.deques.(i mod t.jobs)
+      let d = t.deques.(i mod t.jobs) in
+      Mutex.lock d.lock;
+      Queue.push (wrap i) d.q;
+      Mutex.unlock d.lock
     done;
     t.outstanding <- n;
     Condition.broadcast t.work_ready;

@@ -1,14 +1,64 @@
 open Otfgc
 module Heap = Otfgc_heap.Heap
 module Sched = Otfgc_sched.Sched
+module Substrate = Otfgc_sched.Substrate
+module Parallel = Otfgc_sched.Parallel
 module Rng = Otfgc_support.Rng
 module Run_result = Otfgc_metrics.Run_result
 
 let default_heap =
   { Heap.initial_bytes = 1 lsl 20; max_bytes = 4 lsl 20; card_size = 16 }
 
-let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
-    ?(instrument = fun (_ : Runtime.t) -> ()) ~gc profile =
+(* Warmup barrier, shared by both substrates: every thread builds its
+   long-lived data, then thread 0 runs a full collection (promoting the
+   prebuilt data to the old generation) and resets the measurement
+   ledgers — the standard warmup lap, so build-phase promotion does not
+   pollute the reported partial collection statistics.  The barrier
+   cells are atomics; under the simulator that is step-for-step what the
+   historical plain refs were (no scheduling point moves), and under
+   domains it is the required cross-domain publication. *)
+let sync_point_for rt ~n ~prebuilt ~warm i m () =
+  let st = Runtime.state rt in
+  Atomic.incr prebuilt;
+  if i = 0 then begin
+    Substrate.wait_until (fun () ->
+        Runtime.cooperate rt m;
+        Atomic.get prebuilt = n);
+    ignore (Runtime.collect_and_wait rt m ~full:true : Gc_stats.cycle);
+    Gc_stats.reset (Runtime.stats rt);
+    Cost.reset (Runtime.cost rt);
+    Event_log.clear (Runtime.events rt);
+    Telemetry.reset (Runtime.telemetry rt);
+    Sampler.reset (Runtime.sampler rt);
+    Heap.reset_allocation_stats (Runtime.heap rt);
+    if st.State.parallel then begin
+      (* The other threads are parked at this barrier (cooperating, not
+         allocating), so their ledgers and cache counters are quiescent
+         enough to reset: warmup-lap work must not leak into the measured
+         lap.  The cooperate polls they keep issuing while parked can
+         lose a count or two into the freshly reset ledgers — measurement
+         noise, bounded by the barrier window. *)
+      State.iter_mutators st (fun m' ->
+          (match Mutator.own_cost m' with
+          | Some c -> Cost.reset c
+          | None -> ());
+          match Mutator.own_telemetry m' with
+          | Some tl -> Telemetry.reset tl
+          | None -> ());
+      State.lock_heap st;
+      State.iter_mutators st (fun m' ->
+          ignore (Alloc_cache.take_pending (Mutator.cache m') : int * int));
+      State.unlock_heap st
+    end;
+    Atomic.set st.State.bytes_since_gc 0;
+    Atomic.set warm true
+  end
+  else
+    Substrate.wait_until (fun () ->
+        Runtime.cooperate rt m;
+        Atomic.get warm)
+
+let run_sim ~heap ~seed ~scale ~instrument ~gc profile =
   Profile.validate profile;
   let rt = Runtime.create ~heap_config:heap ~gc_config:gc () in
   Runtime.set_fine_grained rt false;
@@ -19,42 +69,14 @@ let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
   (* Model the paper's 4-way SMP when oversubscribed: the collector keeps
      a CPU to itself while N > 3 mutators share the remaining three, so it
      runs ~N/3 times faster than any single mutator. *)
-  let n_threads = profile.Profile.threads in
-  if n_threads > 3 then
-    (Runtime.state rt).Otfgc.State.collector_speed <-
-      8 * n_threads / 3;
-  let quota =
-    Stdlib.max 1 (int_of_float (float_of_int profile.Profile.total_alloc *. scale))
-  in
-  (* Warmup barrier: every thread builds its long-lived data, then one
-     thread runs a full collection (promoting the prebuilt data to the old
-     generation) and resets the measurement ledgers — the standard warmup
-     lap, so build-phase promotion does not pollute the reported partial
-     collection statistics. *)
   let n = profile.Profile.threads in
-  let prebuilt = ref 0 in
-  let warm = ref false in
-  let sync_point_for i m () =
-    incr prebuilt;
-    if i = 0 then begin
-      Sched.wait_until (fun () ->
-          Runtime.cooperate rt m;
-          !prebuilt = n);
-      ignore (Runtime.collect_and_wait rt m ~full:true : Otfgc.Gc_stats.cycle);
-      Otfgc.Gc_stats.reset (Runtime.stats rt);
-      Otfgc.Cost.reset (Runtime.cost rt);
-      Otfgc.Event_log.clear (Runtime.events rt);
-      Otfgc.Telemetry.reset (Runtime.telemetry rt);
-      Otfgc.Sampler.reset (Runtime.sampler rt);
-      Heap.reset_allocation_stats (Runtime.heap rt);
-      (Runtime.state rt).Otfgc.State.bytes_since_gc <- 0;
-      warm := true
-    end
-    else
-      Sched.wait_until (fun () ->
-          Runtime.cooperate rt m;
-          !warm)
+  if n > 3 then (Runtime.state rt).Otfgc.State.collector_speed <- 8 * n / 3;
+  let quota =
+    Stdlib.max 1
+      (int_of_float (float_of_int profile.Profile.total_alloc *. scale))
   in
+  let prebuilt = Atomic.make 0 in
+  let warm = Atomic.make false in
   for i = 0 to n - 1 do
     let name = Printf.sprintf "%s-t%d" profile.Profile.name i in
     let m = Runtime.new_mutator rt ~name () in
@@ -62,14 +84,102 @@ let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
     ignore
       (Sched.spawn sched ~name (fun () ->
            Engine.run_thread rt m rng ~profile ~quota
-             ~sync_point:(sync_point_for i m) ();
+             ~sync_point:(sync_point_for rt ~n ~prebuilt ~warm i m)
+             ();
            Runtime.retire_mutator rt m))
   done;
   Sched.run sched;
   (Run_result.of_runtime ~workload:profile.Profile.name rt, rt)
 
-let run ?heap ?seed ?scale ~gc profile =
-  fst (run_rt ?heap ?seed ?scale ~gc profile)
+(* End-of-run finale for the domains substrate, run on the driving domain
+   after every mutator domain has joined and before the collector daemon
+   is: two back-to-back full collections at quiescence.  Two, not one —
+   the first collection's toggle turns what was the clear color into the
+   new allocation color, so garbage that was floating in the old clear
+   color needs the second sweep to be reclaimed.  After this the heap
+   holds exactly the reachable set (nothing is, all mutators retired), so
+   the reachability oracle and Heap.check give the cross-substrate
+   invariants something quiescent to verify. *)
+let finale rt =
+  Substrate.set_current Substrate.Domains;
+  let st = Runtime.state rt in
+  let stats = Runtime.stats rt in
+  Substrate.wait_until (fun () ->
+      (not (Atomic.get st.State.collecting))
+      && Atomic.get st.State.gc_request = State.No_request);
+  for _ = 1 to 2 do
+    let n0 = Gc_stats.n_completed stats in
+    Atomic.set st.State.gc_request State.Want_full;
+    Substrate.wait_until (fun () ->
+        Gc_stats.n_completed stats > n0
+        && not (Atomic.get st.State.collecting))
+  done;
+  Runtime.shutdown rt
+
+let run_domains ~heap ~seed ~scale ~instrument ~gc profile =
+  Profile.validate profile;
+  let rt = Runtime.create ~heap_config:heap ~gc_config:gc () in
+  Runtime.set_fine_grained rt false;
+  Runtime.set_parallel rt true;
+  instrument rt;
+  let master = Rng.make seed in
+  (* The simulator's first split feeds its scheduling policy; consume the
+     same split here so thread [i] draws the identical rng stream on both
+     substrates.  Each thread's operation sequence is a pure function of
+     its rng and the profile, which is what makes the end-of-run
+     allocation totals exactly comparable across substrates. *)
+  ignore (Rng.split master : Rng.t);
+  let n = profile.Profile.threads in
+  let quota =
+    Stdlib.max 1
+      (int_of_float (float_of_int profile.Profile.total_alloc *. scale))
+  in
+  let prebuilt = Atomic.make 0 in
+  let warm = Atomic.make false in
+  let par = Parallel.create ~on_quiesce:(fun () -> finale rt) () in
+  Parallel.spawn par ~daemon:true ~name:"collector" (fun () ->
+      Runtime.collector_loop rt);
+  let muts = ref [] in
+  for i = 0 to n - 1 do
+    let name = Printf.sprintf "%s-t%d" profile.Profile.name i in
+    let m = Runtime.new_mutator rt ~name () in
+    muts := m :: !muts;
+    let rng = Rng.split master in
+    Parallel.spawn par ~name (fun () ->
+        Engine.run_thread rt m rng ~profile ~quota
+          ~sync_point:(sync_point_for rt ~n ~prebuilt ~warm i m)
+          ();
+        Runtime.retire_mutator rt m)
+  done;
+  Parallel.run par;
+  Substrate.set_current Substrate.Sim;
+  (* Fold the per-mutator ledgers into the shared ones so Run_result sees
+     whole-program work, as it does under the simulator. *)
+  List.iter
+    (fun m ->
+      (match Mutator.own_cost m with
+      | Some c -> Cost.merge_into ~src:c ~dst:(Runtime.cost rt)
+      | None -> ());
+      match Mutator.own_telemetry m with
+      | Some tl -> Telemetry.merge_into ~src:tl ~dst:(Runtime.telemetry rt)
+      | None -> ())
+    !muts;
+  (Run_result.of_runtime ~workload:profile.Profile.name rt, rt)
+
+let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
+    ?(substrate = Substrate.Sim) ?threads
+    ?(instrument = fun (_ : Runtime.t) -> ()) ~gc profile =
+  let profile =
+    match threads with
+    | None -> profile
+    | Some n -> { profile with Profile.threads = n }
+  in
+  match substrate with
+  | Substrate.Sim -> run_sim ~heap ~seed ~scale ~instrument ~gc profile
+  | Substrate.Domains -> run_domains ~heap ~seed ~scale ~instrument ~gc profile
+
+let run ?heap ?seed ?scale ?substrate ?threads ~gc profile =
+  fst (run_rt ?heap ?seed ?scale ?substrate ?threads ~gc profile)
 
 let run_pair ?heap ?seed ?scale ~gc profile =
   let candidate = run ?heap ?seed ?scale ~gc profile in

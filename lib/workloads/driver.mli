@@ -3,9 +3,26 @@
 
     One call = one "benchmark run" of the paper: a fresh simulated heap, a
     collector daemon, [profile.threads] mutator threads running the
-    {!Engine}, deterministic scheduling from [seed].  The simulation runs
-    in coarse-grained mode (no micro-step yields) — races are the test
-    suite's job; benchmark runs only need the work/page/card accounting. *)
+    {!Engine}.  Two execution substrates are available:
+
+    - [Sim] (default): every thread is an effects-based cooperative
+      process, deterministically scheduled from [seed].  The whole run is
+      a pure function of its parameters — this is the substrate all the
+      paper-reproduction figures and the digest guard run on.
+    - [Domains]: every mutator and the collector daemon runs on its own
+      OCaml domain; handshakes, card marks and gray publishes are real
+      atomic operations, and allocation goes through per-mutator caches.
+      Wall-clock time is real, schedules are not reproducible.  At
+      quiescence the driver runs two full collections, so the reachability
+      oracle and the heap checker can cross-validate the end state against
+      a [Sim] run of the same parameters (see test_parallel.ml): each
+      thread draws the identical rng stream on both substrates, so the
+      end-of-run allocation totals match exactly and the live census
+      agrees within promotion tolerance.
+
+    Benchmark runs use coarse-grained mode (no micro-step yields) — races
+    are the test suite's job; the simulator runs only need the
+    work/page/card accounting. *)
 
 val default_heap : Otfgc_heap.Heap.config
 (** 1 MB initial, 4 MB maximum — the paper's 1→32 MB scaled by 8, matching
@@ -15,6 +32,8 @@ val run_rt :
   ?heap:Otfgc_heap.Heap.config ->
   ?seed:int ->
   ?scale:float ->
+  ?substrate:Otfgc_sched.Substrate.kind ->
+  ?threads:int ->
   ?instrument:(Otfgc.Runtime.t -> unit) ->
   gc:Otfgc.Gc_config.t ->
   Profile.t ->
@@ -24,12 +43,16 @@ val run_rt :
     right after the runtime is created — the place to enable the event log
     or telemetry instruments (both off by default).  The warmup reset
     clears the event log and telemetry along with the ledgers, so what
-    remains covers exactly the measured lap. *)
+    remains covers exactly the measured lap.  [threads] overrides the
+    profile's thread count (the speedup sweeps vary it); [substrate]
+    selects the execution substrate (default [Sim]). *)
 
 val run :
   ?heap:Otfgc_heap.Heap.config ->
   ?seed:int ->
   ?scale:float ->
+  ?substrate:Otfgc_sched.Substrate.kind ->
+  ?threads:int ->
   gc:Otfgc.Gc_config.t ->
   Profile.t ->
   Otfgc_metrics.Run_result.t
@@ -48,4 +71,5 @@ val run_pair :
   Otfgc_metrics.Run_result.t * Otfgc_metrics.Run_result.t
 (** [(generational_or_other, non_generational_baseline)] under identical
     parameters — the comparison every figure reports.  The baseline uses
-    {!Otfgc.Gc_config.non_generational} with the same trigger settings. *)
+    {!Otfgc.Gc_config.non_generational} with the same trigger settings.
+    Simulator substrate only (it feeds the pinned figures). *)

@@ -57,7 +57,10 @@ let push_node rt m ~size reg =
    triggered cycles finish before the mutator exits. *)
 let drain rt m =
   let st = Runtime.state rt in
-  while st.State.collecting || st.State.gc_request <> State.No_request do
+  while
+    Atomic.get st.State.collecting
+    || Atomic.get st.State.gc_request <> State.No_request
+  do
     Runtime.cooperate rt m;
     Sched.yield ()
   done

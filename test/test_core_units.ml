@@ -208,7 +208,7 @@ let test_oracle_reachability () =
   in
   let st = State.create heap (Gc_config.generational ()) in
   let m = Mutator.create ~id:0 ~name:"m" ~n_regs:2 in
-  st.State.mutators <- [ m ];
+  State.register_mutator st m;
   let a = Option.get (Heap.alloc heap ~size:32 ~n_slots:1 ~color:Color.C0) in
   let b = Option.get (Heap.alloc heap ~size:32 ~n_slots:1 ~color:Color.C0) in
   let orphan = Option.get (Heap.alloc heap ~size:32 ~n_slots:0 ~color:Color.C0) in

@@ -1,0 +1,116 @@
+(* Cross-substrate validation: the real-domains substrate must reach the
+   same end-of-run state as the deterministic simulator, up to scheduling.
+
+   The driver aligns the per-thread rng streams across substrates, so the
+   *program* each mutator executes is identical — only the interleaving
+   (and hence collection timing) differs.  That gives us sharp invariants
+   to compare:
+
+   - allocation totals (bytes and objects) match exactly;
+   - after the quiescent finale (two full collections) the reachability
+     oracle finds zero lost/leaked objects and the heap checker passes;
+   - promotion counts agree within a generous tolerance (promotion is
+     timing-dependent: an object tenures iff it survives enough cycles,
+     and the domains substrate runs a different number of cycles).
+
+   Byte-identity of the event stream is deliberately NOT compared — that
+   is the sim digest guard's job, and it is meaningless across real
+   schedules. *)
+
+open Otfgc_workloads
+module Substrate = Otfgc_sched.Substrate
+module Heap = Otfgc_heap.Heap
+module State = Otfgc.State
+module Oracle = Otfgc.Oracle
+module Runtime = Otfgc.Runtime
+module Gc_stats = Otfgc.Gc_stats
+module Run_result = Otfgc_metrics.Run_result
+
+let total_promotions rt =
+  let stats = (Runtime.state rt).State.stats in
+  let by kind = Gc_stats.sum stats kind (fun c -> float_of_int c.promotions) in
+  int_of_float (by Partial +. by Full +. by Non_gen)
+
+(* One grid point: run the same (profile, gc, threads, seed) on both
+   substrates and check every cross-substrate invariant. *)
+let check_config ~name ~profile ~gc ~threads ~seed ~scale () =
+  let run substrate = Driver.run_rt ~seed ~scale ~substrate ~threads ~gc profile in
+  let sim_res, sim_rt = run Substrate.Sim in
+  let dom_res, dom_rt = run Substrate.Domains in
+  Alcotest.(check int)
+    (name ^ ": total_alloc_bytes equal across substrates")
+    sim_res.Run_result.total_alloc_bytes dom_res.Run_result.total_alloc_bytes;
+  Alcotest.(check int)
+    (name ^ ": total_alloc_objects equal across substrates")
+    sim_res.Run_result.total_alloc_objects dom_res.Run_result.total_alloc_objects;
+  (* Zero lost objects: everything unreachable was reclaimed by the
+     finale, and nothing reachable was freed (the oracle would have
+     tripped an assert inside the run if it had been). *)
+  Alcotest.(check (list int))
+    (name ^ ": oracle finds no garbage after the domains finale")
+    [] (Oracle.garbage (Runtime.state dom_rt));
+  (match Heap.check ~check_slots:true (Runtime.heap dom_rt) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: domains heap check failed: %s" name msg);
+  (match Oracle.check_intergen_invariant (Runtime.state dom_rt) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: domains intergen invariant: %s" name msg);
+  (* Live census: all workload roots are dropped at retirement, so after
+     two quiescent full collections nothing should remain allocated. *)
+  Alcotest.(check int)
+    (name ^ ": domains heap empty at quiescence")
+    0 (Heap.object_count (Runtime.heap dom_rt));
+  (* Promotion tolerance: scheduling changes how many cycles an object
+     lives through, so only order-of-magnitude agreement is meaningful. *)
+  let sim_promoted = total_promotions sim_rt
+  and dom_promoted = total_promotions dom_rt in
+  let ceiling = (5 * sim_promoted) + 500 in
+  if dom_promoted > ceiling then
+    Alcotest.failf "%s: domains promoted %d objects, sim %d (ceiling %d)"
+      name dom_promoted sim_promoted ceiling
+
+let grid_case ~name ~profile ~gc ~threads ?(seed = 42) ?(scale = 0.04) () =
+  Alcotest.test_case name `Slow
+    (fun () -> check_config ~name ~profile ~gc ~threads ~seed ~scale ())
+
+let grid =
+  let open Otfgc.Gc_config in
+  [
+    grid_case ~name:"anagram/gen/1" ~profile:Profile.anagram
+      ~gc:(generational ()) ~threads:1 ();
+    grid_case ~name:"anagram/gen/2" ~profile:Profile.anagram
+      ~gc:(generational ()) ~threads:2 ();
+    grid_case ~name:"anagram/nongen/1" ~profile:Profile.anagram
+      ~gc:non_generational ~threads:1 ();
+    grid_case ~name:"anagram/aging2/2" ~profile:Profile.anagram
+      ~gc:(aging ~oldest_age:2 ()) ~threads:2 ();
+    grid_case ~name:"anagram/adaptive/1" ~profile:Profile.anagram
+      ~gc:(adaptive ()) ~threads:1 ();
+    grid_case ~name:"jack/gen/2" ~profile:Profile.jack ~gc:(generational ())
+      ~threads:2 ~seed:7 ();
+    grid_case ~name:"raytracer/gen/2" ~profile:(Profile.raytracer ~threads:2)
+      ~gc:(generational ()) ~threads:2 ~scale:0.02 ();
+  ]
+
+(* Stress: arm the substrate's jitter hook so every yield point may burn
+   a random spin — this perturbs the interleaving at exactly the
+   barrier/handshake-sensitive program points.  The invariants must hold
+   under any schedule the jitter produces. *)
+let stress_jitter () =
+  let gc = Otfgc.Gc_config.generational () in
+  Fun.protect ~finally:Substrate.clear_jitter (fun () ->
+      List.iter
+        (fun seed ->
+          Substrate.set_jitter ~seed ~prob:0.05 ~max_spin:400;
+          let name = Printf.sprintf "jitter seed %d" seed in
+          check_config ~name ~profile:Profile.anagram ~gc ~threads:2 ~seed
+            ~scale:0.03 ())
+        [ 1; 2; 3 ])
+
+let suites =
+  [
+    ( "parallel.cross-check",
+      grid
+      @ [ Alcotest.test_case "jitter stress at handshake points" `Slow
+            stress_jitter ] );
+  ]

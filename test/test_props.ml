@@ -91,7 +91,8 @@ let run_random_program ~mode ~seed ~n_mutators ~ops_per_mutator =
               store, so there is no transient window (the aging barrier
               marks after the store, per Figure 4, so it is excluded). *)
            (match mode with
-           | (`Gen | `Remset) when not (Runtime.state rt).State.collecting -> (
+           | (`Gen | `Remset)
+             when not (Atomic.get (Runtime.state rt).State.collecting) -> (
                match Oracle.check_intergen_invariant (Runtime.state rt) with
                | Ok () -> ()
                | Error e ->

@@ -35,7 +35,8 @@ let test_request_collection_coalesces () =
   Runtime.request_collection rt ~full:false;
   (* a second request while one is pending does not upgrade or replace *)
   Runtime.request_collection rt ~full:true;
-  check "first request kept" true (st.State.gc_request = State.Want_partial)
+  check "first request kept" true
+    (Atomic.get st.State.gc_request = State.Want_partial)
 
 let test_new_mutator_waits_for_idle_collector () =
   let rt =
@@ -65,8 +66,8 @@ let test_new_mutator_waits_for_idle_collector () =
          let st = Runtime.state rt in
          Sched.wait_until (fun () ->
              Runtime.cooperate rt m;
-             (not st.State.collecting)
-             && st.State.gc_request = State.No_request
+             (not (Atomic.get st.State.collecting))
+             && Atomic.get st.State.gc_request = State.No_request
              && !second_registered);
          Runtime.retire_mutator rt m));
   Sched.run ~max_steps:20_000_000 sched;
