@@ -19,6 +19,9 @@
                               raytracer at fixed total work for mutator
                               counts 1,2,4..., written in the trajectory
                               schema to --out (default speedup.json);
+                              --gc-workers N widens the collection crew
+                              (worker-scaling curve); records the visible
+                              core count and warns on oversubscription;
                               machine-dependent, never gated
      main.exe --scale 0.4     override the headline scale
      main.exe --jobs 8        simulation parallelism (domains; default
@@ -705,13 +708,24 @@ module Speedup = struct
   (* One sweep point: the raytracer workload on [m] real domains at fixed
      TOTAL allocation volume (per-thread scale = base / m), so the curve
      answers "does adding mutator domains shorten the wall clock for the
-     same total work while the collector runs concurrently?". *)
-  let run_point ~scale m =
+     same total work while the collector runs concurrently?".
+     [gc_workers] widens the collection crew (collector domain plus
+     helpers) — the worker-scaling sweep varies it at fixed m. *)
+  let run_point ~scale ~gc_workers m =
+    let cores = Domain.recommended_domain_count () in
+    (* m mutator domains + the collector domain + (gc_workers - 1)
+       helpers all want a core at once during a cycle. *)
+    if m + gc_workers > cores then
+      Printf.printf
+        "  warning: m=%d mutators + %d collector worker(s) oversubscribe \
+         the %d visible core(s); wall-clock numbers will understate \
+         concurrency\n%!"
+        m gc_workers cores;
     let profile = Profile.raytracer ~threads:m in
     let t0 = Unix.gettimeofday () in
     let result, rt =
       Driver.run_rt ~seed ~scale:(scale /. float_of_int m)
-        ~substrate:Substrate.Domains
+        ~substrate:Substrate.Domains ~gc_workers
         ~instrument:(fun rt -> Telemetry.set_enabled (Runtime.telemetry rt) true)
         ~gc:(Gc_config.generational ()) profile
     in
@@ -730,22 +744,28 @@ module Speedup = struct
       /. (1024. *. 1024.) /. wall_s
     in
     Printf.printf
-      "  m=%d  %7.1f MB alloc  %6.2f s wall  %8.2f MB/s  p99 handshake %d us  \
-       p99 stall %d us\n%!"
-      m
+      "  m=%d w=%d  %7.1f MB alloc  %6.2f s wall  %8.2f MB/s  p99 handshake \
+       %d us  p99 stall %d us  %d steal(s)\n%!"
+      m gc_workers
       (float_of_int result.Run_result.total_alloc_bytes /. (1024. *. 1024.))
       wall_s throughput_mb_s (p99_us hs)
-      (p99_us (Telemetry.stall_latency tel));
+      (p99_us (Telemetry.stall_latency tel))
+      (Telemetry.steals tel);
     {
-      Trajectory.name = Printf.sprintf "speedup-m%d" m;
+      Trajectory.name = Printf.sprintf "speedup-m%d-w%d" m gc_workers;
       wall_ms = wall_s *. 1000.;
       metrics =
         [
           ("mutators", float_of_int m);
+          ("gc_workers", float_of_int gc_workers);
+          ("cores", float_of_int cores);
           ("throughput_mb_s", throughput_mb_s);
           ("total_alloc_bytes", float_of_int result.Run_result.total_alloc_bytes);
           ("p99_handshake_us", float_of_int (p99_us hs));
           ("p99_stall_us", float_of_int (p99_us (Telemetry.stall_latency tel)));
+          ("steals", float_of_int (Telemetry.steals tel));
+          ("steal_failures", float_of_int (Telemetry.steal_failures tel));
+          ("lock_waits", float_of_int (Telemetry.lock_waits_total tel));
           ("n_cycles",
            float_of_int
              (result.Run_result.n_partial + result.Run_result.n_full
@@ -757,18 +777,21 @@ module Speedup = struct
      machine-dependent and NEVER gated: the output goes to its own JSON
      (CI uploads it as an artifact for trend-reading), reusing the
      trajectory schema so existing tooling parses it.  [quick] shrinks
-     the volume for smoke runs. *)
-  let run ~quick ~out =
+     the volume for smoke runs.  [gc_workers] > 1 turns the sweep into
+     the worker-scaling curve (EXPERIMENTS.md): same mutator counts, a
+     parallel collection crew per point. *)
+  let run ~quick ~gc_workers ~out =
     let scale = if quick then 0.05 else 0.5 in
     let counts = mutator_counts () in
+    let cores = Domain.recommended_domain_count () in
     Printf.printf
       "Speedup sweep: raytracer on real domains, fixed total work (scale \
-       %.2f), m in {%s}, %d core(s) visible.\nWall-clock numbers are \
-       machine-dependent — recorded, never gated.\n%!"
+       %.2f), m in {%s}, gc workers %d, %d core(s) visible.\nWall-clock \
+       numbers are machine-dependent — recorded, never gated.\n%!"
       scale
       (String.concat ", " (List.map string_of_int counts))
-      (Domain.recommended_domain_count ());
-    let scenarios = List.map (run_point ~scale) counts in
+      gc_workers cores;
+    let scenarios = List.map (run_point ~scale ~gc_workers) counts in
     let t = Trajectory.make ~scale ~seed ~quick scenarios in
     let oc = open_out out in
     output_string oc (Json.to_string (Trajectory.to_json t));
@@ -846,7 +869,20 @@ let () =
       in
       find args
     in
-    exit (Speedup.run ~quick ~out)
+    let gc_workers =
+      let rec find = function
+        | "--gc-workers" :: v :: _ -> (
+            match int_of_string_opt v with
+            | Some n when n >= 1 -> n
+            | _ ->
+                Printf.eprintf "--gc-workers wants a positive integer, got %S\n" v;
+                exit 2)
+        | _ :: rest -> find rest
+        | [] -> 1
+      in
+      find args
+    in
+    exit (Speedup.run ~quick ~gc_workers ~out)
   end
   else if micro_only then Micro.run ~quick ()
   else begin

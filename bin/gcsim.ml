@@ -70,6 +70,15 @@ let mutators_arg =
   in
   Arg.(value & opt (some int) None & info [ "mutators" ] ~docv:"N" ~doc)
 
+let gc_workers_arg =
+  let doc =
+    "Collection crew width: the collector domain plus N-1 helper domains \
+     share card scanning, tracing (work-stealing deques) and sweeping.  \
+     Requires --substrate domains when > 1; 1 (default) is the serial \
+     collector."
+  in
+  Arg.(value & opt int 1 & info [ "gc-workers" ] ~docv:"N" ~doc)
+
 let parse_substrate = function
   | "sim" -> Ok Otfgc_sched.Substrate.Sim
   | "domains" -> Ok Otfgc_sched.Substrate.Domains
@@ -192,8 +201,8 @@ let run_cmd =
     let doc = "Print the collector's phase-event timeline after the run." in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run workload mode card young scale seed substrate mutators trace
-      telemetry trace_out sample_every =
+  let run workload mode card young scale seed substrate mutators gc_workers
+      trace telemetry trace_out sample_every =
     match parse_workload workload with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok profile -> (
@@ -203,10 +212,17 @@ let run_cmd =
           match parse_substrate substrate with
           | Error (`Msg m) -> prerr_endline m; 1
           | Ok substrate ->
+            if gc_workers > 1 && substrate <> Otfgc_sched.Substrate.Domains
+            then begin
+              prerr_endline "--gc-workers > 1 requires --substrate domains";
+              1
+            end
+            else begin
             let heap = heap_of_card card in
             let t0 = Unix.gettimeofday () in
             let r, rt =
               Driver.run_rt ~heap ~seed ~scale ~substrate ?threads:mutators
+                ~gc_workers
                 ~instrument:
                   (instrument_for ~trace ~telemetry ~trace_out ~sample_every)
                 ~gc profile
@@ -214,11 +230,12 @@ let run_cmd =
             if substrate = Otfgc_sched.Substrate.Domains then
               Printf.printf
                 "domains substrate: %.2f s wall, %d mutator domain(s) + \
-                 collector\n"
+                 %d collector worker(s)\n"
                 (Unix.gettimeofday () -. t0)
                 (match mutators with
                 | Some n -> n
-                | None -> profile.Profile.threads);
+                | None -> profile.Profile.threads)
+                gc_workers;
             Format.printf "%a@." Run_result.pp r;
             if telemetry then begin
               print_newline ();
@@ -237,14 +254,15 @@ let run_cmd =
             Option.iter
               (write_trace rt ~workload:profile.Profile.name)
               trace_out;
-            0))
+            0
+            end))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one collector and print its summary.")
     Term.(
       const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
-      $ seed_arg $ substrate_arg $ mutators_arg $ trace_arg $ telemetry_arg
-      $ trace_out_arg $ sample_every_arg ~default:0)
+      $ seed_arg $ substrate_arg $ mutators_arg $ gc_workers_arg $ trace_arg
+      $ telemetry_arg $ trace_out_arg $ sample_every_arg ~default:0)
 
 (* ------------------------------------------------------------------ *)
 (* gcsim compare                                                       *)

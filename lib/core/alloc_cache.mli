@@ -24,6 +24,12 @@ val create : unit -> t
 val max_cached_bytes : int
 (** Requests at or above this size bypass the cache. *)
 
+val n_classes : int
+(** Number of size-class bins (sizes are binned by granule). *)
+
+val class_of : size:int -> int
+(** The size class a request is binned into (granule-rounded). *)
+
 val cacheable : size:int -> bool
 
 val get : t -> size:int -> int option

@@ -683,6 +683,312 @@ let sweep st cycle =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Parallel phases (domains substrate, Gc_par crew)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker-context variants of the card scan, trace and sweep.  Worker 0
+   is the orchestrating collector domain (its ledgers alias the shared
+   ones, so phase attribution is unchanged); helpers charge private
+   ledgers merged at cycle end.  Per-cycle statistics go to the
+   worker's partial counters, folded into the cycle record at each
+   phase barrier.  Two deliberate omissions versus the serial paths:
+   no [Page_set] touches and no [Observatory] sampling — both are
+   shared mutable structures with no synchronisation, and the domains
+   figures never feed the simulated-locality plots ([pages_touched]
+   undercounts when a multi-worker crew runs; DESIGN.md §11). *)
+
+(* Card ownership: round-robin chunks of 64 cards (one card-table cache
+   line's worth) per worker, so dirty-card clusters spread across the
+   crew without splitting any single card. *)
+let par_card_chunk = 64
+
+let owns_card st (w : Gc_par.worker) card =
+  (card / par_card_chunk) mod st.par.Gc_par.n_workers = w.Gc_par.wid
+
+let par_cards_simple st (w : Gc_par.worker) =
+  Cost.set_phase w.Gc_par.cost Cost.Card_scan;
+  let heap = st.heap in
+  let cards = Heap.cards heap in
+  let n = cards_covering_capacity st in
+  let charge = Cost.collector w.Gc_par.cost in
+  for card = 0 to n - 1 do
+    if owns_card st w card then begin
+      if card land 63 = 0 then charge 1;
+      if Card_table.is_dirty cards card then begin
+        Telemetry.hit_dirty_card w.Gc_par.tel;
+        w.Gc_par.dirty_cards <- w.Gc_par.dirty_cards + 1;
+        charge Cost.c_card_visit;
+        Card_table.clear_card cards card;
+        State.lock_heap st;
+        Heap.iter_objects_on_card_buf heap ~scratch:w.Gc_par.scratch card
+          (fun x ->
+            charge Cost.c_card_obj;
+            if Color.equal (Heap.color heap x) Color.Black then begin
+              w.Gc_par.intergen_scanned <- w.Gc_par.intergen_scanned + 1;
+              w.Gc_par.card_scan_bytes <-
+                w.Gc_par.card_scan_bytes + Heap.size heap x;
+              Heap.set_color heap x Color.Gray;
+              Gray_queue.push st.gray x;
+              charge Cost.c_mark_gray
+            end);
+        State.unlock_heap st
+      end
+    end
+  done
+
+let par_cards_aging st (w : Gc_par.worker) =
+  Cost.set_phase w.Gc_par.cost Cost.Card_scan;
+  let heap = st.heap in
+  let cards = Heap.cards heap in
+  let n = cards_covering_capacity st in
+  let charge = Cost.collector w.Gc_par.cost in
+  for card = 0 to n - 1 do
+    if owns_card st w card then begin
+      if card land 63 = 0 then charge 1;
+      if Card_table.is_dirty cards card then begin
+        Telemetry.hit_dirty_card w.Gc_par.tel;
+        w.Gc_par.dirty_cards <- w.Gc_par.dirty_cards + 1;
+        charge Cost.c_card_visit;
+        (* 3-step protocol, per card, same as the serial scan: each card
+           has exactly one owner, so the clear/scan/re-mark sequence
+           races only the mutators it was already designed to race. *)
+        Card_table.clear_card cards card;
+        let has_young = ref false in
+        State.lock_heap st;
+        Heap.iter_objects_on_card_buf heap ~scratch:w.Gc_par.scratch card
+          (fun x ->
+            charge Cost.c_card_obj;
+            let old = is_old st x in
+            w.Gc_par.card_scan_bytes <-
+              w.Gc_par.card_scan_bytes + Heap.size heap x;
+            if old then
+              w.Gc_par.intergen_scanned <- w.Gc_par.intergen_scanned + 1;
+            let k = Heap.n_slots heap x in
+            for i = 0 to k - 1 do
+              charge Cost.c_scan_slot;
+              let y = Heap.get_slot heap x i in
+              if y <> Heap.nil then begin
+                if old then
+                  charged_mark_gray st ~charge ~tel:w.Gc_par.tel ~sync:false y;
+                if not (is_old st y) then has_young := true
+              end
+            done);
+        State.unlock_heap st;
+        if !has_young then begin
+          Card_table.mark_card cards card;
+          charge Cost.c_mark_card
+        end
+      end
+    end
+  done
+
+(* Trace-phase worker: drain own deque (LIFO, lock-free), then the
+   shared queue (mutator barrier pushes), then steal; when everything
+   looks dry, register idle and run the Gc_par termination protocol. *)
+let par_mark_black st (w : Gc_par.worker) x =
+  let heap = st.heap in
+  let target = trace_target st in
+  let charge = Cost.collector w.Gc_par.cost in
+  if not (Color.equal (Heap.color heap x) target) then begin
+    charge Cost.c_trace_obj;
+    let k = Heap.n_slots heap x in
+    for i = 0 to k - 1 do
+      charge Cost.c_scan_slot;
+      let y = Heap.get_slot heap x i in
+      if y <> Heap.nil then
+        charged_mark_gray st ~charge ~tel:w.Gc_par.tel ~sync:false y
+    done;
+    Heap.set_color heap x target;
+    (* two workers can race on a duplicate entry and both blacken [x];
+       the recolor is idempotent and the double-count is bounded by the
+       (rare) duplicates the serial trace already tolerates *)
+    w.Gc_par.objects_traced <- w.Gc_par.objects_traced + 1;
+    match mode_of st with
+    | Gc_config.Generational ->
+        w.Gc_par.promotions <- w.Gc_par.promotions + 1
+    | Gc_config.Non_generational | Gc_config.Generational_aging _
+    | Gc_config.Generational_adaptive ->
+        ()
+  end
+
+let par_trace st (w : Gc_par.worker) =
+  Cost.set_phase w.Gc_par.cost Cost.Trace;
+  let par = st.par in
+  let n = par.Gc_par.n_workers in
+  let gray = st.gray in
+  let charge = Cost.collector w.Gc_par.cost in
+  (* per-worker deterministic victim sequence (no shared rng state) *)
+  let rng = ref ((w.Gc_par.wid * 0x9E3779B9) lor 1) in
+  let next_victim () =
+    rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+    !rng mod n
+  in
+  let rec run () =
+    match Gray_queue.pop_local gray ~w:w.Gc_par.wid with
+    | Some x ->
+        charge 1;
+        par_mark_black st w x;
+        run ()
+    | None -> (
+        match Gray_queue.pop gray with
+        | Some x ->
+            charge 1;
+            par_mark_black st w x;
+            run ()
+        | None -> try_steal (2 * n))
+  and try_steal budget =
+    if budget = 0 then idle ()
+    else
+      let victim = next_victim () in
+      if victim = w.Gc_par.wid then try_steal budget
+      else
+        match Gray_queue.steal gray ~victim with
+        | Some x ->
+            w.Gc_par.steals <- w.Gc_par.steals + 1;
+            charge 1;
+            par_mark_black st w x;
+            run ()
+        | None ->
+            w.Gc_par.steal_failures <- w.Gc_par.steal_failures + 1;
+            try_steal (budget - 1)
+  and idle () =
+    Atomic.incr par.Gc_par.idle;
+    wait_idle ()
+  and wait_idle () =
+    (* Park with the substrate's spin-then-sleep backoff (bare cpu_relax
+       here starves the very workers we wait on when cores are scarce)
+       until there is work, a termination verdict, or this worker itself
+       declares termination. *)
+    Substrate.wait_until (fun () ->
+        Atomic.get par.Gc_par.term
+        || (not (Gray_queue.is_empty gray))
+        || Gc_par.try_terminate par ~queues_empty:(fun () ->
+               Gray_queue.all_empty gray));
+    if Atomic.get par.Gc_par.term then ()
+    else if not (Gray_queue.is_empty gray) then begin
+      (* activity stamp before the idle decrement — the ordering the
+         termination check's soundness argument needs *)
+      Gc_par.leave_idle par;
+      run ()
+    end
+    else wait_idle ()
+  in
+  run ()
+
+(* Sweep-region boundaries: n+1 block-aligned addresses computed under
+   the heap lock.  They stay block starts for the whole phase — splits
+   only add boundaries, merges only coalesce blocks strictly inside one
+   region (each worker suppresses the leftward merge at its region
+   start), and mutator-triggered growth is blocked while [collecting]
+   is up. *)
+let compute_sweep_bounds st =
+  let n = st.par.Gc_par.n_workers in
+  let space = Heap.space st.heap in
+  let cap = Heap.capacity st.heap in
+  let bounds = Array.make (n + 1) 0 in
+  State.lock_heap st;
+  for i = 1 to n - 1 do
+    bounds.(i) <- Space.find_block_start space (i * cap / n)
+  done;
+  State.unlock_heap st;
+  bounds.(n) <- cap;
+  for i = 1 to n do
+    if bounds.(i) < bounds.(i - 1) then bounds.(i) <- bounds.(i - 1)
+  done;
+  st.par.Gc_par.sweep_bounds <- bounds
+
+let par_sweep st (w : Gc_par.worker) =
+  Cost.set_phase w.Gc_par.cost Cost.Sweep;
+  let heap = st.heap in
+  let space = Heap.space heap in
+  let ages = Heap.ages heap in
+  let tenure = survivals_to_tenure st in
+  let bounds = st.par.Gc_par.sweep_bounds in
+  let lo = bounds.(w.Gc_par.wid) in
+  let hi = bounds.(w.Gc_par.wid + 1) in
+  let charge = Cost.collector w.Gc_par.cost in
+  let addr = ref lo in
+  while !addr < hi do
+    State.lock_heap st;
+    let size = Space.unsafe_size space !addr in
+    charge (Cost.c_sweep_block + (size / 64));
+    let x = !addr in
+    (match Space.unsafe_kind space x with
+    | Space.Free ->
+        (* never merge across the region seam: the leftward merge at
+           [lo] would extend a block the previous worker's cursor may
+           still stand on *)
+        if x > lo then ignore (Heap.merge_free_prev heap x : int)
+    | Space.Allocated ->
+        let c = Heap.color heap x in
+        if Color.equal c Color.Blue then ()
+        else if Color.equal c st.clear_color then begin
+          charge Cost.c_free;
+          w.Gc_par.objects_freed <- w.Gc_par.objects_freed + 1;
+          w.Gc_par.bytes_freed <- w.Gc_par.bytes_freed + size;
+          Heap.free heap x;
+          if x > lo then ignore (Heap.merge_free_prev heap x : int)
+        end
+        else begin
+          match mode_of st with
+          | Gc_config.Non_generational | Gc_config.Generational ->
+              if Color.equal c Color.Gray then
+                Heap.set_color heap x st.allocation_color
+          | Gc_config.Generational_aging _ | Gc_config.Generational_adaptive
+            ->
+              let age = Age_table.get ages x in
+              if Color.equal c Color.Black && (age = 255 || age + 1 >= tenure)
+              then begin
+                if age <> 255 then begin
+                  w.Gc_par.promotions <- w.Gc_par.promotions + 1;
+                  Age_table.set ages x 255
+                end
+              end
+              else begin
+                if not (Color.equal c st.allocation_color) then
+                  Heap.set_color heap x st.allocation_color;
+                if age < 254 then Age_table.incr ages x;
+                charge 1
+              end
+        end);
+    State.unlock_heap st;
+    addr := !addr + size
+  done
+
+(* Orchestrator side: open a phase, run worker 0's share inline, wait
+   for the helpers' barrier, fold the partials into the cycle. *)
+let run_phase st cycle p ~self =
+  let par = st.par in
+  Gc_par.open_phase par p;
+  self par.Gc_par.workers.(0);
+  Substrate.wait_until (fun () -> Gc_par.helpers_done par);
+  Gc_par.drain_partials par cycle;
+  par.Gc_par.phase <- Gc_par.Idle
+
+(* Helper-domain body: park on the epoch counter, run each opened
+   phase's share, check in at the barrier.  Spawned once per run by the
+   driver (daemon domains, like the collector). *)
+let gc_worker_loop st wid =
+  Gray_queue.set_worker_id st.gray wid;
+  let par = st.par in
+  let w = par.Gc_par.workers.(wid) in
+  let seen = ref (Atomic.get par.Gc_par.epoch) in
+  while not (Atomic.get st.shutdown) do
+    Substrate.wait_until (fun () ->
+        Atomic.get st.shutdown || Atomic.get par.Gc_par.epoch <> !seen);
+    if Atomic.get par.Gc_par.epoch <> !seen then begin
+      seen := Atomic.get par.Gc_par.epoch;
+      (match par.Gc_par.phase with
+      | Gc_par.Idle -> ()
+      | Gc_par.Cards_simple -> par_cards_simple st w
+      | Gc_par.Cards_aging -> par_cards_aging st w
+      | Gc_par.Trace -> par_trace st w
+      | Gc_par.Sweep -> par_sweep st w);
+      Atomic.incr par.Gc_par.done_count
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Census: out-of-band instrumentation (no cost, no pages, no yields)  *)
 (* ------------------------------------------------------------------ *)
 
@@ -754,6 +1060,7 @@ let run_cycle st ~full =
   wait_handshake st;
   (* mark phase *)
   post_handshake st Status.Sync2;
+  let crew = Gc_par.active st.par in
   (match mode with
   | Gc_config.Non_generational -> ()
   | Gc_config.Generational ->
@@ -761,7 +1068,11 @@ let run_cycle st ~full =
          set), then toggle — new objects become "yellow" only after the
          inter-generational records are settled. *)
       (match st.cfg.Gc_config.intergen with
-      | Gc_config.Card_marking -> clear_cards_simple st cycle
+      | Gc_config.Card_marking ->
+          if crew then
+            run_phase st cycle Gc_par.Cards_simple
+              ~self:(fun w -> par_cards_simple st w)
+          else clear_cards_simple st cycle
       | Gc_config.Remembered_set -> scan_remset_simple st cycle);
       emit st
         (Event_log.Intergen_scanned { seeds = cycle.Gc_stats.intergen_scanned });
@@ -772,7 +1083,10 @@ let run_cycle st ~full =
          and the dirty bits stay for the next partial (Section 6). *)
       switch_allocation_clear_colors st;
       if not full then begin
-        clear_cards_aging st cycle;
+        if crew then
+          run_phase st cycle Gc_par.Cards_aging
+            ~self:(fun w -> par_cards_aging st w)
+        else clear_cards_aging st cycle;
         emit st
           (Event_log.Intergen_scanned
              { seeds = cycle.Gc_stats.intergen_scanned })
@@ -791,7 +1105,12 @@ let run_cycle st ~full =
     st.globals;
   wait_handshake st;
   (* trace *)
-  trace st cycle;
+  if crew then begin
+    cycle.Gc_stats.trace_workers <- st.par.Gc_par.n_workers;
+    run_phase st cycle Gc_par.Trace ~self:(fun w -> par_trace st w)
+  end
+  else trace st cycle;
+  Telemetry.note_trace_workers st.telemetry cycle.Gc_stats.trace_workers;
   emit st (Event_log.Trace_complete { traced = cycle.Gc_stats.objects_traced });
   (* [sweeping] is raised before [tracing] drops so the non-generational
      create color never observes a gap between the two phases (a clear
@@ -800,7 +1119,11 @@ let run_cycle st ~full =
   Atomic.set st.sweeping true;
   Atomic.set st.tracing false;
   (* sweep *)
-  sweep st cycle;
+  if crew then begin
+    compute_sweep_bounds st;
+    run_phase st cycle Gc_par.Sweep ~self:(fun w -> par_sweep st w)
+  end
+  else sweep st cycle;
   emit st
     (Event_log.Sweep_complete
        {
@@ -837,6 +1160,15 @@ let run_cycle st ~full =
           st.tenure_threshold <- st.tenure_threshold + 1
       end
   | _ -> ());
+  (* Fold the helpers' private ledgers into the shared ones before the
+     work accounting below reads them, so [cycle.work] counts every
+     worker's share; steal counters become run-level telemetry here
+     (worker partials were already drained into the cycle record). *)
+  if crew then begin
+    Gc_par.merge_ledgers st.par ~cost0:st.cost ~tel0:st.telemetry;
+    Telemetry.add_steals st.telemetry cycle.Gc_stats.steals;
+    Telemetry.add_steal_failures st.telemetry cycle.Gc_stats.steal_failures
+  end;
   cycle.Gc_stats.work <- Cost.collector_work st.cost - work0;
   cycle.Gc_stats.active_span <- Cost.elapsed_multi st.cost - elapsed0;
   cycle.Gc_stats.pages_touched <- Page_set.count st.pages;
@@ -899,6 +1231,9 @@ let run_cycle st ~full =
   cycle
 
 let collector_loop st =
+  (* the orchestrating collector domain is trace worker 0 when a crew
+     is armed (domains substrate only — the simulator never arms one) *)
+  if Gc_par.active st.par then Gray_queue.set_worker_id st.gray 0;
   while not (Atomic.get st.shutdown) do
     Substrate.wait_until (fun () ->
         Atomic.get st.shutdown || Atomic.get st.gc_request <> No_request);

@@ -49,6 +49,13 @@ val collector_loop : State.t -> unit
 (** Body of the collector thread: wait for a trigger or shutdown, run
     cycles.  Spawn as a daemon process. *)
 
+val gc_worker_loop : State.t -> int -> unit
+(** Body of collector helper worker [wid] (1..n-1) on the domains
+    substrate: park on the crew's epoch counter, run each opened
+    phase's share (card scan / trace / sweep), check in at the phase
+    barrier; exits at shutdown.  Spawn as a daemon domain after
+    [Runtime.set_gc_workers]. *)
+
 (** {2 Exposed for tests} *)
 
 val mark_gray : State.t -> tel:Telemetry.t -> sync:bool -> int -> bool

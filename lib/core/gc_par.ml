@@ -1,0 +1,188 @@
+(* Coordination state for multi-worker collection on the domains
+   substrate.
+
+   Worker 0 is the orchestrating collector domain itself; workers
+   1..n-1 are helper domains parked in Collector.gc_worker_loop.  The
+   orchestrator opens a phase by publishing the phase name and then
+   incrementing [epoch] (the release store the helpers' epoch poll
+   acquires); helpers run their share and increment [done_count]; the
+   orchestrator runs worker 0's share and waits for
+   [done_count = n - 1] before folding every worker's partial counters
+   into the cycle record.  Between phases helpers spin on [epoch], so
+   all cycle-global decisions stay on the orchestrator exactly as in
+   the serial collector.
+
+   Trace termination (the only phase whose work set grows while it
+   runs) uses the idle/activity protocol described in DESIGN.md §11:
+   a worker that goes idle increments [idle]; before taking any work
+   it increments [activity] and decrements [idle] — in that order, so
+   the termination check below can never miss work created by a worker
+   it already counted idle.  Termination is declared only by a worker
+   that observes, in order: a stamp a1 of [activity]; [idle] = n;
+   every queue empty; [activity] still a1.  If any worker took work
+   after the stamp, the final read sees a changed stamp and the check
+   retries.  Mutator barrier pushes racing the declaration are
+   tolerated exactly as in the serial trace's final pop-None — the
+   late-shaded object rides through the sweep as floating gray and is
+   normalised there. *)
+
+type phase = Idle | Cards_simple | Cards_aging | Trace | Sweep
+
+type worker = {
+  wid : int;
+  cost : Cost.t;
+  tel : Telemetry.t;
+  mutable tick : int;
+  scratch : int array ref;
+  (* per-phase partials, folded into the cycle record at the phase
+     barrier and zeroed *)
+  mutable dirty_cards : int;
+  mutable intergen_scanned : int;
+  mutable card_scan_bytes : int;
+  mutable objects_traced : int;
+  mutable promotions : int;
+  mutable objects_freed : int;
+  mutable bytes_freed : int;
+  mutable steals : int;
+  mutable steal_failures : int;
+}
+
+type t = {
+  mutable n_workers : int;
+  mutable workers : worker array;
+  epoch : int Atomic.t;
+  mutable phase : phase;
+  done_count : int Atomic.t;
+  idle : int Atomic.t;
+  activity : int Atomic.t;
+  term : bool Atomic.t;
+  mutable sweep_bounds : int array;
+}
+
+let make_worker ~wid ~cost ~tel =
+  {
+    wid;
+    cost;
+    tel;
+    tick = 0;
+    scratch = ref (Array.make 32 0);
+    dirty_cards = 0;
+    intergen_scanned = 0;
+    card_scan_bytes = 0;
+    objects_traced = 0;
+    promotions = 0;
+    objects_freed = 0;
+    bytes_freed = 0;
+    steals = 0;
+    steal_failures = 0;
+  }
+
+let create () =
+  {
+    n_workers = 1;
+    workers = [||];
+    epoch = Atomic.make 0;
+    phase = Idle;
+    done_count = Atomic.make 0;
+    idle = Atomic.make 0;
+    activity = Atomic.make 0;
+    term = Atomic.make false;
+    sweep_bounds = [||];
+  }
+
+(* Arm the crew.  Worker 0 keeps charging the shared collector ledgers
+   (phase attribution stays exact); helpers get private ledgers the
+   orchestrator merges into the shared ones at each cycle's end. *)
+let configure t ~n ~cost0 ~tel0 =
+  t.n_workers <- n;
+  t.workers <-
+    Array.init n (fun wid ->
+        if wid = 0 then make_worker ~wid ~cost:cost0 ~tel:tel0
+        else make_worker ~wid ~cost:(Cost.create ()) ~tel:(Telemetry.create ()))
+
+let active t = t.n_workers > 1
+
+let reset_partials w =
+  w.dirty_cards <- 0;
+  w.intergen_scanned <- 0;
+  w.card_scan_bytes <- 0;
+  w.objects_traced <- 0;
+  w.promotions <- 0;
+  w.objects_freed <- 0;
+  w.bytes_freed <- 0;
+  w.steals <- 0;
+  w.steal_failures <- 0
+
+(* Fold every worker's phase partials into the cycle record, then zero
+   them for the next phase.  Orchestrator only, at a phase barrier. *)
+let drain_partials t (cycle : Gc_stats.cycle) =
+  Array.iter
+    (fun w ->
+      cycle.Gc_stats.dirty_cards <- cycle.Gc_stats.dirty_cards + w.dirty_cards;
+      cycle.Gc_stats.intergen_scanned <-
+        cycle.Gc_stats.intergen_scanned + w.intergen_scanned;
+      cycle.Gc_stats.card_scan_bytes <-
+        cycle.Gc_stats.card_scan_bytes + w.card_scan_bytes;
+      cycle.Gc_stats.objects_traced <-
+        cycle.Gc_stats.objects_traced + w.objects_traced;
+      cycle.Gc_stats.promotions <- cycle.Gc_stats.promotions + w.promotions;
+      cycle.Gc_stats.objects_freed <-
+        cycle.Gc_stats.objects_freed + w.objects_freed;
+      cycle.Gc_stats.bytes_freed <- cycle.Gc_stats.bytes_freed + w.bytes_freed;
+      cycle.Gc_stats.steals <- cycle.Gc_stats.steals + w.steals;
+      cycle.Gc_stats.steal_failures <-
+        cycle.Gc_stats.steal_failures + w.steal_failures;
+      reset_partials w)
+    t.workers
+
+(* Merge the helpers' private cost/telemetry ledgers into the shared
+   ones and reset them.  Orchestrator only, before the cycle's work
+   accounting reads the shared ledger (run_cycle's [work - work0]). *)
+let merge_ledgers t ~cost0 ~tel0 =
+  Array.iter
+    (fun w ->
+      if w.wid <> 0 then begin
+        Cost.merge_into ~src:w.cost ~dst:cost0;
+        Cost.reset w.cost;
+        Telemetry.merge_into ~src:w.tel ~dst:tel0;
+        Telemetry.reset w.tel
+      end)
+    t.workers
+
+(* {2 Phase protocol — orchestrator side} *)
+
+let open_phase t p =
+  t.phase <- p;
+  Atomic.set t.done_count 0;
+  if p = Trace then begin
+    Atomic.set t.idle 0;
+    Atomic.set t.activity 0;
+    Atomic.set t.term false
+  end;
+  (* release store: helpers acquire it in their epoch poll *)
+  Atomic.incr t.epoch
+
+let helpers_done t = Atomic.get t.done_count >= t.n_workers - 1
+
+(* {2 Trace termination — any worker} *)
+
+(* Call while holding no work, after registering idle (incr t.idle).
+   Returns true when termination has been (or is now) declared. *)
+let try_terminate t ~queues_empty =
+  Atomic.get t.term
+  ||
+  let a1 = Atomic.get t.activity in
+  if Atomic.get t.idle = t.n_workers && queues_empty ()
+     && Atomic.get t.activity = a1
+  then begin
+    Atomic.set t.term true;
+    true
+  end
+  else Atomic.get t.term
+
+(* A worker leaves the idle set to take (or look for) work: the order —
+   activity stamp first, then idle decrement — is what makes the
+   termination check sound (see module header). *)
+let leave_idle t =
+  Atomic.incr t.activity;
+  Atomic.decr t.idle

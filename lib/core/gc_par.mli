@@ -1,0 +1,74 @@
+(** Multi-worker collection crew for the domains substrate.
+
+    Worker 0 is the orchestrating collector domain; helpers 1..n-1 park
+    in [Collector.gc_worker_loop] and are released into each parallel
+    phase by an epoch increment.  Serial collectors (and the simulator)
+    never configure a crew, so [active] stays false and the collector
+    takes the historical single-threaded paths unchanged.
+
+    See DESIGN.md §11 for the deque protocol, the termination-detection
+    argument, and the lock-ordering discipline. *)
+
+type phase = Idle | Cards_simple | Cards_aging | Trace | Sweep
+
+type worker = {
+  wid : int;
+  cost : Cost.t;  (** worker 0: the shared collector ledger itself *)
+  tel : Telemetry.t;
+  mutable tick : int;  (** local pacing counter (domains: no yields) *)
+  scratch : int array ref;  (** per-worker card-walk scratch buffer *)
+  mutable dirty_cards : int;
+  mutable intergen_scanned : int;
+  mutable card_scan_bytes : int;
+  mutable objects_traced : int;
+  mutable promotions : int;
+  mutable objects_freed : int;
+  mutable bytes_freed : int;
+  mutable steals : int;
+  mutable steal_failures : int;
+}
+
+type t = {
+  mutable n_workers : int;
+  mutable workers : worker array;
+  epoch : int Atomic.t;  (** phase-release counter helpers poll *)
+  mutable phase : phase;  (** valid once the epoch store publishes it *)
+  done_count : int Atomic.t;  (** helpers finished with the open phase *)
+  idle : int Atomic.t;  (** trace: workers currently out of work *)
+  activity : int Atomic.t;  (** trace: work-taken stamp *)
+  term : bool Atomic.t;  (** trace: termination declared *)
+  mutable sweep_bounds : int array;  (** n+1 block-aligned region bounds *)
+}
+
+val create : unit -> t
+(** Inactive crew: [n_workers = 1], no worker records. *)
+
+val configure : t -> n:int -> cost0:Cost.t -> tel0:Telemetry.t -> unit
+(** Arm an [n]-worker crew.  Worker 0 aliases the shared ledgers;
+    helpers get private ones (merged by {!merge_ledgers}). *)
+
+val active : t -> bool
+(** True iff a multi-worker crew is armed ([n_workers > 1]). *)
+
+val drain_partials : t -> Gc_stats.cycle -> unit
+(** Fold every worker's per-phase partial counters into the cycle
+    record and zero them.  Orchestrator only, at a phase barrier. *)
+
+val merge_ledgers : t -> cost0:Cost.t -> tel0:Telemetry.t -> unit
+(** Fold helper cost/telemetry ledgers into the shared ones and reset
+    them.  Orchestrator only, before end-of-cycle work accounting. *)
+
+val open_phase : t -> phase -> unit
+(** Publish a phase and release the helpers into it (epoch bump).
+    Resets the termination protocol when the phase is [Trace]. *)
+
+val helpers_done : t -> bool
+(** All helpers have incremented [done_count] for the open phase. *)
+
+val try_terminate : t -> queues_empty:(unit -> bool) -> bool
+(** Trace-termination check; call only while registered idle.  True
+    once termination is declared (possibly by this call). *)
+
+val leave_idle : t -> unit
+(** Leave the idle set to look for work: stamps [activity] {e before}
+    decrementing [idle], the ordering the check relies on. *)

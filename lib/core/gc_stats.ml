@@ -33,6 +33,9 @@ type cycle = {
   mutable active_span : int;
   mutable floating_objects : int;
   mutable floating_bytes : int;
+  mutable trace_workers : int;
+  mutable steals : int;
+  mutable steal_failures : int;
 }
 
 type t = {
@@ -72,6 +75,9 @@ let begin_cycle t kind =
       active_span = 0;
       floating_objects = 0;
       floating_bytes = 0;
+      trace_workers = 1;
+      steals = 0;
+      steal_failures = 0;
     }
   in
   t.next_seq <- t.next_seq + 1;

@@ -58,6 +58,13 @@ type cycle = {
           after the sweep — Section 5's "at most one cycle" claim made
           quantitative *)
   mutable floating_bytes : int;
+  (* parallel collection (domains substrate; 1/0/0 under the serial
+     collector, so sim figures are unchanged) *)
+  mutable trace_workers : int;
+      (** collector worker domains that ran this cycle's trace *)
+  mutable steals : int;  (** successful gray-deque steals *)
+  mutable steal_failures : int;
+      (** steal attempts that found an empty deque or lost the race *)
 }
 
 type t

@@ -24,9 +24,42 @@ val set_locked : t -> bool -> unit
     also provides the release/acquire edge that publishes a shading
     mutator's plain color write to the collector's trace. *)
 
+val set_workers : t -> int -> unit
+(** Shard the queue across [n] collector workers (Chase–Lev deque per
+    worker) when [n > 1]; [n <= 1] restores the single shared queue.
+    Mutator pushes keep going through the shared mutex queue either
+    way.  Call only while no cycle is in flight. *)
+
+val n_workers : t -> int
+(** Number of worker deques currently armed (0 when unsharded). *)
+
+val set_worker_id : t -> int -> unit
+(** Tag the calling domain as collector worker [wid] (domain-local).
+    Subsequent {!push}es from this domain go to its own deque when the
+    queue is sharded.  The default tag is [-1] (mutator / shared). *)
+
+val worker_id : t -> int
+(** The calling domain's worker tag ([-1] if never set). *)
+
 val push : t -> int -> unit
 val pop : t -> int option
+(** Pop from the shared queue only (serial collector, and workers
+    draining mutator barrier pushes). *)
+
+val pop_local : t -> w:int -> int option
+(** Worker [w] pops its own deque (owner side, lock-free).  Only valid
+    when sharded and called from worker [w]. *)
+
+val steal : t -> victim:int -> int option
+(** Steal from worker [victim]'s deque.  [None] = empty or lost race. *)
+
 val is_empty : t -> bool
+
+val all_empty : t -> bool
+(** Shared queue and every worker deque observed empty (one moment
+    each; the termination protocol re-validates with its activity
+    counter). *)
+
 val clear : t -> unit
 
 val size : t -> int

@@ -24,6 +24,20 @@ let sampler t = t.st.sampler
 let set_fine_grained t v = t.st.fine_grained <- v
 let set_parallel t v = t.st.parallel <- v; Gray_queue.set_locked t.st.gray v
 
+(* Arm an [n]-worker collection crew (domains substrate only; call
+   before any process starts).  [n <= 1] leaves the serial collector —
+   the default — fully untouched: no deques, no crew, historical code
+   paths throughout. *)
+let set_gc_workers t n =
+  let n = Stdlib.max 1 n in
+  if n > 1 then begin
+    Gc_par.configure t.st.par ~n ~cost0:t.st.cost ~tel0:t.st.telemetry;
+    Gray_queue.set_workers t.st.gray n
+  end
+
+let gc_workers t = if Gc_par.active t.st.par then t.st.par.Gc_par.n_workers else 1
+let gc_worker_loop t wid = Collector.gc_worker_loop t.st wid
+
 (* Registration must not race a cycle start: the handshake set has to be
    stable from the moment [collecting] rises (a mutator registering
    mid-handshake would either miss the posted status or be waited on
@@ -230,15 +244,32 @@ let alloc_sim t m ~size ~n_slots =
       maybe_trigger t;
       !result
 
-(* Blocks a mutator pulls from the shared free list per lock acquisition:
-   the TLAB batch size.  Small enough that reserved memory stays a few KB
-   per mutator, large enough that the heap lock drops out of the hot
-   path. *)
+(* Blocks a mutator pulls into its own cache per refill: the TLAB batch
+   size.  Small enough that reserved memory stays a few KB per mutator,
+   large enough that the refill drops out of the hot path. *)
 let refill_target = 16
 
-(* The domains allocation path: domain-local cache first, batched locked
-   refill second, collect-then-grow stall loop last (same policy as the
-   simulator's, with real waits). *)
+(* Blocks a restock reserves from the heap beyond the refiller's own
+   batch, left stocked in the class pool for other mutators: each heap
+   lock acquisition feeds several pool-only refills in that class. *)
+let pool_extra = 32
+
+(* Hand every pooled block back to the free list.  Called when an
+   allocation stalls (a hoarded block might be the one that fits) and
+   at the run finale (pooled blocks are kind-Allocated and would count
+   against the heap-empty-at-quiescence invariant).  Takes each class
+   lock, then the heap lock inside it — the legal order. *)
+let drain_pools t =
+  let st = t.st in
+  Block_pool.drain st.pool (fun addr ->
+      State.lock_heap st;
+      Heap.release_reserved st.heap addr;
+      State.unlock_heap st)
+
+(* The domains allocation path: domain-local cache first, per-size-class
+   pool second (class lock only — refills in different classes never
+   contend), heap-locked restock third, collect-then-grow stall loop
+   last (same policy as the simulator's, with real waits). *)
 let alloc_domains t m ~size ~n_slots =
   let st = t.st in
   let heap = st.heap in
@@ -261,20 +292,49 @@ let alloc_domains t m ~size ~n_slots =
     addr
   in
   let refill () =
-    State.lock_heap st;
-    let bytes, objects = Alloc_cache.take_pending cache in
-    if objects > 0 || bytes > 0 then Heap.add_alloc_stats heap ~bytes ~objects;
+    let cls = Block_pool.class_of ~size in
+    if Block_pool.lock st.pool ~cls then
+      Telemetry.hit_lock_wait (State.mtelemetry st m) ~cls;
     let got = ref 0 in
-    (try
-       while !got < refill_target do
-         match Heap.reserve heap ~size with
-         | Some a ->
-             Alloc_cache.put cache ~size a;
-             incr got
-         | None -> raise Exit
-       done
-     with Exit -> ());
-    State.unlock_heap st;
+    (* stocked blocks first: the class lock is the only lock taken *)
+    let rec from_pool () =
+      if !got < refill_target then
+        match Block_pool.pop st.pool ~cls with
+        | Some a ->
+            Alloc_cache.put cache ~size a;
+            incr got;
+            from_pool ()
+        | None -> ()
+    in
+    from_pool ();
+    if !got < refill_target then begin
+      (* dry pool: restock from the free list under the heap lock
+         (class -> heap, the legal order) and flush the batched
+         allocation counters while holding it *)
+      State.lock_heap st;
+      let bytes, objects = Alloc_cache.take_pending cache in
+      if objects > 0 || bytes > 0 then
+        Heap.add_alloc_stats heap ~bytes ~objects;
+      (try
+         while !got < refill_target do
+           match Heap.reserve heap ~size with
+           | Some a ->
+               Alloc_cache.put cache ~size a;
+               incr got
+           | None -> raise Exit
+         done;
+         let stocked = ref 0 in
+         while !stocked < pool_extra do
+           match Heap.reserve heap ~size with
+           | Some a ->
+               Block_pool.push st.pool ~cls a;
+               incr stocked
+           | None -> raise Exit
+         done
+       with Exit -> ());
+      State.unlock_heap st
+    end;
+    Block_pool.unlock st.pool ~cls;
     !got > 0
   in
   let attempt () =
@@ -300,6 +360,9 @@ let alloc_domains t m ~size ~n_slots =
   | None ->
       let tel = State.mtelemetry st m in
       Telemetry.hit_stall tel;
+      (* blocks hoarded in other classes' pools may be exactly the
+         memory this request needs — return them all before stalling *)
+      drain_pools t;
       let stall_from = State.now_units st in
       let fulls_done () =
         Gc_stats.count st.stats Gc_stats.Full

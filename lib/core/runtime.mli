@@ -49,6 +49,27 @@ val set_parallel : t -> bool -> unit
     any process starts (the driver does this); the default [false] keeps
     the simulator's behavior bit-identical. *)
 
+val set_gc_workers : t -> int -> unit
+(** Arm an [n]-worker collection crew (domains substrate only; set
+    before any process starts): the gray queue shards into per-worker
+    work-stealing deques, and card scan, trace and sweep run across the
+    collector domain plus [n-1] helper domains spawned by the driver
+    ({!gc_worker_loop}).  [n <= 1] — the default — leaves the serial
+    collector completely untouched. *)
+
+val gc_workers : t -> int
+(** Armed crew width ([1] when serial). *)
+
+val gc_worker_loop : t -> int -> unit
+(** Helper worker body for worker id [wid] in [1..n-1]; spawn one daemon
+    domain per helper after {!set_gc_workers}. *)
+
+val drain_pools : t -> unit
+(** Return every block stocked in the per-size-class pools to the free
+    list.  The driver calls this at quiescence before the finale's full
+    collections (pooled blocks are reserved and would otherwise count
+    as live); allocation stalls call it internally. *)
+
 (** {2 Threads} *)
 
 val new_mutator : t -> name:string -> ?n_regs:int -> unit -> Mutator.t

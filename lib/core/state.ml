@@ -49,6 +49,8 @@ type t = {
   mutable parallel : bool;
   heap_lock : Mutex.t;
   reg_lock : Mutex.t;
+  par : Gc_par.t;
+  pool : Block_pool.t;
 }
 
 let create heap cfg =
@@ -84,6 +86,8 @@ let create heap cfg =
     parallel = false;
     heap_lock = Mutex.create ();
     reg_lock = Mutex.create ();
+    par = Gc_par.create ();
+    pool = Block_pool.create ();
   }
 
 let step t = if t.fine_grained then Substrate.yield ()

@@ -87,6 +87,12 @@ type t = {
           free-list entries, allocation counters) in parallel mode *)
   reg_lock : Mutex.t;
       (** guards mutator registration against cycle starts *)
+  par : Gc_par.t;
+      (** multi-worker collection crew (inactive unless the driver arms
+          it with [--gc-workers] > 1 on the domains substrate) *)
+  pool : Block_pool.t;
+      (** per-size-class pools of reserved blocks — the sharded middle
+          tier of the domains allocation path *)
 }
 
 val create : Otfgc_heap.Heap.t -> Gc_config.t -> t

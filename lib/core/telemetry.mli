@@ -62,6 +62,22 @@ val hit_card_mark : t -> unit
 val hit_remset_record : t -> unit
 (** remembered-set append (deduplicated) *)
 
+val add_steals : t -> int -> unit
+(** successful work-steals from another worker's gray deque *)
+
+val add_steal_failures : t -> int -> unit
+(** steal attempts that found an empty deque or lost the top CAS *)
+
+val hit_lock_wait : t -> cls:int -> unit
+(** a mutator refill found size-class [cls]'s pool lock held (clamped
+    to {!n_lock_classes} slots) *)
+
+val note_trace_workers : t -> int -> unit
+(** gauge: record the trace-phase worker count (keeps the maximum) *)
+
+val n_lock_classes : int
+(** length of the per-size-class lock-wait table *)
+
 val barrier_updates : t -> int
 val yellow_fires : t -> int
 val promotions : t -> int
@@ -70,6 +86,15 @@ val handshake_acks : t -> int
 val stalls : t -> int
 val card_marks : t -> int
 val remset_records : t -> int
+val steals : t -> int
+val steal_failures : t -> int
+
+val lock_waits : t -> int array
+(** per-size-class lock-wait counts (fresh copy, length
+    {!n_lock_classes}) *)
+
+val lock_waits_total : t -> int
+val trace_workers : t -> int
 
 (** {2 Instruments} (no-ops while disabled) *)
 

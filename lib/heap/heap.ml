@@ -208,6 +208,26 @@ let iter_objects_on_card t card f =
     f (Array.unsafe_get scratch i)
   done
 
+(* Same walk with a caller-owned scratch buffer, so several collector
+   workers can scan disjoint cards concurrently (the shared
+   [t.card_scratch] above makes the default variant single-caller). *)
+let iter_objects_on_card_buf t ~scratch card f =
+  let len = ref 0 in
+  Space.iter_block_starts_on_card t.space card (fun addr kind _size ->
+      if kind = Space.Allocated then begin
+        if !len = Array.length !scratch then begin
+          let bigger = Array.make (2 * !len) 0 in
+          Array.blit !scratch 0 bigger 0 !len;
+          scratch := bigger
+        end;
+        Array.unsafe_set !scratch !len addr;
+        incr len
+      end);
+  let buf = !scratch in
+  for i = 0 to !len - 1 do
+    f (Array.unsafe_get buf i)
+  done
+
 let objects_on_card t card =
   let acc = ref [] in
   iter_objects_on_card t card (fun addr -> acc := addr :: !acc);

@@ -153,6 +153,12 @@ val iter_objects_on_card : t -> int -> (int -> unit) -> unit
     mutator at one of its scheduling points) splits on the card.  Not
     reentrant. *)
 
+val iter_objects_on_card_buf :
+  t -> scratch:int array ref -> int -> (int -> unit) -> unit
+(** {!iter_objects_on_card} with a caller-owned scratch buffer (grown in
+    place as needed), so parallel collector workers scanning disjoint
+    cards never share snapshot state. *)
+
 val objects_on_card : t -> int -> int list
 (** Same object set as a fresh list; for tests — the collector uses
     {!iter_objects_on_card}. *)

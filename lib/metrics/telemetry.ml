@@ -31,6 +31,11 @@ type summary = {
   stalls : int;
   card_marks : int;
   remset_records : int;
+  steals : int;
+  steal_failures : int;
+  lock_waits : int;
+  lock_waits_by_class : (int * int) list;
+  trace_workers : int;
   events_logged : int;
   events_dropped : int;
   handshake_latency : (string * hist) list;
@@ -76,6 +81,17 @@ let of_runtime ?(workload = "") rt =
     stalls = Telemetry.stalls tel;
     card_marks = Telemetry.card_marks tel;
     remset_records = Telemetry.remset_records tel;
+    steals = Telemetry.steals tel;
+    steal_failures = Telemetry.steal_failures tel;
+    lock_waits = Telemetry.lock_waits_total tel;
+    lock_waits_by_class =
+      (let w = Telemetry.lock_waits tel in
+       let acc = ref [] in
+       for cls = Array.length w - 1 downto 0 do
+         if w.(cls) > 0 then acc := (cls, w.(cls)) :: !acc
+       done;
+       !acc);
+    trace_workers = Telemetry.trace_workers tel;
     events_logged = Event_log.length events;
     events_dropped = Event_log.dropped events;
     handshake_latency =
@@ -125,6 +141,10 @@ let counter_table s =
   row "allocation stalls" s.stalls;
   row "card marks" s.card_marks;
   row "remset records" s.remset_records;
+  row "gray steals" s.steals;
+  row "gray steal failures" s.steal_failures;
+  row "alloc lock waits" s.lock_waits;
+  row "trace workers (max)" s.trace_workers;
   row "events logged" s.events_logged;
   row "events dropped" s.events_dropped;
   tbl
@@ -187,6 +207,15 @@ let to_json s =
       ("stalls", Json.Int s.stalls);
       ("card_marks", Json.Int s.card_marks);
       ("remset_records", Json.Int s.remset_records);
+      ("steals", Json.Int s.steals);
+      ("steal_failures", Json.Int s.steal_failures);
+      ("lock_waits", Json.Int s.lock_waits);
+      ( "lock_waits_by_class",
+        Json.Obj
+          (List.map
+             (fun (cls, n) -> (string_of_int cls, Json.Int n))
+             s.lock_waits_by_class) );
+      ("trace_workers", Json.Int s.trace_workers);
       ("events_logged", Json.Int s.events_logged);
       ("events_dropped", Json.Int s.events_dropped);
       ( "handshake_latency",
@@ -219,6 +248,14 @@ let to_csv s =
   line "stalls" (string_of_int s.stalls);
   line "card_marks" (string_of_int s.card_marks);
   line "remset_records" (string_of_int s.remset_records);
+  line "steals" (string_of_int s.steals);
+  line "steal_failures" (string_of_int s.steal_failures);
+  line "lock_waits" (string_of_int s.lock_waits);
+  List.iter
+    (fun (cls, n) ->
+      line (Printf.sprintf "lock_waits.class%d" cls) (string_of_int n))
+    s.lock_waits_by_class;
+  line "trace_workers" (string_of_int s.trace_workers);
   line "events_logged" (string_of_int s.events_logged);
   line "events_dropped" (string_of_int s.events_dropped);
   let hist name h =
@@ -237,6 +274,148 @@ let to_csv s =
   hist "stall_latency" s.stall_latency;
   hist "cycle_progress" s.cycle_progress;
   Buffer.contents b
+
+(* --- parsing (the inverse of [to_json], used by the round-trip tests
+   and by tooling that re-reads CI artifacts) --- *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "telemetry summary: missing field %S" name)
+
+let int_field name j =
+  let* v = field name j in
+  match Json.as_int v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "telemetry summary: %S must be an int" name)
+
+let float_field name j =
+  let* v = field name j in
+  match Json.as_float v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "telemetry summary: %S must be a number" name)
+
+let string_field name j =
+  let* v = field name j in
+  match Json.as_string v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "telemetry summary: %S must be a string" name)
+
+let obj_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Obj kvs -> Ok kvs
+  | _ -> Error (Printf.sprintf "telemetry summary: %S must be an object" name)
+
+let int_pairs name j =
+  let* kvs = obj_field name j in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (k, v) :: rest -> (
+        match Json.as_int v with
+        | Some i -> go ((k, i) :: acc) rest
+        | None ->
+            Error
+              (Printf.sprintf "telemetry summary: %S.%s must be an int" name k))
+  in
+  go [] kvs
+
+let hist_of_json name j =
+  let* count = int_field "count" j in
+  let* total = int_field "total" j in
+  let* min = int_field "min" j in
+  let* max = int_field "max" j in
+  let* mean = float_field "mean" j in
+  let* p50 = int_field "p50" j in
+  let* p90 = int_field "p90" j in
+  let* p99 = int_field "p99" j in
+  ignore name;
+  Ok { count; total; min; max; mean; p50; p90; p99 }
+
+let hist_field name j =
+  let* v = field name j in
+  hist_of_json name v
+
+let of_json j =
+  let* workload = string_field "workload" j in
+  let* mode = string_field "mode" j in
+  let* collector_work = int_field "collector_work" j in
+  let* phase_work = int_pairs "phase_work" j in
+  let* mutator_work = int_field "mutator_work" j in
+  let* category_work = int_pairs "category_work" j in
+  let* stall_work = int_field "stall_work" j in
+  let* barrier_updates = int_field "barrier_updates" j in
+  let* yellow_fires = int_field "yellow_fires" j in
+  let* promotions = int_field "promotions" j in
+  let* dirty_card_finds = int_field "dirty_card_finds" j in
+  let* handshake_acks = int_field "handshake_acks" j in
+  let* stalls = int_field "stalls" j in
+  let* card_marks = int_field "card_marks" j in
+  let* remset_records = int_field "remset_records" j in
+  let* steals = int_field "steals" j in
+  let* steal_failures = int_field "steal_failures" j in
+  let* lock_waits = int_field "lock_waits" j in
+  let* by_class = int_pairs "lock_waits_by_class" j in
+  let* lock_waits_by_class =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, n) :: rest -> (
+          match int_of_string_opt k with
+          | Some cls -> go ((cls, n) :: acc) rest
+          | None ->
+              Error
+                (Printf.sprintf
+                   "telemetry summary: lock_waits_by_class key %S is not a \
+                    class index"
+                   k))
+    in
+    go [] by_class
+  in
+  let* trace_workers = int_field "trace_workers" j in
+  let* events_logged = int_field "events_logged" j in
+  let* events_dropped = int_field "events_dropped" j in
+  let* hs = obj_field "handshake_latency" j in
+  let* handshake_latency =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, v) :: rest ->
+          let* h = hist_of_json k v in
+          go ((k, h) :: acc) rest
+    in
+    go [] hs
+  in
+  let* stall_latency = hist_field "stall_latency" j in
+  let* cycle_progress = hist_field "cycle_progress" j in
+  Ok
+    {
+      workload;
+      mode;
+      collector_work;
+      phase_work;
+      mutator_work;
+      category_work;
+      stall_work;
+      barrier_updates;
+      yellow_fires;
+      promotions;
+      dirty_card_finds;
+      handshake_acks;
+      stalls;
+      card_marks;
+      remset_records;
+      steals;
+      steal_failures;
+      lock_waits;
+      lock_waits_by_class;
+      trace_workers;
+      events_logged;
+      events_dropped;
+      handshake_latency;
+      stall_latency;
+      cycle_progress;
+    }
 
 let print s =
   Textable.print (work_table s);

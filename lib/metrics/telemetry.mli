@@ -37,6 +37,12 @@ type summary = {
   stalls : int;
   card_marks : int;
   remset_records : int;
+  steals : int;  (** successful gray-deque steals (parallel trace) *)
+  steal_failures : int;  (** CAS-lost / empty-victim steal attempts *)
+  lock_waits : int;  (** contended size-class allocation lock acquisitions *)
+  lock_waits_by_class : (int * int) list;
+      (** nonzero per-size-class breakdown of [lock_waits], ascending class *)
+  trace_workers : int;  (** widest collection crew observed (1 = serial) *)
   events_logged : int;
   events_dropped : int;
   (* latency instruments (all-zero unless telemetry was enabled) *)
@@ -57,6 +63,11 @@ val latency_table : summary -> Otfgc_support.Textable.t
 (** One row per histogram: count, min, mean, p50/p90/p99, max. *)
 
 val to_json : summary -> Otfgc_support.Json.t
+
+val of_json : Otfgc_support.Json.t -> (summary, string) result
+(** Inverse of {!to_json}: [of_json (to_json s) = Ok s] for every summary
+    (ints and floats round-trip exactly).  Used by the round-trip tests
+    and by tooling that re-reads exported stats. *)
 
 val to_csv : summary -> string
 (** Flat [metric,value] lines (histograms flattened to

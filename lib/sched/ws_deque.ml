@@ -1,0 +1,94 @@
+(* Chase–Lev work-stealing deque over immediate ints.
+
+   The owner pushes and pops at the bottom; thieves take from the top
+   with a CAS.  OCaml's [Atomic] operations are sequentially consistent,
+   which subsumes every fence the original algorithm (Chase & Lev, SPAA
+   2005) needs: the owner's element store is published by the subsequent
+   atomic bottom store, the owner's pop orders its bottom store before
+   the top load, and a thief's top CAS claims an index exactly once.
+
+   Growth never invalidates a racing thief: the bigger buffer receives
+   every live entry at the same logical index, the old buffer is never
+   written again, and a thief that read the old buffer still CASes on
+   [top] — if it wins, the value it read at its claimed index is the
+   value that was there when the index was live in both buffers.
+
+   Entries are plain ints (heap addresses), so there are no torn reads
+   and no GC-visible sharing beyond the buffer itself. *)
+
+type t = {
+  mutable buf : int array; (* circular; length a power of two *)
+  top : int Atomic.t; (* next index a thief claims *)
+  bottom : int Atomic.t; (* next index the owner pushes at *)
+  mutable max_size : int;
+}
+
+let create () =
+  {
+    buf = Array.make 64 0;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    max_size = 0;
+  }
+
+let grow t ~b ~tp =
+  let old = t.buf in
+  let n = Array.length old in
+  let bigger = Array.make (2 * n) 0 in
+  for i = tp to b - 1 do
+    bigger.(i land ((2 * n) - 1)) <- old.(i land (n - 1))
+  done;
+  t.buf <- bigger
+
+(* Owner only. *)
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp >= Array.length t.buf then grow t ~b ~tp;
+  t.buf.(b land (Array.length t.buf - 1)) <- x;
+  (* the SC store publishes the element write above to thieves *)
+  Atomic.set t.bottom (b + 1);
+  let sz = b + 1 - tp in
+  if sz > t.max_size then t.max_size <- sz
+
+(* Owner only. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  (* reserve the bottom slot before reading top: a thief that loads the
+     old bottom afterwards sees the deque one shorter and keeps off the
+     contested index unless it is the only one left *)
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b > tp then Some t.buf.(b land (Array.length t.buf - 1))
+  else if b = tp then begin
+    (* last element: race the thieves for it via the top CAS *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Some t.buf.(b land (Array.length t.buf - 1)) else None
+  end
+  else begin
+    (* already empty; restore the canonical empty shape *)
+    Atomic.set t.bottom tp;
+    None
+  end
+
+(* Any thief.  [None] means "observed empty or lost the race" — callers
+   treat both as a failed steal attempt and retry elsewhere. *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    (* read before the CAS: winning the CAS certifies the value *)
+    let x = t.buf.(tp land (Array.length t.buf - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Some x else None
+  end
+
+let size t = Stdlib.max 0 (Atomic.get t.bottom - Atomic.get t.top)
+let is_empty t = Atomic.get t.bottom - Atomic.get t.top <= 0
+let max_size t = t.max_size
+
+(* Quiescent callers only (between collection cycles). *)
+let clear t =
+  Atomic.set t.bottom 0;
+  Atomic.set t.top 0

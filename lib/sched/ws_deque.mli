@@ -1,0 +1,41 @@
+(** Chase–Lev work-stealing deque of ints.
+
+    One domain owns the deque and pushes/pops at the bottom without
+    locks; any other domain may {!steal} from the top with a CAS.  Used
+    as the per-worker gray set of the parallel tracer: the owner treats
+    it as a LIFO stack (identical semantics to the shared gray stack
+    when no thief interferes), thieves drain the oldest entries.
+
+    All [Atomic] operations are sequentially consistent, which provides
+    the publication and claim orderings the algorithm requires (see the
+    implementation notes and DESIGN.md §11). *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> int -> unit
+(** Owner only: push at the bottom.  Grows the buffer as needed; a
+    concurrent thief keeps reading the old buffer safely. *)
+
+val pop : t -> int option
+(** Owner only: pop the most recently pushed entry (LIFO).  Races
+    thieves for the last element via the top CAS. *)
+
+val steal : t -> int option
+(** Any domain: claim the oldest entry (FIFO end).  [None] means the
+    deque looked empty {e or} the CAS lost a race — callers count it as
+    a failed attempt and try another victim. *)
+
+val size : t -> int
+(** Approximate under concurrency (exact when quiescent). *)
+
+val is_empty : t -> bool
+(** Approximate under concurrency: a [true] result is a consistent
+    observation of one moment (top read before bottom). *)
+
+val max_size : t -> int
+(** High-water mark of {!size} as seen by the owner's pushes. *)
+
+val clear : t -> unit
+(** Reset to empty.  Quiescent callers only. *)

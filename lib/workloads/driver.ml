@@ -107,6 +107,10 @@ let finale rt =
   Substrate.wait_until (fun () ->
       (not (Atomic.get st.State.collecting))
       && Atomic.get st.State.gc_request = State.No_request);
+  (* Pool-stocked blocks are reserved (kind Allocated): return them to
+     the free list so the quiescent heap holds exactly the reachable
+     set the oracle and Heap.check expect. *)
+  Runtime.drain_pools rt;
   for _ = 1 to 2 do
     let n0 = Gc_stats.n_completed stats in
     Atomic.set st.State.gc_request State.Want_full;
@@ -116,11 +120,12 @@ let finale rt =
   done;
   Runtime.shutdown rt
 
-let run_domains ~heap ~seed ~scale ~instrument ~gc profile =
+let run_domains ~heap ~seed ~scale ~instrument ~gc ~gc_workers profile =
   Profile.validate profile;
   let rt = Runtime.create ~heap_config:heap ~gc_config:gc () in
   Runtime.set_fine_grained rt false;
   Runtime.set_parallel rt true;
+  Runtime.set_gc_workers rt gc_workers;
   instrument rt;
   let master = Rng.make seed in
   (* The simulator's first split feeds its scheduling policy; consume the
@@ -139,6 +144,12 @@ let run_domains ~heap ~seed ~scale ~instrument ~gc profile =
   let par = Parallel.create ~on_quiesce:(fun () -> finale rt) () in
   Parallel.spawn par ~daemon:true ~name:"collector" (fun () ->
       Runtime.collector_loop rt);
+  (* Helper collector workers (trace/card/sweep crew), daemons like the
+     collector itself: they park between cycles and exit at shutdown. *)
+  for wid = 1 to Runtime.gc_workers rt - 1 do
+    Parallel.spawn par ~daemon:true ~name:(Printf.sprintf "gc-worker-%d" wid)
+      (fun () -> Runtime.gc_worker_loop rt wid)
+  done;
   let muts = ref [] in
   for i = 0 to n - 1 do
     let name = Printf.sprintf "%s-t%d" profile.Profile.name i in
@@ -167,7 +178,7 @@ let run_domains ~heap ~seed ~scale ~instrument ~gc profile =
   (Run_result.of_runtime ~workload:profile.Profile.name rt, rt)
 
 let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
-    ?(substrate = Substrate.Sim) ?threads
+    ?(substrate = Substrate.Sim) ?threads ?(gc_workers = 1)
     ?(instrument = fun (_ : Runtime.t) -> ()) ~gc profile =
   let profile =
     match threads with
@@ -175,11 +186,15 @@ let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
     | Some n -> { profile with Profile.threads = n }
   in
   match substrate with
-  | Substrate.Sim -> run_sim ~heap ~seed ~scale ~instrument ~gc profile
-  | Substrate.Domains -> run_domains ~heap ~seed ~scale ~instrument ~gc profile
+  | Substrate.Sim ->
+      if gc_workers > 1 then
+        invalid_arg "Driver.run_rt: gc_workers > 1 requires substrate=domains";
+      run_sim ~heap ~seed ~scale ~instrument ~gc profile
+  | Substrate.Domains ->
+      run_domains ~heap ~seed ~scale ~instrument ~gc ~gc_workers profile
 
-let run ?heap ?seed ?scale ?substrate ?threads ~gc profile =
-  fst (run_rt ?heap ?seed ?scale ?substrate ?threads ~gc profile)
+let run ?heap ?seed ?scale ?substrate ?threads ?gc_workers ~gc profile =
+  fst (run_rt ?heap ?seed ?scale ?substrate ?threads ?gc_workers ~gc profile)
 
 let run_pair ?heap ?seed ?scale ~gc profile =
   let candidate = run ?heap ?seed ?scale ~gc profile in

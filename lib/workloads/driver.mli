@@ -34,6 +34,7 @@ val run_rt :
   ?scale:float ->
   ?substrate:Otfgc_sched.Substrate.kind ->
   ?threads:int ->
+  ?gc_workers:int ->
   ?instrument:(Otfgc.Runtime.t -> unit) ->
   gc:Otfgc.Gc_config.t ->
   Profile.t ->
@@ -45,7 +46,9 @@ val run_rt :
     clears the event log and telemetry along with the ledgers, so what
     remains covers exactly the measured lap.  [threads] overrides the
     profile's thread count (the speedup sweeps vary it); [substrate]
-    selects the execution substrate (default [Sim]). *)
+    selects the execution substrate (default [Sim]); [gc_workers]
+    (default 1) arms a multi-worker collection crew — domains substrate
+    only ([Invalid_argument] on [Sim] when > 1). *)
 
 val run :
   ?heap:Otfgc_heap.Heap.config ->
@@ -53,6 +56,7 @@ val run :
   ?scale:float ->
   ?substrate:Otfgc_sched.Substrate.kind ->
   ?threads:int ->
+  ?gc_workers:int ->
   gc:Otfgc.Gc_config.t ->
   Profile.t ->
   Otfgc_metrics.Run_result.t

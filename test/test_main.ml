@@ -18,6 +18,7 @@ let () =
          Test_observatory.suites;
          Test_telemetry.suites;
          Test_runtime.suites;
+         Test_deque.suites;
          Test_parallel.suites;
          Test_structs.suites;
          Test_workloads.suites;

@@ -32,11 +32,16 @@ let total_promotions rt =
   int_of_float (by Partial +. by Full +. by Non_gen)
 
 (* One grid point: run the same (profile, gc, threads, seed) on both
-   substrates and check every cross-substrate invariant. *)
-let check_config ~name ~profile ~gc ~threads ~seed ~scale () =
-  let run substrate = Driver.run_rt ~seed ~scale ~substrate ~threads ~gc profile in
-  let sim_res, sim_rt = run Substrate.Sim in
-  let dom_res, dom_rt = run Substrate.Domains in
+   substrates and check every cross-substrate invariant.  [gc_workers]
+   applies to the domains side only (the sim reference is always serial) —
+   the invariants must hold for any crew width. *)
+let check_config ~name ~profile ~gc ~threads ~seed ~scale ?(gc_workers = 1) ()
+    =
+  let sim_res, sim_rt = Driver.run_rt ~seed ~scale ~threads ~gc profile in
+  let dom_res, dom_rt =
+    Driver.run_rt ~seed ~scale ~substrate:Substrate.Domains ~threads
+      ~gc_workers ~gc profile
+  in
   Alcotest.(check int)
     (name ^ ": total_alloc_bytes equal across substrates")
     sim_res.Run_result.total_alloc_bytes dom_res.Run_result.total_alloc_bytes;
@@ -69,9 +74,10 @@ let check_config ~name ~profile ~gc ~threads ~seed ~scale () =
     Alcotest.failf "%s: domains promoted %d objects, sim %d (ceiling %d)"
       name dom_promoted sim_promoted ceiling
 
-let grid_case ~name ~profile ~gc ~threads ?(seed = 42) ?(scale = 0.04) () =
-  Alcotest.test_case name `Slow
-    (fun () -> check_config ~name ~profile ~gc ~threads ~seed ~scale ())
+let grid_case ~name ~profile ~gc ~threads ?(seed = 42) ?(scale = 0.04)
+    ?(gc_workers = 1) () =
+  Alcotest.test_case name `Slow (fun () ->
+      check_config ~name ~profile ~gc ~threads ~seed ~scale ~gc_workers ())
 
 let grid =
   let open Otfgc.Gc_config in
@@ -90,6 +96,26 @@ let grid =
       ~threads:2 ~seed:7 ();
     grid_case ~name:"raytracer/gen/2" ~profile:(Profile.raytracer ~threads:2)
       ~gc:(generational ()) ~threads:2 ~scale:0.02 ();
+    (* Multi-worker crew: the same cross-substrate invariants must hold
+       when card scan, trace and sweep run on 2 (and 3) worker domains
+       with work-stealing deques and pooled allocation. *)
+    grid_case ~name:"anagram/gen/2 + 2 gc workers" ~profile:Profile.anagram
+      ~gc:(generational ()) ~threads:2 ~gc_workers:2 ();
+    grid_case ~name:"anagram/aging2/2 + 2 gc workers"
+      ~profile:Profile.anagram
+      ~gc:(aging ~oldest_age:2 ())
+      ~threads:2 ~gc_workers:2 ();
+    grid_case ~name:"anagram/nongen/1 + 3 gc workers"
+      ~profile:Profile.anagram ~gc:non_generational ~threads:1 ~gc_workers:3
+      ();
+    grid_case ~name:"raytracer/gen/2 + 2 gc workers"
+      ~profile:(Profile.raytracer ~threads:2)
+      ~gc:(generational ()) ~threads:2 ~scale:0.02 ~gc_workers:2 ();
+    (* Guard: an explicitly armed crew of width 1 is the serial collector
+       — exact allocation totals versus sim stay byte-identical. *)
+    grid_case ~name:"anagram/gen/2 + explicit 1 gc worker"
+      ~profile:Profile.anagram ~gc:(generational ()) ~threads:2 ~gc_workers:1
+      ();
   ]
 
 (* Stress: arm the substrate's jitter hook so every yield point may burn

@@ -291,6 +291,30 @@ let test_bits_ctz () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* QCheck round-trips for the Bits helpers: any positive n decomposes as
+   (n lsr ctz n) lsl ctz n with an odd quotient, log2_exact inverts
+   1 lsl k, and is_pow2 agrees with the popcount characterisation. *)
+let prop_bits_ctz_roundtrip =
+  QCheck.Test.make ~name:"ctz round-trips any positive int" ~count:500
+    QCheck.(map (fun n -> 1 + abs n) int)
+    (fun n ->
+      let k = Bits.ctz n in
+      let q = n lsr k in
+      q land 1 = 1 && q lsl k = n)
+
+let prop_bits_log2_roundtrip =
+  QCheck.Test.make ~name:"log2_exact inverts 1 lsl k" ~count:200
+    QCheck.(int_bound 61)
+    (fun k ->
+      let n = 1 lsl k in
+      Bits.log2_exact n = k && Bits.ctz n = k && Bits.is_pow2 n
+      && Bits.popcount n = 1)
+
+let prop_bits_pow2_popcount =
+  QCheck.Test.make ~name:"is_pow2 iff popcount = 1" ~count:500
+    QCheck.(map abs int)
+    (fun n -> Bits.is_pow2 n = (n > 0 && Bits.popcount n = 1))
+
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -447,6 +471,9 @@ let suites =
         Alcotest.test_case "log2_exact" `Quick test_bits_log2_exact;
         Alcotest.test_case "is_pow2" `Quick test_bits_is_pow2;
         Alcotest.test_case "ctz" `Quick test_bits_ctz;
+        QCheck_alcotest.to_alcotest prop_bits_ctz_roundtrip;
+        QCheck_alcotest.to_alcotest prop_bits_log2_roundtrip;
+        QCheck_alcotest.to_alcotest prop_bits_pow2_popcount;
       ] );
     ( "support.pool",
       [

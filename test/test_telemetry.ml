@@ -426,6 +426,64 @@ let test_report_summary () =
          String.length line > 6 && String.sub line 0 6 = "phase.")
        (String.split_on_char '\n' csv))
 
+(* Full summary JSON round-trip: [of_json (to_json s)] restores every
+   field exactly, including the new crew counters.  One real run and one
+   synthetic summary with the parallel-only fields nonzero (serial runs
+   keep steals/lock_waits at 0, which would leave those paths untested). *)
+let test_report_json_roundtrip () =
+  let _, rt =
+    instrumented_run ~seed:42 ~gc:(Gc_config.generational ())
+      (Profile.anagram)
+  in
+  let s = Telemetry_report.of_runtime ~workload:"anagram" rt in
+  (match Json.of_string (Json.to_string (Telemetry_report.to_json s)) with
+  | Error e -> Alcotest.failf "summary json does not reparse: %s" e
+  | Ok j -> (
+      match Telemetry_report.of_json j with
+      | Error e -> Alcotest.failf "summary of_json failed: %s" e
+      | Ok s' -> check "real summary round-trips" true (s = s')));
+  let synthetic =
+    {
+      s with
+      Telemetry_report.steals = 123;
+      steal_failures = 45;
+      lock_waits = 17;
+      lock_waits_by_class = [ (0, 3); (7, 12); (64, 2) ];
+      trace_workers = 4;
+    }
+  in
+  match
+    Json.of_string (Json.to_string (Telemetry_report.to_json synthetic))
+  with
+  | Error e -> Alcotest.failf "synthetic summary does not reparse: %s" e
+  | Ok j -> (
+      match Telemetry_report.of_json j with
+      | Error e -> Alcotest.failf "synthetic of_json failed: %s" e
+      | Ok s' -> check "crew counters round-trip" true (synthetic = s'))
+
+let test_report_of_json_rejects () =
+  let s =
+    Telemetry_report.of_runtime ~workload:"x"
+      (snd
+         (instrumented_run ~seed:1 ~gc:(Gc_config.generational ())
+            (Profile.anagram)))
+  in
+  (match Telemetry_report.to_json s with
+  | Json.Obj kvs ->
+      (* dropping any one field must produce a descriptive error *)
+      let without k = Json.Obj (List.remove_assoc k kvs) in
+      List.iter
+        (fun k ->
+          match Telemetry_report.of_json (without k) with
+          | Ok _ -> Alcotest.failf "of_json accepted summary missing %S" k
+          | Error _ -> ())
+        [ "workload"; "steals"; "lock_waits_by_class"; "trace_workers";
+          "stall_latency" ]
+  | _ -> Alcotest.fail "to_json did not produce an object");
+  match Telemetry_report.of_json (Json.String "nope") with
+  | Ok _ -> Alcotest.fail "of_json accepted a non-object"
+  | Error _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Perfetto trace export                                               *)
 (* ------------------------------------------------------------------ *)
@@ -610,7 +668,13 @@ let suites =
         Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
       ] );
     ( "telemetry.report",
-      [ Alcotest.test_case "summary" `Quick test_report_summary ] );
+      [
+        Alcotest.test_case "summary" `Quick test_report_summary;
+        Alcotest.test_case "json round-trip" `Quick
+          test_report_json_roundtrip;
+        Alcotest.test_case "of_json rejects malformed" `Quick
+          test_report_of_json_rejects;
+      ] );
     ( "telemetry.trace",
       [
         Alcotest.test_case "golden export" `Quick test_trace_golden;
