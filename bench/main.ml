@@ -20,7 +20,9 @@
                               counts 1,2,4..., written in the trajectory
                               schema to --out (default speedup.json);
                               --gc-workers N widens the collection crew
-                              (worker-scaling curve); records the visible
+                              (worker-scaling curve); --slo adds the SLO
+                              column (p50/p99.9 handshake and stall tail
+                              latencies) per point; records the visible
                               core count and warns on oversubscription;
                               machine-dependent, never gated
      main.exe --scale 0.4     override the headline scale
@@ -704,6 +706,7 @@ module Speedup = struct
     up [] 1
 
   let p99_us h = Histogram.percentile h 99.0
+  let pct h p = Histogram.percentile h p
 
   (* One sweep point: the raytracer workload on [m] real domains at fixed
      TOTAL allocation volume (per-thread scale = base / m), so the curve
@@ -711,7 +714,7 @@ module Speedup = struct
      same total work while the collector runs concurrently?".
      [gc_workers] widens the collection crew (collector domain plus
      helpers) — the worker-scaling sweep varies it at fixed m. *)
-  let run_point ~scale ~gc_workers m =
+  let run_point ~scale ~gc_workers ~slo m =
     let cores = Domain.recommended_domain_count () in
     (* m mutator domains + the collector domain + (gc_workers - 1)
        helpers all want a core at once during a cycle. *)
@@ -743,14 +746,34 @@ module Speedup = struct
       float_of_int result.Run_result.total_alloc_bytes
       /. (1024. *. 1024.) /. wall_s
     in
+    let slo_col =
+      (* the SLO column: tail wall-clock latencies the report gates on *)
+      if slo then
+        Printf.sprintf "  SLO[hs p50/p99.9 %d/%d us, stall p99.9 %d us]"
+          (pct hs 50.) (pct hs 99.9)
+          (pct (Telemetry.stall_latency tel) 99.9)
+      else ""
+    in
     Printf.printf
       "  m=%d w=%d  %7.1f MB alloc  %6.2f s wall  %8.2f MB/s  p99 handshake \
-       %d us  p99 stall %d us  %d steal(s)\n%!"
+       %d us  p99 stall %d us  %d steal(s)%s\n%!"
       m gc_workers
       (float_of_int result.Run_result.total_alloc_bytes /. (1024. *. 1024.))
       wall_s throughput_mb_s (p99_us hs)
       (p99_us (Telemetry.stall_latency tel))
-      (Telemetry.steals tel);
+      (Telemetry.steals tel) slo_col;
+    let slo_metrics =
+      if slo then
+        [
+          ("slo_p50_handshake_us", float_of_int (pct hs 50.));
+          ("slo_p999_handshake_us", float_of_int (pct hs 99.9));
+          ("slo_p50_stall_us",
+           float_of_int (pct (Telemetry.stall_latency tel) 50.));
+          ("slo_p999_stall_us",
+           float_of_int (pct (Telemetry.stall_latency tel) 99.9));
+        ]
+      else []
+    in
     {
       Trajectory.name = Printf.sprintf "speedup-m%d-w%d" m gc_workers;
       wall_ms = wall_s *. 1000.;
@@ -770,7 +793,8 @@ module Speedup = struct
            float_of_int
              (result.Run_result.n_partial + result.Run_result.n_full
             + result.Run_result.n_non_gen));
-        ];
+        ]
+        @ slo_metrics;
     }
 
   (* Wall-clock speedup curve on real domains.  Everything here is
@@ -780,7 +804,7 @@ module Speedup = struct
      the volume for smoke runs.  [gc_workers] > 1 turns the sweep into
      the worker-scaling curve (EXPERIMENTS.md): same mutator counts, a
      parallel collection crew per point. *)
-  let run ~quick ~gc_workers ~out =
+  let run ~quick ~gc_workers ~slo ~out =
     let scale = if quick then 0.05 else 0.5 in
     let counts = mutator_counts () in
     let cores = Domain.recommended_domain_count () in
@@ -791,7 +815,7 @@ module Speedup = struct
       scale
       (String.concat ", " (List.map string_of_int counts))
       gc_workers cores;
-    let scenarios = List.map (run_point ~scale ~gc_workers) counts in
+    let scenarios = List.map (run_point ~scale ~gc_workers ~slo) counts in
     let t = Trajectory.make ~scale ~seed ~quick scenarios in
     let oc = open_out out in
     output_string oc (Json.to_string (Trajectory.to_json t));
@@ -882,7 +906,7 @@ let () =
       in
       find args
     in
-    exit (Speedup.run ~quick ~gc_workers ~out)
+    exit (Speedup.run ~quick ~gc_workers ~slo:(List.mem "--slo" args) ~out)
   end
   else if micro_only then Micro.run ~quick ()
   else begin

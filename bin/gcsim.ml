@@ -142,12 +142,15 @@ let sample_every_arg ~default =
   Arg.(value & opt int default & info [ "sample-every" ] ~docv:"UNITS" ~doc)
 
 (* Enable recording before any mutator starts; [Driver.run_rt] calls this
-   right after creating the runtime. *)
+   right after creating the runtime.  On the domains substrate a trace or
+   telemetry request also arms the flight recorder (wall-clock per-domain
+   rings; [Runtime.arm_recorder] is a no-op under the simulator). *)
 let instrument_for ~trace ~telemetry ~trace_out ?(sample_every = 0) rt =
   if trace || trace_out <> None then
     Otfgc.Event_log.set_enabled (Otfgc.Runtime.events rt) true;
   if telemetry || trace_out <> None then
     Otfgc.Telemetry.set_enabled (Otfgc.Runtime.telemetry rt) true;
+  if telemetry || trace_out <> None then Otfgc.Runtime.arm_recorder rt;
   if sample_every > 0 then
     Otfgc.Sampler.configure (Otfgc.Runtime.sampler rt) ~every:sample_every
 
@@ -159,15 +162,37 @@ let warn_if_dropped rt =
        timeline-derived output is incomplete for the run's start\n"
       d
 
+let warn_if_flight_dropped rt =
+  let fr = Otfgc.Runtime.recorder rt in
+  if Otfgc.Flight_recorder.armed fr then begin
+    let d = Otfgc.Flight_recorder.dropped fr in
+    if d > 0 then
+      Printf.eprintf
+        "warning: flight-recorder ring(s) overflowed — %d events overwritten \
+         (oldest first); the trace and contention profile are incomplete for \
+         the run's start\n"
+        d
+  end
+
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;
   output_char oc '\n';
   close_out oc
 
+(* Prefer the flight recorder's wall-clock multi-track trace when it was
+   armed and recorded anything (domains runs); fall back to the event-log
+   reconstruction (simulated-time) otherwise. *)
 let write_trace rt ~workload path =
-  write_file path (Json.to_string (Trace_export.of_runtime ~workload rt));
+  let fr = Otfgc.Runtime.recorder rt in
+  let doc =
+    if Otfgc.Flight_recorder.armed fr && Otfgc.Flight_recorder.events fr <> []
+    then Trace_export.of_flight ~workload fr
+    else Trace_export.of_runtime ~workload rt
+  in
+  write_file path (Json.to_string doc);
   warn_if_dropped rt;
+  warn_if_flight_dropped rt;
   Printf.printf "trace written to %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -240,7 +265,11 @@ let run_cmd =
             if telemetry then begin
               print_newline ();
               Telemetry_report.print
-                (Telemetry_report.of_runtime ~workload:profile.Profile.name rt)
+                (Telemetry_report.of_runtime ~workload:profile.Profile.name rt);
+              let fr = Otfgc.Runtime.recorder rt in
+              if Otfgc.Flight_recorder.armed fr then
+                Otfgc_metrics.Contention.print
+                  (Otfgc_metrics.Contention.of_flight fr)
             end;
             if trace then
               Format.printf "@.phase timeline (elapsed work units):@.%a@?"
@@ -331,40 +360,85 @@ let stats_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json); ("csv", `Csv) ]) `Text
       & info [ "format" ] ~doc)
   in
-  let run workload mode card young scale seed format =
+  let run workload mode card young scale seed substrate mutators gc_workers
+      format =
     match parse_workload workload with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok profile -> (
         match parse_mode ~young mode with
         | Error (`Msg m) -> prerr_endline m; 1
-        | Ok gc ->
-            let _, rt =
-              Driver.run_rt ~heap:(heap_of_card card) ~seed ~scale
-                ~instrument:(fun rt ->
-                  (* the event log too, so the events-logged/dropped
-                     counters report the ring's real load *)
-                  Otfgc.Event_log.set_enabled (Otfgc.Runtime.events rt) true;
-                  Otfgc.Telemetry.set_enabled (Otfgc.Runtime.telemetry rt) true)
-                ~gc profile
-            in
-            let s =
-              Telemetry_report.of_runtime ~workload:profile.Profile.name rt
-            in
-            (match format with
-            | `Text -> Telemetry_report.print s
-            | `Json -> print_endline (Json.to_string (Telemetry_report.to_json s))
-            | `Csv -> print_string (Telemetry_report.to_csv s));
-            warn_if_dropped rt;
-            0)
+        | Ok gc -> (
+            match parse_substrate substrate with
+            | Error (`Msg m) -> prerr_endline m; 1
+            | Ok substrate ->
+                if gc_workers > 1 && substrate <> Otfgc_sched.Substrate.Domains
+                then begin
+                  prerr_endline "--gc-workers > 1 requires --substrate domains";
+                  1
+                end
+                else begin
+                  let _, rt =
+                    Driver.run_rt ~heap:(heap_of_card card) ~seed ~scale
+                      ~substrate ?threads:mutators ~gc_workers
+                      ~instrument:(fun rt ->
+                        (* the event log too, so the events-logged/dropped
+                           counters report the ring's real load; under
+                           domains the flight recorder adds wall-clock
+                           handshake/stall latencies and the contention
+                           profile *)
+                        Otfgc.Event_log.set_enabled (Otfgc.Runtime.events rt)
+                          true;
+                        Otfgc.Telemetry.set_enabled
+                          (Otfgc.Runtime.telemetry rt) true;
+                        Otfgc.Runtime.arm_recorder rt)
+                      ~gc profile
+                  in
+                  let s =
+                    Telemetry_report.of_runtime ~workload:profile.Profile.name
+                      rt
+                  in
+                  let fr = Otfgc.Runtime.recorder rt in
+                  let flight = Otfgc.Flight_recorder.armed fr in
+                  (match format with
+                  | `Text ->
+                      Telemetry_report.print s;
+                      if flight then
+                        Otfgc_metrics.Contention.print
+                          (Otfgc_metrics.Contention.of_flight fr)
+                  | `Json ->
+                      let doc = Telemetry_report.to_json s in
+                      let doc =
+                        if flight then
+                          match doc with
+                          | Json.Obj kvs ->
+                              Json.Obj
+                                (kvs
+                                @ [
+                                    ( "contention",
+                                      Otfgc_metrics.Contention.to_json
+                                        (Otfgc_metrics.Contention.of_flight fr)
+                                    );
+                                  ])
+                          | j -> j
+                        else doc
+                      in
+                      print_endline (Json.to_string doc)
+                  | `Csv -> print_string (Telemetry_report.to_csv s));
+                  warn_if_dropped rt;
+                  warn_if_flight_dropped rt;
+                  0
+                end))
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run one workload with telemetry enabled and print the phase-level \
-          work attribution, event counters and latency histograms.")
+          work attribution, event counters, latency histograms and the SLO \
+          table (wall-clock under --substrate domains, where the flight \
+          recorder also adds a contention profile).")
     Term.(
       const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
-      $ seed_arg $ format_arg)
+      $ seed_arg $ substrate_arg $ mutators_arg $ gc_workers_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gcsim validate-trace                                                *)

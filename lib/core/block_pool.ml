@@ -47,6 +47,19 @@ let lock t ~cls =
     true
   end
 
+(* Timed variant for the flight recorder: returns the nanoseconds the
+   caller spent blocked (0 on the uncontended fast path; clamped to at
+   least 1 when the try_lock failed, so "waited" stays decidable even
+   if the clock resolution swallows the wait). *)
+let lock_ns t ~cls =
+  let s = t.shards.(cls) in
+  if Mutex.try_lock s.lock then 0
+  else begin
+    let t0 = Otfgc_support.Monotonic_clock.now_ns () in
+    Mutex.lock s.lock;
+    Stdlib.max 1 (Otfgc_support.Monotonic_clock.now_ns () - t0)
+  end
+
 let unlock t ~cls = Mutex.unlock t.shards.(cls).lock
 
 (* Pop/push require the class lock to be held by the caller. *)

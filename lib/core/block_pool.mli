@@ -22,6 +22,11 @@ val lock : t -> cls:int -> bool
 (** Take class [cls]'s lock.  [true] iff the fast [try_lock] failed and
     the call had to block — the caller records it as a lock wait. *)
 
+val lock_ns : t -> cls:int -> int
+(** Timed {!lock}: nanoseconds spent blocked — [0] on the uncontended
+    fast path, [>= 1] when the call had to wait (flight-recorder
+    lock-wait spans; the caller still counts [> 0] as a lock wait). *)
+
 val unlock : t -> cls:int -> unit
 
 val pop : t -> cls:int -> int option

@@ -219,6 +219,11 @@ let update st m ~x ~i ~y =
 let cooperate st m =
   let cost = State.mcost st m in
   Cost.mutator_cat cost Cost.Barrier_fast Cost.c_cooperate;
+  (* Flight recorder: count the safepoint poll (armed domains runs only;
+     [ring] is [None] everywhere else, so this is one option check). *)
+  (match Mutator.ring m with
+  | Some r -> Flight_recorder.poll r
+  | None -> ());
   if not (Status.equal (Mutator.status m) (Atomic.get st.status_c)) then begin
     let tel = State.mtelemetry st m in
     let target = Atomic.get st.status_c in
@@ -238,6 +243,12 @@ let cooperate st m =
        poll. *)
     Mutator.set_status m target;
     Telemetry.hit_ack tel;
+    (match Mutator.ring m with
+    | Some r ->
+        Flight_recorder.instant r Flight_recorder.Ack
+          ~a:(Status.index target)
+          ~at:(Flight_recorder.now_ns ())
+    | None -> ());
     if Event_log.enabled st.events then
       emit st (Event_log.Mutator_ack { mid = Mutator.id m; status = target })
   end
@@ -286,6 +297,7 @@ let post_handshake st s =
      latency equals the posted->complete event gap exactly. *)
   let at = State.now_units st in
   Telemetry.handshake_posted st.telemetry ~at;
+  Flight_recorder.note_handshake_posted st.recorder;
   Event_log.emit st.events ~at (Event_log.Handshake_posted s)
 
 let wait_handshake st =
@@ -295,6 +307,8 @@ let wait_handshake st =
           Status.equal (Mutator.status m) target));
   let at = State.now_units st in
   Telemetry.handshake_completed st.telemetry (Atomic.get st.status_c) ~at;
+  Flight_recorder.note_handshake_completed st.recorder
+    ~status:(Status.index (Atomic.get st.status_c));
   Event_log.emit st.events ~at
     (Event_log.Handshake_complete (Atomic.get st.status_c))
 
@@ -691,11 +705,13 @@ let sweep st cycle =
    ones, so phase attribution is unchanged); helpers charge private
    ledgers merged at cycle end.  Per-cycle statistics go to the
    worker's partial counters, folded into the cycle record at each
-   phase barrier.  Two deliberate omissions versus the serial paths:
-   no [Page_set] touches and no [Observatory] sampling — both are
-   shared mutable structures with no synchronisation, and the domains
-   figures never feed the simulated-locality plots ([pages_touched]
-   undercounts when a multi-worker crew runs; DESIGN.md §11). *)
+   phase barrier.  Page touches go to the worker's private [Page_set]
+   (worker 0's aliases the shared one), unioned into the shared set at
+   cycle end before [pages_touched] is read: the touched-page union
+   over any partition of the work equals the serial set, so the count
+   is exact at every crew width.  [Observatory] census sampling —
+   which needs a quiescent walk — runs at phase boundaries on the
+   orchestrator instead ([Observatory.phase_sample]). *)
 
 (* Card ownership: round-robin chunks of 64 cards (one card-table cache
    line's worth) per worker, so dirty-card clusters spread across the
@@ -705,11 +721,20 @@ let par_card_chunk = 64
 let owns_card st (w : Gc_par.worker) card =
   (card / par_card_chunk) mod st.par.Gc_par.n_workers = w.Gc_par.wid
 
+(* Every worker reads the whole card table, so every worker touches the
+   whole scan range — the union is the single range the serial scan
+   touches. *)
+let par_touch_card_table_scan st (w : Gc_par.worker) n =
+  let base = (Heap.layout st.heap).Layout.card_table_base in
+  Page_set.touch_range w.Gc_par.pages base n
+
 let par_cards_simple st (w : Gc_par.worker) =
   Cost.set_phase w.Gc_par.cost Cost.Card_scan;
   let heap = st.heap in
   let cards = Heap.cards heap in
   let n = cards_covering_capacity st in
+  let pages = w.Gc_par.pages in
+  par_touch_card_table_scan st w n;
   let charge = Cost.collector w.Gc_par.cost in
   for card = 0 to n - 1 do
     if owns_card st w card then begin
@@ -723,10 +748,14 @@ let par_cards_simple st (w : Gc_par.worker) =
         Heap.iter_objects_on_card_buf heap ~scratch:w.Gc_par.scratch card
           (fun x ->
             charge Cost.c_card_obj;
+            Page_set.touch_range pages x Layout.granule;
             if Color.equal (Heap.color heap x) Color.Black then begin
               w.Gc_par.intergen_scanned <- w.Gc_par.intergen_scanned + 1;
               w.Gc_par.card_scan_bytes <-
                 w.Gc_par.card_scan_bytes + Heap.size heap x;
+              Page_set.touch_heap_object pages ~addr:x
+                ~size:(Heap.size heap x);
+              Page_set.touch_color pages x;
               Heap.set_color heap x Color.Gray;
               Gray_queue.push st.gray x;
               charge Cost.c_mark_gray
@@ -741,6 +770,8 @@ let par_cards_aging st (w : Gc_par.worker) =
   let heap = st.heap in
   let cards = Heap.cards heap in
   let n = cards_covering_capacity st in
+  let pages = w.Gc_par.pages in
+  par_touch_card_table_scan st w n;
   let charge = Cost.collector w.Gc_par.cost in
   for card = 0 to n - 1 do
     if owns_card st w card then begin
@@ -758,18 +789,26 @@ let par_cards_aging st (w : Gc_par.worker) =
         Heap.iter_objects_on_card_buf heap ~scratch:w.Gc_par.scratch card
           (fun x ->
             charge Cost.c_card_obj;
+            Page_set.touch_range pages x Layout.granule;
+            Page_set.touch_age pages x;
             let old = is_old st x in
             w.Gc_par.card_scan_bytes <-
               w.Gc_par.card_scan_bytes + Heap.size heap x;
-            if old then
+            if old then begin
               w.Gc_par.intergen_scanned <- w.Gc_par.intergen_scanned + 1;
+              Page_set.touch_heap_object pages ~addr:x
+                ~size:(Heap.size heap x)
+            end;
             let k = Heap.n_slots heap x in
             for i = 0 to k - 1 do
               charge Cost.c_scan_slot;
               let y = Heap.get_slot heap x i in
               if y <> Heap.nil then begin
-                if old then
+                if old then begin
                   charged_mark_gray st ~charge ~tel:w.Gc_par.tel ~sync:false y;
+                  Page_set.touch_color pages y
+                end;
+                Page_set.touch_age pages y;
                 if not (is_old st y) then has_young := true
               end
             done);
@@ -789,14 +828,19 @@ let par_mark_black st (w : Gc_par.worker) x =
   let heap = st.heap in
   let target = trace_target st in
   let charge = Cost.collector w.Gc_par.cost in
+  let pages = w.Gc_par.pages in
   if not (Color.equal (Heap.color heap x) target) then begin
     charge Cost.c_trace_obj;
+    Page_set.touch_heap_object pages ~addr:x ~size:(Heap.size heap x);
+    Page_set.touch_color pages x;
     let k = Heap.n_slots heap x in
     for i = 0 to k - 1 do
       charge Cost.c_scan_slot;
       let y = Heap.get_slot heap x i in
-      if y <> Heap.nil then
-        charged_mark_gray st ~charge ~tel:w.Gc_par.tel ~sync:false y
+      if y <> Heap.nil then begin
+        charged_mark_gray st ~charge ~tel:w.Gc_par.tel ~sync:false y;
+        Page_set.touch_color pages y
+      end
     done;
     Heap.set_color heap x target;
     (* two workers can race on a duplicate entry and both blacken [x];
@@ -817,6 +861,17 @@ let par_trace st (w : Gc_par.worker) =
   let n = par.Gc_par.n_workers in
   let gray = st.gray in
   let charge = Cost.collector w.Gc_par.cost in
+  let ring = w.Gc_par.ring in
+  (* flight-recorder timestamp, 0 when the recorder is disarmed (one
+     option check — the branch every instrumented site pays) *)
+  let fnow () =
+    match ring with Some _ -> Flight_recorder.now_ns () | None -> 0
+  in
+  let fspan kind ~a ~t0 =
+    match ring with
+    | Some r -> Flight_recorder.span r kind ~a ~t0 ~t1:(Flight_recorder.now_ns ())
+    | None -> ()
+  in
   (* per-worker deterministic victim sequence (no shared rng state) *)
   let rng = ref ((w.Gc_par.wid * 0x9E3779B9) lor 1) in
   let next_victim () =
@@ -841,20 +896,25 @@ let par_trace st (w : Gc_par.worker) =
     else
       let victim = next_victim () in
       if victim = w.Gc_par.wid then try_steal budget
-      else
+      else begin
+        let t0 = fnow () in
         match Gray_queue.steal gray ~victim with
         | Some x ->
             w.Gc_par.steals <- w.Gc_par.steals + 1;
+            fspan Flight_recorder.Steal ~a:1 ~t0;
             charge 1;
             par_mark_black st w x;
             run ()
         | None ->
             w.Gc_par.steal_failures <- w.Gc_par.steal_failures + 1;
+            fspan Flight_recorder.Steal ~a:0 ~t0;
             try_steal (budget - 1)
+      end
   and idle () =
+    let t0 = fnow () in
     Atomic.incr par.Gc_par.idle;
-    wait_idle ()
-  and wait_idle () =
+    wait_idle t0
+  and wait_idle t0 =
     (* Park with the substrate's spin-then-sleep backoff (bare cpu_relax
        here starves the very workers we wait on when cores are scarce)
        until there is work, a termination verdict, or this worker itself
@@ -864,14 +924,16 @@ let par_trace st (w : Gc_par.worker) =
         || (not (Gray_queue.is_empty gray))
         || Gc_par.try_terminate par ~queues_empty:(fun () ->
                Gray_queue.all_empty gray));
-    if Atomic.get par.Gc_par.term then ()
+    if Atomic.get par.Gc_par.term then
+      fspan Flight_recorder.Idle ~a:w.Gc_par.wid ~t0
     else if not (Gray_queue.is_empty gray) then begin
       (* activity stamp before the idle decrement — the ordering the
          termination check's soundness argument needs *)
       Gc_par.leave_idle par;
+      fspan Flight_recorder.Idle ~a:w.Gc_par.wid ~t0;
       run ()
     end
-    else wait_idle ()
+    else wait_idle t0
   in
   run ()
 
@@ -907,6 +969,7 @@ let par_sweep st (w : Gc_par.worker) =
   let lo = bounds.(w.Gc_par.wid) in
   let hi = bounds.(w.Gc_par.wid + 1) in
   let charge = Cost.collector w.Gc_par.cost in
+  let pages = w.Gc_par.pages in
   let addr = ref lo in
   while !addr < hi do
     State.lock_heap st;
@@ -920,12 +983,14 @@ let par_sweep st (w : Gc_par.worker) =
            still stand on *)
         if x > lo then ignore (Heap.merge_free_prev heap x : int)
     | Space.Allocated ->
+        Page_set.touch_color pages x;
         let c = Heap.color heap x in
         if Color.equal c Color.Blue then ()
         else if Color.equal c st.clear_color then begin
           charge Cost.c_free;
           w.Gc_par.objects_freed <- w.Gc_par.objects_freed + 1;
           w.Gc_par.bytes_freed <- w.Gc_par.bytes_freed + size;
+          Page_set.touch_range pages x Layout.granule;
           Heap.free heap x;
           if x > lo then ignore (Heap.merge_free_prev heap x : int)
         end
@@ -941,13 +1006,15 @@ let par_sweep st (w : Gc_par.worker) =
               then begin
                 if age <> 255 then begin
                   w.Gc_par.promotions <- w.Gc_par.promotions + 1;
-                  Age_table.set ages x 255
+                  Age_table.set ages x 255;
+                  Page_set.touch_age pages x
                 end
               end
               else begin
                 if not (Color.equal c st.allocation_color) then
                   Heap.set_color heap x st.allocation_color;
                 if age < 254 then Age_table.incr ages x;
+                Page_set.touch_age pages x;
                 charge 1
               end
         end);
@@ -965,6 +1032,15 @@ let run_phase st cycle p ~self =
   Gc_par.drain_partials par cycle;
   par.Gc_par.phase <- Gc_par.Idle
 
+(* Flight-recorder tag for a crew phase — the same numbering the
+   collector ring's cycle segments use (0 clear, 1 cards, 2 trace,
+   3 sweep), so one name table serves every track in the export. *)
+let par_phase_tag = function
+  | Gc_par.Idle -> 0
+  | Gc_par.Cards_simple | Gc_par.Cards_aging -> 1
+  | Gc_par.Trace -> 2
+  | Gc_par.Sweep -> 3
+
 (* Helper-domain body: park on the epoch counter, run each opened
    phase's share, check in at the barrier.  Spawned once per run by the
    driver (daemon domains, like the collector). *)
@@ -978,12 +1054,23 @@ let gc_worker_loop st wid =
         Atomic.get st.shutdown || Atomic.get par.Gc_par.epoch <> !seen);
     if Atomic.get par.Gc_par.epoch <> !seen then begin
       seen := Atomic.get par.Gc_par.epoch;
-      (match par.Gc_par.phase with
+      let phase = par.Gc_par.phase in
+      let t0 =
+        match w.Gc_par.ring with
+        | Some _ -> Flight_recorder.now_ns ()
+        | None -> 0
+      in
+      (match phase with
       | Gc_par.Idle -> ()
       | Gc_par.Cards_simple -> par_cards_simple st w
       | Gc_par.Cards_aging -> par_cards_aging st w
       | Gc_par.Trace -> par_trace st w
       | Gc_par.Sweep -> par_sweep st w);
+      (match w.Gc_par.ring with
+      | Some r when phase <> Gc_par.Idle ->
+          Flight_recorder.span r Flight_recorder.Phase ~a:(par_phase_tag phase)
+            ~t0 ~t1:(Flight_recorder.now_ns ())
+      | _ -> ());
       Atomic.incr par.Gc_par.done_count
     end
   done
@@ -1038,12 +1125,28 @@ let run_cycle st ~full =
     Stdlib.max 1 (window_bytes / Card_table.card_size (Heap.cards st.heap));
   st.cur_cycle <- Some cycle;
   emit st (Event_log.Cycle_start { kind; full });
+  (* Flight-recorder helpers for the collector track: cycle and phase
+     spans nest (Cycle > Phase > worker-0 Steal/Idle), which the trace
+     export's validator checks.  Disarmed: one option check each. *)
+  let frc = Flight_recorder.collector_ring st.recorder in
+  let fnow () =
+    match frc with Some _ -> Flight_recorder.now_ns () | None -> 0
+  in
+  let fspan kind ~a t0 =
+    match frc with
+    | Some r ->
+        Flight_recorder.span r kind ~a ~t0 ~t1:(Flight_recorder.now_ns ())
+    | None -> ()
+  in
+  let cycle_t0 = fnow () in
   Page_set.reset st.pages;
   Gray_queue.clear st.gray;
+  Observatory.phase_sample st;
   let work0 = Cost.collector_work st.cost in
   let elapsed0 = Cost.elapsed_multi st.cost in
   let mutator_work0 = Cost.mutator_work st.cost in
   (* clear phase *)
+  let clear_t0 = fnow () in
   (match mode with
   | Gc_config.Non_generational -> ()
   | Gc_config.Generational ->
@@ -1056,11 +1159,15 @@ let run_cycle st ~full =
         init_full_collection st ~clear_card_marks:false;
         emit st Event_log.Init_full_done
       end);
+  (match mode with
+  | Gc_config.Non_generational -> ()
+  | _ -> if full then fspan Flight_recorder.Phase ~a:0 clear_t0);
   post_handshake st Status.Sync1;
   wait_handshake st;
   (* mark phase *)
   post_handshake st Status.Sync2;
   let crew = Gc_par.active st.par in
+  let cards_t0 = fnow () in
   (match mode with
   | Gc_config.Non_generational -> ()
   | Gc_config.Generational ->
@@ -1091,9 +1198,16 @@ let run_cycle st ~full =
           (Event_log.Intergen_scanned
              { seeds = cycle.Gc_stats.intergen_scanned })
       end);
+  (match mode with
+  | Gc_config.Non_generational -> ()
+  | Gc_config.Generational -> fspan Flight_recorder.Phase ~a:1 cards_t0
+  | Gc_config.Generational_aging _ | Gc_config.Generational_adaptive ->
+      if not full then fspan Flight_recorder.Phase ~a:1 cards_t0);
   wait_handshake st;
   census st cycle;
+  Observatory.phase_sample st;
   Atomic.set st.tracing true;
+  let trace_t0 = fnow () in
   post_handshake st Status.Async;
   (* mark global roots (attributed to the trace: they seed it) *)
   Cost.set_phase st.cost Cost.Trace;
@@ -1110,6 +1224,8 @@ let run_cycle st ~full =
     run_phase st cycle Gc_par.Trace ~self:(fun w -> par_trace st w)
   end
   else trace st cycle;
+  fspan Flight_recorder.Phase ~a:2 trace_t0;
+  Observatory.phase_sample st;
   Telemetry.note_trace_workers st.telemetry cycle.Gc_stats.trace_workers;
   emit st (Event_log.Trace_complete { traced = cycle.Gc_stats.objects_traced });
   (* [sweeping] is raised before [tracing] drops so the non-generational
@@ -1119,11 +1235,14 @@ let run_cycle st ~full =
   Atomic.set st.sweeping true;
   Atomic.set st.tracing false;
   (* sweep *)
+  let sweep_t0 = fnow () in
   if crew then begin
     compute_sweep_bounds st;
     run_phase st cycle Gc_par.Sweep ~self:(fun w -> par_sweep st w)
   end
   else sweep st cycle;
+  fspan Flight_recorder.Phase ~a:3 sweep_t0;
+  Observatory.phase_sample st;
   emit st
     (Event_log.Sweep_complete
        {
@@ -1171,6 +1290,11 @@ let run_cycle st ~full =
   end;
   cycle.Gc_stats.work <- Cost.collector_work st.cost - work0;
   cycle.Gc_stats.active_span <- Cost.elapsed_multi st.cost - elapsed0;
+  (* Union the helpers' private page sets into the shared one (worker 0
+     already aliases it), restoring the exact serial count at any crew
+     width: the touched-page union over a partition of the work equals
+     the serial set. *)
+  if crew then Gc_par.merge_pages st.par ~dst:st.pages;
   cycle.Gc_stats.pages_touched <- Page_set.count st.pages;
   State.lock_heap st;
   cycle.Gc_stats.live_objects_at_end <- Heap.object_count st.heap;
@@ -1227,6 +1351,7 @@ let run_cycle st ~full =
      if grown then
        emit st (Event_log.Heap_grown { capacity = Heap.capacity st.heap })
    end);
+  fspan Flight_recorder.Cycle ~a:(if full then 1 else 0) cycle_t0;
   emit st Event_log.Cycle_end;
   cycle
 

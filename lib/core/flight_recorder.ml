@@ -1,0 +1,227 @@
+(* Flight recorder for the domains substrate: per-domain bounded rings
+   of monotonic-clock events, drained post-run into the Perfetto trace,
+   the contention profile and the SLO latency report.
+
+   The protocol is deliberately primitive so the record sites cost
+   almost nothing:
+
+   - every ring has exactly ONE writer (the domain it belongs to) and is
+     only read after the run, so writes need no synchronisation at all —
+     the ring is a plain int array and a plain sequence counter;
+   - an event is a fixed-stride record of four ints (start ns, duration
+     ns, kind tag, payload), written by four array stores;
+   - a full ring overwrites its oldest entry and counts the loss
+     ([dropped]), never blocking and never allocating;
+   - when the recorder is disarmed (the default, and always under the
+     simulator) every record site reduces to one option/bool check and
+     no clock read, so the sim digest guard is untouched.
+
+   Ring registration (not recording) takes a mutex: it happens a handful
+   of times per run, from whichever domain creates the mutator/worker.
+   Draining ([events]) must only run after the writers have quiesced —
+   the driver reads it post-run. *)
+
+module Clock = Otfgc_support.Monotonic_clock
+
+type kind =
+  | Phase  (** collector phase span; payload = [Cost.phase_index] *)
+  | Cycle  (** whole collection cycle; payload = 0 partial / 1 full *)
+  | Handshake  (** posted->complete span; payload = [Status.index] *)
+  | Ack  (** mutator adopted a posted status; payload = [Status.index] *)
+  | Poll  (** sampled safepoint poll; payload = polls so far *)
+  | Stall  (** allocation stall span; payload = mutator id *)
+  | Lock_wait  (** block-pool class lock wait; payload = size class *)
+  | Steal  (** steal attempt span; payload = 1 hit / 0 miss *)
+  | Idle  (** trace worker parked out of work; payload = 0 *)
+
+let kind_tag = function
+  | Phase -> 0
+  | Cycle -> 1
+  | Handshake -> 2
+  | Ack -> 3
+  | Poll -> 4
+  | Stall -> 5
+  | Lock_wait -> 6
+  | Steal -> 7
+  | Idle -> 8
+
+let kind_of_tag = function
+  | 0 -> Phase
+  | 1 -> Cycle
+  | 2 -> Handshake
+  | 3 -> Ack
+  | 4 -> Poll
+  | 5 -> Stall
+  | 6 -> Lock_wait
+  | 7 -> Steal
+  | _ -> Idle
+
+let kind_name = function
+  | Phase -> "phase"
+  | Cycle -> "cycle"
+  | Handshake -> "handshake"
+  | Ack -> "ack"
+  | Poll -> "poll"
+  | Stall -> "stall"
+  | Lock_wait -> "lock-wait"
+  | Steal -> "steal"
+  | Idle -> "idle"
+
+let stride = 4
+
+type ring = {
+  track : string;
+  tid : int;
+  buf : int array;
+  cap : int;  (* capacity in events *)
+  mutable seq : int;  (* events ever written; single writer *)
+  mutable polls : int;  (* safepoint polls counted (sampled emission) *)
+}
+
+type event = {
+  track : string;
+  tid : int;
+  kind : kind;
+  a : int;
+  t0_ns : int;
+  dur_ns : int;
+}
+
+type t = {
+  mutable armed : bool;
+  capacity : int;
+  reg : Mutex.t;  (* guards ring registration, never recording *)
+  mutable rings : ring list;
+  mutable collector : ring option;
+  mutable handshakes : ring option;
+  mutable hs_t0 : int;  (* open handshake's posted timestamp (collector) *)
+}
+
+let default_capacity = 16384
+
+let create ?(capacity = default_capacity) () =
+  {
+    armed = false;
+    capacity = Stdlib.max 16 capacity;
+    reg = Mutex.create ();
+    rings = [];
+    collector = None;
+    handshakes = None;
+    hs_t0 = 0;
+  }
+
+let armed t = t.armed
+let now_ns () = Clock.now_ns ()
+
+(* Perfetto track ids: the collector and mutators keep Trace_export's
+   historical scheme; helper GC workers and the dedicated handshake
+   track sit in a high band so they can never collide with mutators. *)
+let collector_tid = 0
+let mutator_tid mid = 1 + mid
+let worker_tid wid = 900 + wid
+let handshake_tid = 990
+
+let make_ring t ~track ~tid =
+  let r =
+    {
+      track;
+      tid;
+      buf = Array.make (t.capacity * stride) 0;
+      cap = t.capacity;
+      seq = 0;
+      polls = 0;
+    }
+  in
+  Mutex.lock t.reg;
+  t.rings <- r :: t.rings;
+  Mutex.unlock t.reg;
+  r
+
+let arm t =
+  if not t.armed then begin
+    t.collector <- Some (make_ring t ~track:"collector" ~tid:collector_tid);
+    t.handshakes <- Some (make_ring t ~track:"handshakes" ~tid:handshake_tid);
+    t.armed <- true
+  end
+
+let new_ring t ~track ~tid =
+  if t.armed then Some (make_ring t ~track ~tid) else None
+
+let collector_ring t = t.collector
+let handshake_ring t = t.handshakes
+
+let write r ~t0 ~dur ~tag ~a =
+  let i = r.seq mod r.cap * stride in
+  r.buf.(i) <- t0;
+  r.buf.(i + 1) <- dur;
+  r.buf.(i + 2) <- tag;
+  r.buf.(i + 3) <- a;
+  r.seq <- r.seq + 1
+
+let span r kind ~a ~t0 ~t1 =
+  write r ~t0 ~dur:(Stdlib.max 0 (t1 - t0)) ~tag:(kind_tag kind) ~a
+
+let instant r kind ~a ~at = write r ~t0:at ~dur:0 ~tag:(kind_tag kind) ~a
+
+(* Safepoint polls fire on every mutator operation; counting them is one
+   increment, and only every [poll_sample_interval]-th poll reads the
+   clock and lands in the ring. *)
+let poll_sample_interval = 1024
+
+let poll r =
+  r.polls <- r.polls + 1;
+  if r.polls mod poll_sample_interval = 0 then
+    instant r Poll ~a:r.polls ~at:(now_ns ())
+
+(* Handshake spans live on their own track: a posted->complete interval
+   can straddle collector phase spans (sync2 is posted before the card
+   scan and completes after it), so nesting them on the collector track
+   would violate the trace validator's containment invariant.  Only the
+   collector domain calls these, so the open-handshake cell is plain. *)
+let note_handshake_posted t =
+  match t.handshakes with Some _ -> t.hs_t0 <- now_ns () | None -> ()
+
+let note_handshake_completed t ~status =
+  match t.handshakes with
+  | Some r when t.hs_t0 > 0 ->
+      span r Handshake ~a:status ~t0:t.hs_t0 ~t1:(now_ns ());
+      t.hs_t0 <- 0
+  | _ -> ()
+
+let ring_dropped r = Stdlib.max 0 (r.seq - r.cap)
+
+let ring_events r acc =
+  let n = Stdlib.min r.seq r.cap in
+  let out = ref acc in
+  for k = r.seq - n to r.seq - 1 do
+    let i = k mod r.cap * stride in
+    out :=
+      {
+        track = r.track;
+        tid = r.tid;
+        kind = kind_of_tag r.buf.(i + 2);
+        a = r.buf.(i + 3);
+        t0_ns = r.buf.(i);
+        dur_ns = r.buf.(i + 1);
+      }
+      :: !out
+  done;
+  !out
+
+let rings t =
+  Mutex.lock t.reg;
+  let rs = t.rings in
+  Mutex.unlock t.reg;
+  rs
+
+let events t =
+  let all = List.fold_left (fun acc r -> ring_events r acc) [] (rings t) in
+  List.stable_sort (fun a b -> compare a.t0_ns b.t0_ns) all
+
+let dropped t = List.fold_left (fun acc r -> acc + ring_dropped r) 0 (rings t)
+let total_polls t = List.fold_left (fun acc r -> acc + r.polls) 0 (rings t)
+
+let tracks t =
+  List.sort
+    (fun (_, a) (_, b) -> compare a b)
+    (List.map (fun (r : ring) -> (r.track, r.tid)) (rings t))

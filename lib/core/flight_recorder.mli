@@ -1,0 +1,102 @@
+(** Flight recorder for the domains substrate: lock-free, per-domain,
+    bounded rings of monotonic-clock events (collector phase spans,
+    handshake request->ack pairs, allocation stalls, steal attempts,
+    block-pool lock waits, sampled safepoint polls), drained post-run
+    into the Perfetto trace, the contention profile and the SLO report.
+
+    Each ring has exactly one writer — the domain it belongs to — and is
+    read only after the run, so recording is four plain array stores
+    plus a clock read.  A full ring overwrites its oldest event and
+    counts the loss.  Disarmed (the default, and always under the
+    simulator), every record site reduces to a single option/bool check:
+    the recorder is out of band by construction and the sim digest guard
+    never sees it.  See DESIGN.md §12. *)
+
+type kind =
+  | Phase  (** collector phase span; payload = [Cost.phase_index] *)
+  | Cycle  (** whole collection cycle; payload = 0 partial / 1 full *)
+  | Handshake  (** posted->complete span; payload = [Status.index] *)
+  | Ack  (** mutator adopted a posted status; payload = [Status.index] *)
+  | Poll  (** sampled safepoint poll; payload = polls so far *)
+  | Stall  (** allocation stall span; payload = mutator id *)
+  | Lock_wait  (** block-pool class lock wait; payload = size class *)
+  | Steal  (** steal attempt span; payload = 1 hit / 0 miss *)
+  | Idle  (** trace worker parked out of work; payload = 0 *)
+
+val kind_name : kind -> string
+
+type ring
+(** A single-writer bounded event ring, bound to one Perfetto track. *)
+
+type event = {
+  track : string;
+  tid : int;
+  kind : kind;
+  a : int;
+  t0_ns : int;
+  dur_ns : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Disarmed recorder; [capacity] is events per ring (default 16384). *)
+
+val arm : t -> unit
+(** Idempotent.  Creates the collector and handshake rings; from then on
+    [new_ring] hands out per-domain rings.  Call before any domain that
+    should record starts running. *)
+
+val armed : t -> bool
+val now_ns : unit -> int
+
+(** {2 Track ids (Perfetto [tid] scheme)} *)
+
+val collector_tid : int
+val mutator_tid : int -> int
+val worker_tid : int -> int
+(** Helper GC worker [wid >= 1]; high band, disjoint from mutators. *)
+
+val handshake_tid : int
+(** Dedicated track: handshake spans straddle collector phase spans, so
+    they cannot live on the collector track without breaking nesting. *)
+
+val new_ring : t -> track:string -> tid:int -> ring option
+(** Fresh ring for one domain, or [None] while disarmed.  Registration
+    takes a mutex; recording into the result never does. *)
+
+val collector_ring : t -> ring option
+val handshake_ring : t -> ring option
+
+(** {2 Recording (single-writer per ring, wait-free)} *)
+
+val span : ring -> kind -> a:int -> t0:int -> t1:int -> unit
+val instant : ring -> kind -> a:int -> at:int -> unit
+
+val poll_sample_interval : int
+(** Every [poll_sample_interval]-th counted poll lands in the ring. *)
+
+val poll : ring -> unit
+(** Count a safepoint poll; every {!poll_sample_interval}-th also
+    records a [Poll] instant (the only one that reads the clock). *)
+
+val note_handshake_posted : t -> unit
+(** Collector only: stamp the open handshake's posted time. *)
+
+val note_handshake_completed : t -> status:int -> unit
+(** Collector only: close the open handshake span on the handshake
+    track; [status] is the posted [Status.index]. *)
+
+(** {2 Draining (post-run, writers quiescent)} *)
+
+val events : t -> event list
+(** Every surviving event from every ring, merged and stably sorted by
+    start timestamp (so the merged stream is monotone in [t0_ns]). *)
+
+val dropped : t -> int
+(** Events lost to ring overflow, summed over all rings. *)
+
+val total_polls : t -> int
+
+val tracks : t -> (string * int) list
+(** Registered [(track name, tid)] pairs, sorted by tid. *)

@@ -26,12 +26,19 @@
    late-shaded object rides through the sweep as floating gray and is
    normalised there. *)
 
+module Page_set = Otfgc_heap.Page_set
+
 type phase = Idle | Cards_simple | Cards_aging | Trace | Sweep
 
 type worker = {
   wid : int;
   cost : Cost.t;
   tel : Telemetry.t;
+  pages : Page_set.t;
+  (* worker 0 aliases the shared [State.pages]; helpers get private sets
+     the orchestrator unions in at the cycle barrier (merge_pages), so
+     [pages_touched] is exact at every crew width *)
+  mutable ring : Flight_recorder.ring option;
   mutable tick : int;
   scratch : int array ref;
   (* per-phase partials, folded into the cycle record at the phase
@@ -59,11 +66,13 @@ type t = {
   mutable sweep_bounds : int array;
 }
 
-let make_worker ~wid ~cost ~tel =
+let make_worker ~wid ~cost ~tel ~pages =
   {
     wid;
     cost;
     tel;
+    pages;
+    ring = None;
     tick = 0;
     scratch = ref (Array.make 32 0);
     dirty_cards = 0;
@@ -93,12 +102,14 @@ let create () =
 (* Arm the crew.  Worker 0 keeps charging the shared collector ledgers
    (phase attribution stays exact); helpers get private ledgers the
    orchestrator merges into the shared ones at each cycle's end. *)
-let configure t ~n ~cost0 ~tel0 =
+let configure t ~n ~cost0 ~tel0 ~pages0 ~layout =
   t.n_workers <- n;
   t.workers <-
     Array.init n (fun wid ->
-        if wid = 0 then make_worker ~wid ~cost:cost0 ~tel:tel0
-        else make_worker ~wid ~cost:(Cost.create ()) ~tel:(Telemetry.create ()))
+        if wid = 0 then make_worker ~wid ~cost:cost0 ~tel:tel0 ~pages:pages0
+        else
+          make_worker ~wid ~cost:(Cost.create ()) ~tel:(Telemetry.create ())
+            ~pages:(Page_set.create layout))
 
 let active t = t.n_workers > 1
 
@@ -147,6 +158,32 @@ let merge_ledgers t ~cost0 ~tel0 =
         Telemetry.merge_into ~src:w.tel ~dst:tel0;
         Telemetry.reset w.tel
       end)
+    t.workers
+
+(* Union the helpers' private page sets into the shared one and clear
+   them for the next cycle.  Orchestrator only, at the cycle barrier,
+   before [Page_set.count] reads the shared set. *)
+let merge_pages t ~dst =
+  Array.iter
+    (fun w ->
+      if w.wid <> 0 then begin
+        Page_set.merge_into ~src:w.pages ~dst;
+        Page_set.reset w.pages
+      end)
+    t.workers
+
+(* Hand every helper its flight-recorder track.  Worker 0 records on the
+   collector's own ring: its phase shares run inline inside the
+   orchestrator's phase spans. *)
+let attach_rings t fr =
+  Array.iter
+    (fun w ->
+      if w.wid = 0 then w.ring <- Flight_recorder.collector_ring fr
+      else
+        w.ring <-
+          Flight_recorder.new_ring fr
+            ~track:(Printf.sprintf "gc-worker-%d" w.wid)
+            ~tid:(Flight_recorder.worker_tid w.wid))
     t.workers
 
 (* {2 Phase protocol — orchestrator side} *)

@@ -15,6 +15,12 @@ type worker = {
   wid : int;
   cost : Cost.t;  (** worker 0: the shared collector ledger itself *)
   tel : Telemetry.t;
+  pages : Otfgc_heap.Page_set.t;
+      (** worker 0: the shared page set itself; helpers: private sets
+          unioned in by {!merge_pages} at the cycle barrier *)
+  mutable ring : Flight_recorder.ring option;
+      (** flight-recorder track (armed recorder only; see
+          {!attach_rings}) *)
   mutable tick : int;  (** local pacing counter (domains: no yields) *)
   scratch : int array ref;  (** per-worker card-walk scratch buffer *)
   mutable dirty_cards : int;
@@ -43,9 +49,17 @@ type t = {
 val create : unit -> t
 (** Inactive crew: [n_workers = 1], no worker records. *)
 
-val configure : t -> n:int -> cost0:Cost.t -> tel0:Telemetry.t -> unit
-(** Arm an [n]-worker crew.  Worker 0 aliases the shared ledgers;
-    helpers get private ones (merged by {!merge_ledgers}). *)
+val configure :
+  t ->
+  n:int ->
+  cost0:Cost.t ->
+  tel0:Telemetry.t ->
+  pages0:Otfgc_heap.Page_set.t ->
+  layout:Otfgc_heap.Layout.tables ->
+  unit
+(** Arm an [n]-worker crew.  Worker 0 aliases the shared ledgers and
+    page set; helpers get private ones (merged by {!merge_ledgers} and
+    {!merge_pages}); [layout] sizes the helpers' page sets. *)
 
 val active : t -> bool
 (** True iff a multi-worker crew is armed ([n_workers > 1]). *)
@@ -57,6 +71,15 @@ val drain_partials : t -> Gc_stats.cycle -> unit
 val merge_ledgers : t -> cost0:Cost.t -> tel0:Telemetry.t -> unit
 (** Fold helper cost/telemetry ledgers into the shared ones and reset
     them.  Orchestrator only, before end-of-cycle work accounting. *)
+
+val merge_pages : t -> dst:Otfgc_heap.Page_set.t -> unit
+(** Union helper page sets into [dst] (the shared set) and clear them.
+    Orchestrator only, before the cycle's [Page_set.count]. *)
+
+val attach_rings : t -> Flight_recorder.t -> unit
+(** Give each helper its flight-recorder track (worker 0 records on the
+    collector ring).  Call after {!configure}, once the recorder is
+    armed. *)
 
 val open_phase : t -> phase -> unit
 (** Publish a phase and release the helpers into it (epoch bump).

@@ -18,6 +18,8 @@ type t = {
   cache : Alloc_cache.t;
   mutable own_cost : Cost.t option;
   mutable own_telemetry : Telemetry.t option;
+  mutable ring : Flight_recorder.ring option;
+      (** flight-recorder track (domains substrate, recorder armed) *)
 }
 
 let create ~id ~name ~n_regs =
@@ -33,6 +35,7 @@ let create ~id ~name ~n_regs =
     cache = Alloc_cache.create ();
     own_cost = None;
     own_telemetry = None;
+    ring = None;
   }
 
 let id t = t.id
@@ -49,6 +52,9 @@ let own_telemetry t = t.own_telemetry
 let set_own_ledgers t cost telemetry =
   t.own_cost <- Some cost;
   t.own_telemetry <- Some telemetry
+
+let ring t = t.ring
+let set_ring t r = t.ring <- r
 
 let n_regs t = Array.length t.regs
 let get_reg t i = t.regs.(i)

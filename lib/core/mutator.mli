@@ -46,6 +46,12 @@ val set_own_ledgers : t -> Cost.t -> Telemetry.t -> unit
     [Runtime.new_mutator] when the runtime is in parallel mode; folded
     into the shared ledgers at end of run). *)
 
+val ring : t -> Flight_recorder.ring option
+(** This mutator's flight-recorder track, when the recorder is armed
+    (domains substrate only); [None] means every record site is a no-op. *)
+
+val set_ring : t -> Flight_recorder.ring option -> unit
+
 (** {2 Registers} *)
 
 val n_regs : t -> int

@@ -78,7 +78,10 @@ let sample st ~now =
             young_b := !young_b + size
           end);
   let floating_n = ref 0 and floating_b = ref 0 in
-  if s.Sampler.oracle then
+  (* no oracle under real domains: mutators keep running, so there is no
+     consistent reachability snapshot mid-run (the driver runs the
+     oracle at quiescence instead) *)
+  if s.Sampler.oracle && not st.parallel then
     List.iter
       (fun x ->
         incr floating_n;
@@ -122,7 +125,28 @@ let sample_now st = sample st ~now:(Cost.elapsed_multi st.cost)
 
 let maybe_sample st =
   let s = st.sampler in
-  if s.Sampler.every > 0 then begin
+  (* Simulator only: the census walk reads the block structure without
+     synchronisation, which mutator cache refills mutate concurrently
+     under real domains.  Domains runs census at cycle segment
+     boundaries instead ({!phase_sample}, under the heap lock). *)
+  if s.Sampler.every > 0 && not st.parallel then begin
     let now = Cost.elapsed_multi st.cost in
     if now >= s.Sampler.next_at then sample st ~now
+  end
+
+(* Domains-substrate census: taken by the orchestrating collector at
+   cycle segment boundaries (cycle start, after cards, after trace,
+   after sweep), under the heap lock so the block walk cannot race a
+   mutator refill splitting blocks.  The cadence clock is
+   [State.now_units] — real microseconds on this substrate — so
+   [Sampler.configure]'s [every] is a wall-clock interval here. *)
+let phase_sample st =
+  let s = st.sampler in
+  if st.parallel && s.Sampler.every > 0 then begin
+    let now = State.now_units st in
+    if now >= s.Sampler.next_at then begin
+      State.lock_heap st;
+      sample st ~now;
+      State.unlock_heap st
+    end
   end

@@ -16,7 +16,17 @@
 
 val maybe_sample : State.t -> unit
 (** Take a census iff sampling is armed and the cadence interval has
-    elapsed since the last row. *)
+    elapsed since the last row.  Simulator only: under the domains
+    substrate the unsynchronised heap walk would race mutator cache
+    refills, so this is a no-op there — see {!phase_sample}. *)
+
+val phase_sample : State.t -> unit
+(** Domains-substrate census hook, called by the collector at cycle
+    segment boundaries (cycle start, after the card scan, after the
+    trace, after the sweep): samples iff armed and the cadence interval
+    — wall-clock microseconds on this substrate — has elapsed, under
+    the heap lock so the walk cannot race a mutator refill.  No-op on
+    the simulator. *)
 
 val sample_now : State.t -> unit
 (** Take a census unconditionally (used for final-snapshot rows and by

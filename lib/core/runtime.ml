@@ -31,8 +31,26 @@ let set_parallel t v = t.st.parallel <- v; Gray_queue.set_locked t.st.gray v
 let set_gc_workers t n =
   let n = Stdlib.max 1 n in
   if n > 1 then begin
-    Gc_par.configure t.st.par ~n ~cost0:t.st.cost ~tel0:t.st.telemetry;
-    Gray_queue.set_workers t.st.gray n
+    Gc_par.configure t.st.par ~n ~cost0:t.st.cost ~tel0:t.st.telemetry
+      ~pages0:t.st.pages ~layout:(Heap.layout t.st.heap);
+    Gray_queue.set_workers t.st.gray n;
+    (* a recorder armed before the crew: give the new workers tracks *)
+    if Flight_recorder.armed t.st.recorder then
+      Gc_par.attach_rings t.st.par t.st.recorder
+  end
+
+let recorder t = t.st.recorder
+
+(* Arm the flight recorder (domains substrate only; call before any
+   process starts — instrument hooks run right after [set_parallel] and
+   [set_gc_workers] in the driver, which is the right moment).  Workers
+   configured before or after arming both end up with tracks; mutators
+   get theirs at registration. *)
+let arm_recorder t =
+  let st = t.st in
+  if st.parallel then begin
+    Flight_recorder.arm st.recorder;
+    if Gc_par.active st.par then Gc_par.attach_rings st.par st.recorder
   end
 
 let gc_workers t = if Gc_par.active t.st.par then t.st.par.Gc_par.n_workers else 1
@@ -62,6 +80,10 @@ let new_mutator t ~name ?(n_regs = 16) () =
         let tel = Telemetry.create () in
         Telemetry.set_enabled tel (Telemetry.enabled st.telemetry);
         Mutator.set_own_ledgers m c tel;
+        if Flight_recorder.armed st.recorder then
+          Mutator.set_ring m
+            (Flight_recorder.new_ring st.recorder ~track:name
+               ~tid:(Flight_recorder.mutator_tid (Mutator.id m)));
         Mutator.set_status m (Atomic.get st.status_c);
         State.register_mutator st m;
         Mutex.unlock st.reg_lock;
@@ -293,8 +315,20 @@ let alloc_domains t m ~size ~n_slots =
   in
   let refill () =
     let cls = Block_pool.class_of ~size in
-    if Block_pool.lock st.pool ~cls then
-      Telemetry.hit_lock_wait (State.mtelemetry st m) ~cls;
+    (match Mutator.ring m with
+    | None ->
+        if Block_pool.lock st.pool ~cls then
+          Telemetry.hit_lock_wait (State.mtelemetry st m) ~cls
+    | Some r ->
+        (* timed path: the clock is read only when the try_lock failed,
+           so the uncontended refill stays as cheap as the untimed one *)
+        let waited = Block_pool.lock_ns st.pool ~cls in
+        if waited > 0 then begin
+          Telemetry.hit_lock_wait (State.mtelemetry st m) ~cls;
+          let t1 = Flight_recorder.now_ns () in
+          Flight_recorder.span r Flight_recorder.Lock_wait ~a:cls
+            ~t0:(t1 - waited) ~t1
+        end);
     let got = ref 0 in
     (* stocked blocks first: the class lock is the only lock taken *)
     let rec from_pool () =
@@ -363,6 +397,11 @@ let alloc_domains t m ~size ~n_slots =
       (* blocks hoarded in other classes' pools may be exactly the
          memory this request needs — return them all before stalling *)
       drain_pools t;
+      let stall_ns0 =
+        match Mutator.ring m with
+        | Some _ -> Flight_recorder.now_ns ()
+        | None -> 0
+      in
       let stall_from = State.now_units st in
       let fulls_done () =
         Gc_stats.count st.stats Gc_stats.Full
@@ -403,6 +442,11 @@ let alloc_domains t m ~size ~n_slots =
                 && Atomic.get st.gc_request = No_request)
       done;
       Telemetry.record_stall tel (State.now_units st - stall_from);
+      (match Mutator.ring m with
+      | Some r ->
+          Flight_recorder.span r Flight_recorder.Stall ~a:(Mutator.id m)
+            ~t0:stall_ns0 ~t1:(Flight_recorder.now_ns ())
+      | None -> ());
       !result
 
 let alloc t m ~size ~n_slots =

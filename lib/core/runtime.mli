@@ -60,6 +60,17 @@ val set_gc_workers : t -> int -> unit
 val gc_workers : t -> int
 (** Armed crew width ([1] when serial). *)
 
+val recorder : t -> Flight_recorder.t
+(** The flight recorder (disarmed unless {!arm_recorder} ran). *)
+
+val arm_recorder : t -> unit
+(** Arm the flight recorder (domains substrate only — a no-op unless
+    {!set_parallel} came first; call before any process starts).  Every
+    domain gets its own wall-clock event ring: the collector, each
+    helper GC worker, each mutator registered afterwards, plus a
+    dedicated handshake track.  Disarmed recording costs one option
+    check per site, so the simulator's digests never move. *)
+
 val gc_worker_loop : t -> int -> unit
 (** Helper worker body for worker id [wid] in [1..n-1]; spawn one daemon
     domain per helper after {!set_gc_workers}. *)

@@ -44,6 +44,7 @@ type t = {
   mutable collector_tick : int;
   mutable collector_speed : int;
   sampler : Sampler.t;
+  recorder : Flight_recorder.t;
   (* Real-domains substrate.  [parallel] is set once by the driver before
      any process starts; the locks are never touched in simulated mode. *)
   mutable parallel : bool;
@@ -83,6 +84,7 @@ let create heap cfg =
     collector_tick = 0;
     collector_speed = 8;
     sampler = Sampler.create ();
+    recorder = Flight_recorder.create ();
     parallel = false;
     heap_lock = Mutex.create ();
     reg_lock = Mutex.create ();

@@ -78,6 +78,10 @@ type t = {
   sampler : Sampler.t;
       (** census sampling cadence and series (off by default); driven by
           {!Observatory} from the runtime/collector sampling hooks *)
+  recorder : Flight_recorder.t;
+      (** per-domain wall-clock event rings (disarmed by default — one
+          option check per record site; armed only on the domains
+          substrate via [Runtime.arm_recorder]) *)
   (* real-domains substrate *)
   mutable parallel : bool;
       (** running on real domains; set once by the driver before any

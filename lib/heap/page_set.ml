@@ -6,6 +6,12 @@ let create tables =
 
 let reset t = Otfgc_support.Bitset.clear t.pages
 
+(* Per-worker page sets under a multi-worker crew: each worker records
+   its own touches, and the orchestrator unions them into the shared set
+   at the cycle barrier — the union over any partition of the work
+   equals the serial set.  Both sets must span the same layout. *)
+let merge_into ~src ~dst = Otfgc_support.Bitset.union_into ~dst:dst.pages src.pages
+
 let count t = Otfgc_support.Bitset.cardinal t.pages
 
 let touch_range t addr len =

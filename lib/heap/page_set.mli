@@ -17,6 +17,11 @@ val reset : t -> unit
 val count : t -> int
 (** Number of distinct pages touched since the last [reset]. *)
 
+val merge_into : src:t -> dst:t -> unit
+(** Union [src]'s touched pages into [dst].  Both must have been created
+    from the same {!Layout.tables}.  Used by the parallel crew: workers
+    touch private sets, merged into the shared one at the cycle barrier. *)
+
 val touch_range : t -> int -> int -> unit
 (** [touch_range t addr len] records the pages covering
     [addr .. addr+len-1]. *)

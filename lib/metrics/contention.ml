@@ -1,0 +1,198 @@
+(* Contention profile distilled from the flight recorder's per-domain
+   rings: where the domains substrate spends wall-clock time waiting
+   rather than working.  Everything here is post-run aggregation over
+   [Flight_recorder.events] — the recording side stays four int stores
+   per event. *)
+
+module Histogram = Otfgc_support.Histogram
+module Textable = Otfgc_support.Textable
+module Json = Otfgc_support.Json
+module Fr = Otfgc.Flight_recorder
+
+type worker_row = {
+  track : string;
+  trace_ns : int;  (* wall-clock inside trace-phase spans *)
+  idle_ns : int;  (* parked out of work inside those spans *)
+  steal_hits : int;
+  steal_misses : int;
+}
+
+type t = {
+  lock_wait_by_class : (int * int * int) list;
+      (* size class, contended acquisitions, total wait ns *)
+  steal_hit_ns : Histogram.t;
+  steal_miss_ns : Histogram.t;
+  workers : worker_row list;
+  polls : int;
+  dropped : int;
+}
+
+let of_flight fr =
+  let locks = Hashtbl.create 8 in
+  let wtbl = Hashtbl.create 8 in
+  let worker track =
+    match Hashtbl.find_opt wtbl track with
+    | Some r -> r
+    | None ->
+        let r = ref { track; trace_ns = 0; idle_ns = 0; steal_hits = 0;
+                      steal_misses = 0 } in
+        Hashtbl.add wtbl track r;
+        r
+  in
+  let hit = Histogram.create () and miss = Histogram.create () in
+  List.iter
+    (fun (e : Fr.event) ->
+      match e.Fr.kind with
+      | Fr.Lock_wait ->
+          let c, n = Option.value ~default:(0, 0)
+              (Hashtbl.find_opt locks e.Fr.a) in
+          Hashtbl.replace locks e.Fr.a (c + 1, n + e.Fr.dur_ns)
+      | Fr.Steal ->
+          let r = worker e.Fr.track in
+          if e.Fr.a = 1 then begin
+            Histogram.record hit e.Fr.dur_ns;
+            r := { !r with steal_hits = !r.steal_hits + 1 }
+          end
+          else begin
+            Histogram.record miss e.Fr.dur_ns;
+            r := { !r with steal_misses = !r.steal_misses + 1 }
+          end
+      | Fr.Idle ->
+          let r = worker e.Fr.track in
+          r := { !r with idle_ns = !r.idle_ns + e.Fr.dur_ns }
+      | Fr.Phase when e.Fr.a = 2 ->
+          (* a trace-phase span on this track *)
+          let r = worker e.Fr.track in
+          r := { !r with trace_ns = !r.trace_ns + e.Fr.dur_ns }
+      | _ -> ())
+    (Fr.events fr);
+  let lock_wait_by_class =
+    List.sort compare
+      (Hashtbl.fold (fun cls (c, n) acc -> (cls, c, n) :: acc) locks [])
+  in
+  let workers =
+    List.sort
+      (fun a b -> compare a.track b.track)
+      (Hashtbl.fold (fun _ r acc -> !r :: acc) wtbl [])
+  in
+  {
+    lock_wait_by_class;
+    steal_hit_ns = hit;
+    steal_miss_ns = miss;
+    workers;
+    polls = Fr.total_polls fr;
+    dropped = Fr.dropped fr;
+  }
+
+let us ns = Otfgc_support.Monotonic_clock.ns_to_us ns
+
+let lock_table t =
+  let tbl =
+    Textable.create ~title:"block-pool lock contention"
+      [ "size class"; "waits"; "total us"; "mean us" ]
+  in
+  List.iter
+    (fun (cls, c, ns) ->
+      Textable.add_row tbl
+        [
+          string_of_int cls;
+          string_of_int c;
+          string_of_int (us ns);
+          Textable.fmt_f1 (float_of_int (us ns) /. float_of_int (Stdlib.max 1 c));
+        ])
+    t.lock_wait_by_class;
+  tbl
+
+let steal_table t =
+  let tbl =
+    Textable.create ~title:"steal latency (ns)"
+      [ "outcome"; "count"; "p50"; "p99"; "max" ]
+  in
+  let row name h =
+    Textable.add_row tbl
+      [
+        name;
+        string_of_int (Histogram.count h);
+        string_of_int (Histogram.percentile h 50.);
+        string_of_int (Histogram.percentile h 99.);
+        string_of_int (Histogram.max_value h);
+      ]
+  in
+  row "hit" t.steal_hit_ns;
+  row "miss" t.steal_miss_ns;
+  tbl
+
+let worker_table t =
+  let tbl =
+    Textable.create ~title:"trace workers (wall-clock)"
+      [ "track"; "trace us"; "idle us"; "idle %"; "steals"; "misses" ]
+  in
+  List.iter
+    (fun w ->
+      let idle_pct =
+        if w.trace_ns = 0 then "0.0"
+        else
+          Textable.fmt_f1
+            (float_of_int w.idle_ns /. float_of_int w.trace_ns *. 100.)
+      in
+      Textable.add_row tbl
+        [
+          w.track;
+          string_of_int (us w.trace_ns);
+          string_of_int (us w.idle_ns);
+          idle_pct;
+          string_of_int w.steal_hits;
+          string_of_int w.steal_misses;
+        ])
+    t.workers;
+  tbl
+
+let print t =
+  Textable.print (lock_table t);
+  Textable.print (steal_table t);
+  Textable.print (worker_table t);
+  Printf.printf "safepoint polls: %d (sampled 1/%d)   recorder drops: %d\n"
+    t.polls Fr.poll_sample_interval t.dropped
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("mean", Json.Float (Histogram.mean h));
+      ("p50", Json.Int (Histogram.percentile h 50.));
+      ("p99", Json.Int (Histogram.percentile h 99.));
+      ("max", Json.Int (Histogram.max_value h));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "lock_wait_by_class",
+        Json.List
+          (List.map
+             (fun (cls, c, ns) ->
+               Json.Obj
+                 [
+                   ("class", Json.Int cls);
+                   ("waits", Json.Int c);
+                   ("total_ns", Json.Int ns);
+                 ])
+             t.lock_wait_by_class) );
+      ("steal_hit_ns", hist_json t.steal_hit_ns);
+      ("steal_miss_ns", hist_json t.steal_miss_ns);
+      ( "workers",
+        Json.List
+          (List.map
+             (fun w ->
+               Json.Obj
+                 [
+                   ("track", Json.String w.track);
+                   ("trace_ns", Json.Int w.trace_ns);
+                   ("idle_ns", Json.Int w.idle_ns);
+                   ("steal_hits", Json.Int w.steal_hits);
+                   ("steal_misses", Json.Int w.steal_misses);
+                 ])
+             t.workers) );
+      ("polls", Json.Int t.polls);
+      ("dropped", Json.Int t.dropped);
+    ]

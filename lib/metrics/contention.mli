@@ -1,0 +1,35 @@
+(** Contention profile of a domains run, distilled from the flight
+    recorder's per-domain rings ({!Otfgc.Flight_recorder}): per-size-class
+    block-pool lock-wait time, steal-attempt latency distributions, and
+    each trace worker's idle-versus-active wall-clock split.  Build it
+    post-run — the rings are single-writer and only safe to drain after
+    the domains have quiesced. *)
+
+type worker_row = {
+  track : string;
+  trace_ns : int;  (** wall-clock inside this track's trace-phase spans *)
+  idle_ns : int;  (** parked out of work inside those spans *)
+  steal_hits : int;
+  steal_misses : int;
+}
+
+type t = {
+  lock_wait_by_class : (int * int * int) list;
+      (** (size class, contended acquisitions, total wait ns), ascending *)
+  steal_hit_ns : Otfgc_support.Histogram.t;
+  steal_miss_ns : Otfgc_support.Histogram.t;
+  workers : worker_row list;
+  polls : int;  (** safepoint polls counted across every mutator ring *)
+  dropped : int;  (** events lost to ring overwrite, all rings *)
+}
+
+val of_flight : Otfgc.Flight_recorder.t -> t
+
+val lock_table : t -> Otfgc_support.Textable.t
+val steal_table : t -> Otfgc_support.Textable.t
+val worker_table : t -> Otfgc_support.Textable.t
+
+val print : t -> unit
+(** All three tables plus the poll/drop counters to stdout. *)
+
+val to_json : t -> Otfgc_support.Json.t

@@ -13,6 +13,7 @@ type hist = {
   p50 : int;
   p90 : int;
   p99 : int;
+  p999 : int;
 }
 
 type summary = {
@@ -41,6 +42,13 @@ type summary = {
   handshake_latency : (string * hist) list;
   stall_latency : hist;
   cycle_progress : hist;
+  time_unit : string;
+      (** unit of every latency histogram: ["units"] (simulated cost
+          units) on the simulator, ["us"] (wall-clock microseconds) on
+          the domains substrate *)
+  slo_handshake : hist;
+      (** all statuses' handshake latencies merged into one
+          distribution — the SLO view (p50/p99/p99.9) *)
 }
 
 let snapshot_hist h =
@@ -53,6 +61,7 @@ let snapshot_hist h =
     p50 = Histogram.percentile h 50.;
     p90 = Histogram.percentile h 90.;
     p99 = Histogram.percentile h 99.;
+    p999 = Histogram.percentile h 99.9;
   }
 
 let of_runtime ?(workload = "") rt =
@@ -102,6 +111,13 @@ let of_runtime ?(workload = "") rt =
         [ Status.Sync1; Status.Sync2; Status.Async ];
     stall_latency = snapshot_hist (Telemetry.stall_latency tel);
     cycle_progress = snapshot_hist (Telemetry.cycle_progress tel);
+    time_unit = (if st.State.parallel then "us" else "units");
+    slo_handshake =
+      snapshot_hist
+        (List.fold_left
+           (fun acc s -> Histogram.merge acc (Telemetry.handshake_latency tel s))
+           (Histogram.create ())
+           [ Status.Sync1; Status.Sync2; Status.Async ]);
   }
 
 let pct part whole =
@@ -151,8 +167,12 @@ let counter_table s =
 
 let latency_table s =
   let tbl =
-    Textable.create ~title:"latency histograms (work units)"
-      [ "instrument"; "count"; "min"; "mean"; "p50"; "p90"; "p99"; "max" ]
+    Textable.create
+      ~title:(Printf.sprintf "latency histograms (%s)" s.time_unit)
+      [
+        "instrument"; "count"; "min"; "mean"; "p50"; "p90"; "p99"; "p99.9";
+        "max";
+      ]
   in
   let row name h =
     Textable.add_row tbl
@@ -164,6 +184,7 @@ let latency_table s =
         string_of_int h.p50;
         string_of_int h.p90;
         string_of_int h.p99;
+        string_of_int h.p999;
         string_of_int h.max;
       ]
   in
@@ -172,6 +193,30 @@ let latency_table s =
     s.handshake_latency;
   row "alloc stall" s.stall_latency;
   row "cycle progress" s.cycle_progress;
+  tbl
+
+(* The SLO view: one merged handshake distribution plus the stall
+   distribution, tail percentiles first — wall-clock microseconds under
+   the domains substrate, simulated units otherwise. *)
+let slo_table s =
+  let tbl =
+    Textable.create
+      ~title:(Printf.sprintf "SLO latency (%s)" s.time_unit)
+      [ "slo"; "count"; "p50"; "p99"; "p99.9"; "max" ]
+  in
+  let row name h =
+    Textable.add_row tbl
+      [
+        name;
+        string_of_int h.count;
+        string_of_int h.p50;
+        string_of_int h.p99;
+        string_of_int h.p999;
+        string_of_int h.max;
+      ]
+  in
+  row "handshake (all)" s.slo_handshake;
+  row "alloc stall" s.stall_latency;
   tbl
 
 let hist_to_json h =
@@ -185,6 +230,7 @@ let hist_to_json h =
       ("p50", Json.Int h.p50);
       ("p90", Json.Int h.p90);
       ("p99", Json.Int h.p99);
+      ("p999", Json.Int h.p999);
     ]
 
 let to_json s =
@@ -223,6 +269,8 @@ let to_json s =
           (List.map (fun (k, h) -> (k, hist_to_json h)) s.handshake_latency) );
       ("stall_latency", hist_to_json s.stall_latency);
       ("cycle_progress", hist_to_json s.cycle_progress);
+      ("time_unit", Json.String s.time_unit);
+      ("slo_handshake", hist_to_json s.slo_handshake);
     ]
 
 let to_csv s =
@@ -258,6 +306,7 @@ let to_csv s =
   line "trace_workers" (string_of_int s.trace_workers);
   line "events_logged" (string_of_int s.events_logged);
   line "events_dropped" (string_of_int s.events_dropped);
+  line "time_unit" s.time_unit;
   let hist name h =
     line (name ^ ".count") (string_of_int h.count);
     line (name ^ ".total") (string_of_int h.total);
@@ -266,6 +315,7 @@ let to_csv s =
     line (name ^ ".p50") (string_of_int h.p50);
     line (name ^ ".p90") (string_of_int h.p90);
     line (name ^ ".p99") (string_of_int h.p99);
+    line (name ^ ".p999") (string_of_int h.p999);
     line (name ^ ".max") (string_of_int h.max)
   in
   List.iter
@@ -273,6 +323,7 @@ let to_csv s =
     s.handshake_latency;
   hist "stall_latency" s.stall_latency;
   hist "cycle_progress" s.cycle_progress;
+  hist "slo_handshake" s.slo_handshake;
   Buffer.contents b
 
 (* --- parsing (the inverse of [to_json], used by the round-trip tests
@@ -331,8 +382,9 @@ let hist_of_json name j =
   let* p50 = int_field "p50" j in
   let* p90 = int_field "p90" j in
   let* p99 = int_field "p99" j in
+  let* p999 = int_field "p999" j in
   ignore name;
-  Ok { count; total; min; max; mean; p50; p90; p99 }
+  Ok { count; total; min; max; mean; p50; p90; p99; p999 }
 
 let hist_field name j =
   let* v = field name j in
@@ -388,6 +440,8 @@ let of_json j =
   in
   let* stall_latency = hist_field "stall_latency" j in
   let* cycle_progress = hist_field "cycle_progress" j in
+  let* time_unit = string_field "time_unit" j in
+  let* slo_handshake = hist_field "slo_handshake" j in
   Ok
     {
       workload;
@@ -415,9 +469,12 @@ let of_json j =
       handshake_latency;
       stall_latency;
       cycle_progress;
+      time_unit;
+      slo_handshake;
     }
 
 let print s =
   Textable.print (work_table s);
   Textable.print (counter_table s);
-  Textable.print (latency_table s)
+  Textable.print (latency_table s);
+  Textable.print (slo_table s)

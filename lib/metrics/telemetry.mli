@@ -16,6 +16,7 @@ type hist = {
   p50 : int;
   p90 : int;
   p99 : int;
+  p999 : int;
 }
 (** Snapshot of one {!Otfgc_support.Histogram}. *)
 
@@ -49,6 +50,12 @@ type summary = {
   handshake_latency : (string * hist) list;  (** per posted status *)
   stall_latency : hist;
   cycle_progress : hist;
+  time_unit : string;
+      (** unit of every latency histogram: ["units"] (simulated cost
+          units) on the simulator, ["us"] (wall-clock microseconds) on
+          the domains substrate *)
+  slo_handshake : hist;
+      (** all statuses' handshake latencies merged — the SLO view *)
 }
 
 val of_runtime : ?workload:string -> Otfgc.Runtime.t -> summary
@@ -60,7 +67,11 @@ val work_table : summary -> Otfgc_support.Textable.t
 val counter_table : summary -> Otfgc_support.Textable.t
 
 val latency_table : summary -> Otfgc_support.Textable.t
-(** One row per histogram: count, min, mean, p50/p90/p99, max. *)
+(** One row per histogram: count, min, mean, p50/p90/p99/p99.9, max. *)
+
+val slo_table : summary -> Otfgc_support.Textable.t
+(** The SLO view: merged handshake latency and stall duration with
+    p50/p99/p99.9 — wall-clock microseconds on the domains substrate. *)
 
 val to_json : summary -> Otfgc_support.Json.t
 
@@ -74,4 +85,4 @@ val to_csv : summary -> string
     [name.count], [name.mean], ...) — trivially greppable/joinable. *)
 
 val print : summary -> unit
-(** All three tables to stdout — the body of [gcsim stats]. *)
+(** All four tables to stdout — the body of [gcsim stats]. *)

@@ -137,6 +137,74 @@ let of_runtime ?(workload = "") rt =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Flight-recorder export (domains substrate)                          *)
+(* ------------------------------------------------------------------ *)
+
+let status_name i =
+  if i >= 0 && i <= 2 then Status.to_string (Status.of_index i)
+  else "status-" ^ string_of_int i
+
+let seg_name = function
+  | 0 -> "clear"
+  | 1 -> "cards"
+  | 2 -> "trace"
+  | _ -> "sweep"
+
+(* Real-nanosecond events from the per-domain rings: one track per ring
+   (collector, each GC worker, each mutator, the handshake track),
+   timestamps rebased to the first event and floored to microseconds.
+   Span ends are converted as endpoints — [us t0 + us dur] would round
+   each side down independently and could push a child slice one
+   microsecond past its parent, which [validate] rejects; flooring both
+   endpoints keeps ns-containment implying us-containment. *)
+let of_flight ?(workload = "") fr =
+  let module Fr = Otfgc.Flight_recorder in
+  let events = Fr.events fr in
+  let base = match events with [] -> 0 | e :: _ -> e.Fr.t0_ns in
+  let us ns = Otfgc_support.Monotonic_clock.ns_to_us (ns - base) in
+  let acc = ref [] in
+  let push e = acc := e :: !acc in
+  let label = if workload = "" then "domains" else workload ^ " (domains)" in
+  push (metadata ~name:"process_name" ~tid:Fr.collector_tid ("gcsim " ^ label));
+  List.iter
+    (fun (track, tid) -> push (metadata ~name:"thread_name" ~tid track))
+    (Fr.tracks fr);
+  List.iter
+    (fun (e : Fr.event) ->
+      let ts = us e.Fr.t0_ns in
+      let dur = us (e.Fr.t0_ns + e.Fr.dur_ns) - ts in
+      let tid = e.Fr.tid in
+      match e.Fr.kind with
+      | Fr.Phase -> push (span ~name:(seg_name e.Fr.a) ~ts ~dur ~tid [])
+      | Fr.Cycle ->
+          push
+            (span
+               ~name:(if e.Fr.a = 1 then "cycle full" else "cycle partial")
+               ~ts ~dur ~tid [])
+      | Fr.Handshake ->
+          push (span ~name:("handshake " ^ status_name e.Fr.a) ~ts ~dur ~tid [])
+      | Fr.Ack -> push (instant ~name:("ack " ^ status_name e.Fr.a) ~ts ~tid [])
+      | Fr.Poll ->
+          push (instant ~name:"poll" ~ts ~tid [ ("polls", Json.Int e.Fr.a) ])
+      | Fr.Stall -> push (span ~name:"alloc stall" ~ts ~dur ~tid [])
+      | Fr.Lock_wait ->
+          push
+            (span ~name:"lock-wait" ~ts ~dur ~tid
+               [ ("class", Json.Int e.Fr.a) ])
+      | Fr.Steal ->
+          push
+            (span
+               ~name:(if e.Fr.a = 1 then "steal hit" else "steal miss")
+               ~ts ~dur ~tid [])
+      | Fr.Idle -> push (span ~name:"idle" ~ts ~dur ~tid []))
+    events;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !acc));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Validation                                                          *)
 (* ------------------------------------------------------------------ *)
 

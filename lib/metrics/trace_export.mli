@@ -20,6 +20,15 @@ val of_runtime : ?workload:string -> Otfgc.Runtime.t -> Otfgc_support.Json.t
 (** Build the trace document ([{"traceEvents": [...]}]) from the runtime's
     event log.  Meaningful only if the log was enabled for the run. *)
 
+val of_flight :
+  ?workload:string -> Otfgc.Flight_recorder.t -> Otfgc_support.Json.t
+(** Build the trace document from the flight recorder's per-domain
+    rings (domains substrate; see {!Otfgc.Runtime.arm_recorder}): one
+    track per domain — collector, GC workers, mutators, plus the
+    dedicated handshake track — with real wall-clock timestamps,
+    rebased to the first recorded event and floored to microseconds.
+    Drain only after the run has quiesced. *)
+
 val validate : Otfgc_support.Json.t -> (unit, string) result
 (** Structural check used by tests and [gcsim validate-trace]: the
     document has a [traceEvents] array; every event carries [name], [ph],

@@ -17,6 +17,7 @@ let () =
          Test_observability.suites;
          Test_observatory.suites;
          Test_telemetry.suites;
+         Test_flight.suites;
          Test_runtime.suites;
          Test_deque.suites;
          Test_parallel.suites;

@@ -19,10 +19,12 @@
 
 open Otfgc_workloads
 module Substrate = Otfgc_sched.Substrate
+module Parallel = Otfgc_sched.Parallel
 module Heap = Otfgc_heap.Heap
 module State = Otfgc.State
 module Oracle = Otfgc.Oracle
 module Runtime = Otfgc.Runtime
+module Mutator = Otfgc.Mutator
 module Gc_stats = Otfgc.Gc_stats
 module Run_result = Otfgc_metrics.Run_result
 
@@ -133,10 +135,93 @@ let stress_jitter () =
             ~scale:0.03 ())
         [ 1; 2; 3 ])
 
+(* [pages_touched] must be exact, not approximate, at every crew width:
+   the per-worker touched-page sets merged at cycle end must union to the
+   set the serial collector computes.  To compare across widths the heap
+   snapshot each cycle sees must be identical, so the single mutator only
+   requests collections from quiescent points — it parks in
+   [collect_and_wait] while the (1-, 2- or 3-wide) crew runs, and the
+   heap is far below every automatic trigger. *)
+let pages_at_width ~gc_workers =
+  let kb = 1024 in
+  let heap_config =
+    { Heap.initial_bytes = 1024 * kb; max_bytes = 1024 * kb; card_size = 16 }
+  in
+  let rt =
+    Runtime.create ~heap_config
+      ~gc_config:(Otfgc.Gc_config.aging ~oldest_age:2 ())
+      ()
+  in
+  Runtime.set_fine_grained rt false;
+  Runtime.set_parallel rt true;
+  Runtime.set_gc_workers rt gc_workers;
+  let par = Parallel.create ~on_quiesce:(fun () -> Runtime.shutdown rt) () in
+  Parallel.spawn par ~daemon:true ~name:"collector" (fun () ->
+      Runtime.collector_loop rt);
+  for wid = 1 to gc_workers - 1 do
+    Parallel.spawn par ~daemon:true ~name:(Printf.sprintf "gc-worker-%d" wid)
+      (fun () -> Runtime.gc_worker_loop rt wid)
+  done;
+  let m = Runtime.new_mutator rt ~name:"pages" () in
+  let pages = ref (-1, -1) in
+  Parallel.spawn par ~name:"pages" (fun () ->
+      (* deterministic structure: a 200-node list hanging off one root *)
+      let root = Runtime.alloc rt m ~size:64 ~n_slots:4 in
+      Mutator.set_reg m 0 root;
+      let prev = ref root in
+      for _ = 2 to 200 do
+        let o = Runtime.alloc rt m ~size:48 ~n_slots:4 in
+        Mutator.set_reg m 1 o;
+        Runtime.store rt m ~x:o ~i:0 ~y:!prev;
+        prev := o
+      done;
+      Runtime.store rt m ~x:root ~i:1 ~y:!prev;
+      Mutator.clear_reg m 1;
+      (* full cycle ages/promotes the structure *)
+      let c1 = Runtime.collect_and_wait rt m ~full:true in
+      ignore (Runtime.collect_and_wait rt m ~full:true : Gc_stats.cycle);
+      (* young allocs plus old->young stores to dirty some cards *)
+      let o = ref root in
+      for i = 1 to 50 do
+        let y = Runtime.alloc rt m ~size:32 ~n_slots:0 in
+        Mutator.set_reg m 1 y;
+        Runtime.store rt m ~x:!o ~i:2 ~y;
+        Mutator.clear_reg m 1;
+        if i mod 2 = 0 then begin
+          let next = Runtime.load rt m ~x:!o ~i:0 in
+          o := (if next = Heap.nil then root else next)
+        end
+      done;
+      let c2 = Runtime.collect_and_wait rt m ~full:false in
+      pages :=
+        (c1.Gc_stats.pages_touched, c2.Gc_stats.pages_touched);
+      Runtime.retire_mutator rt m);
+  Parallel.run par;
+  Substrate.set_current Substrate.Sim;
+  !pages
+
+let test_pages_exact_across_widths () =
+  let f1, p1 = pages_at_width ~gc_workers:1 in
+  Alcotest.(check bool) "serial cycles touched pages" true (f1 > 0 && p1 > 0);
+  List.iter
+    (fun w ->
+      let fw, pw = pages_at_width ~gc_workers:w in
+      Alcotest.(check int)
+        (Printf.sprintf "full-cycle pages identical at width %d" w)
+        f1 fw;
+      Alcotest.(check int)
+        (Printf.sprintf "partial-cycle pages identical at width %d" w)
+        p1 pw)
+    [ 2; 3 ]
+
 let suites =
   [
     ( "parallel.cross-check",
       grid
-      @ [ Alcotest.test_case "jitter stress at handshake points" `Slow
-            stress_jitter ] );
+      @ [
+          Alcotest.test_case "jitter stress at handshake points" `Slow
+            stress_jitter;
+          Alcotest.test_case "pages_touched exact across crew widths" `Slow
+            test_pages_exact_across_widths;
+        ] );
   ]
