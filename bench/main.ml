@@ -12,9 +12,16 @@
      main.exe trajectory      run the pinned perf-trajectory grid (fanned
                               out across --jobs domains), diff it against
                               the last committed BENCH_*.json and exit 1 on
-                              regression (trajectory --quick: the CI gate;
-                              --out FILE overrides BENCH_0005.json;
-                              --threshold PCT overrides the 5% noise bar)
+                              regression; on failure an attribution table
+                              ranks the collector phases and event counters
+                              that moved most (trajectory --quick: the CI
+                              gate; --out FILE overrides BENCH_0010.json;
+                              --threshold PCT overrides the 5% noise bar;
+                              --against FILE pins the baseline explicitly —
+                              an unreadable or incomparable FILE is then a
+                              hard failure; --report FILE renders every
+                              committed BENCH_*.json plus the current run
+                              into a self-contained HTML/SVG dashboard)
      main.exe speedup         real-domains wall-clock speedup sweep:
                               raytracer at fixed total work for mutator
                               counts 1,2,4..., written in the trajectory
@@ -532,6 +539,7 @@ module Traj = struct
   module Profile = Otfgc_workloads.Profile
   module Driver = Otfgc_workloads.Driver
   module Trajectory = Otfgc_metrics.Trajectory
+  module Dashboard = Otfgc_metrics.Dashboard
   module Json = Otfgc_support.Json
 
   let seed = 42
@@ -576,10 +584,12 @@ module Traj = struct
     let t0 = Unix.gettimeofday () in
     (* always a fresh simulation — wall_ms must measure this machine,
        and the gate must measure this build, so no cache on either axis *)
-    let r = Driver.run ~heap ~seed ~scale ~gc profile in
+    let r, rt = Driver.run_rt ~heap ~seed ~scale ~gc profile in
     let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
     Printf.printf "  %-16s %8.0f ms wall\n%!" name wall_ms;
-    Trajectory.scenario_of_result ~name ~wall_ms r
+    (* schema v2: the gated set plus the per-phase work split and the
+       headline telemetry counters, for regression attribution *)
+    Trajectory.scenario_of_runtime ~name ~wall_ms r rt
 
   (* The baseline is the highest-numbered committed BENCH_NNNN.json,
      found by walking from the working directory up toward the
@@ -615,15 +625,20 @@ module Traj = struct
     up (Sys.getcwd ())
 
   let load path =
-    let ic = open_in_bin path in
-    let contents = really_input_string ic (in_channel_length ic) in
-    close_in ic;
+    match
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      contents
+    with
+    | exception Sys_error e -> Error e
+    | contents -> (
     match Json.of_string contents with
     | Error e -> Error (Printf.sprintf "%s: JSON parse error: %s" path e)
     | Ok j -> (
         match Trajectory.of_json j with
         | Error e -> Error (Printf.sprintf "%s: %s" path e)
-        | Ok t -> Ok t)
+        | Ok t -> Ok t))
 
   let write path t =
     let oc = open_out path in
@@ -631,8 +646,66 @@ module Traj = struct
     output_char oc '\n';
     close_out oc
 
-  (* Exit status: 0 = gate passed or (re)seeded, 1 = regression. *)
-  let run ~quick ~jobs ~out ~threshold =
+  (* Every committed BENCH_NNNN.json, ascending, from the first ancestor
+     directory that holds any — the dashboard's run axis. *)
+  let committed_benches () =
+    let rec up dir =
+      let found =
+        Array.fold_left
+          (fun acc name ->
+            match bench_number name with
+            | Some k -> (k, name) :: acc
+            | None -> acc)
+          []
+          (try Sys.readdir dir with Sys_error _ -> [||])
+      in
+      if found <> [] then Some (dir, List.sort compare found)
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else up parent
+    in
+    up (Sys.getcwd ())
+
+  (* Render committed history + the current run into a self-contained
+     HTML/SVG dashboard; the result is validated before it is written,
+     so a malformed page fails the build, not the later reader. *)
+  let write_report ~path current =
+    let committed =
+      match committed_benches () with
+      | None -> []
+      | Some (dir, entries) ->
+          List.filter_map
+            (fun (_, name) ->
+              match load (Filename.concat dir name) with
+              | Ok t -> Some (Filename.remove_extension name, t)
+              | Error e ->
+                  Printf.eprintf "warning: dashboard skipping %s: %s\n" name e;
+                  None)
+            entries
+    in
+    let runs = committed @ [ ("current", current) ] in
+    match Dashboard.render ~runs with
+    | Error e ->
+        Printf.eprintf "dashboard: %s\n" e;
+        1
+    | Ok html -> (
+        match Dashboard.validate html with
+        | Error e ->
+            Printf.eprintf "dashboard failed self-validation: %s\n" e;
+            1
+        | Ok () ->
+            let oc = open_out path in
+            output_string oc html;
+            close_out oc;
+            Printf.printf
+              "trajectory dashboard written to %s (%d runs, %d committed)\n"
+              path (List.length runs)
+              (List.length committed);
+            0)
+
+  (* Exit status: 0 = gate passed or (re)seeded, 1 = regression or a
+     hard --against/--report failure. *)
+  let run ~quick ~jobs ~out ~threshold ~against ~report =
     let scale = if quick then 0.05 else 0.2 in
     Printf.printf
       "Trajectory grid: %d scenarios at scale %.2f, seed %d, %d job(s) \
@@ -657,25 +730,53 @@ module Traj = struct
         verdict out;
       0
     in
-    match find_baseline () with
-    | None -> seeded "no committed BENCH_*.json baseline found"
-    | Some path -> (
-        match load path with
-        | Error e -> seeded ("baseline unreadable (" ^ e ^ ")")
-        | Ok baseline -> (
-            match
-              Trajectory.diff ~threshold_pct:threshold ~baseline ~current ()
-            with
-            | Error e ->
-                seeded
-                  (Printf.sprintf "baseline %s not comparable: %s" path e)
-            | Ok regs ->
-                print_newline ();
-                print_string (Trajectory.render_diff ~baseline ~current regs);
-                write out current;
-                Printf.printf "trajectory written to %s (baseline: %s)\n" out
-                  path;
-                if regs = [] then 0 else 1))
+    let gate baseline ~path =
+      match Trajectory.diff ~threshold_pct:threshold ~baseline ~current () with
+      | Error e -> Error (Printf.sprintf "baseline %s not comparable: %s" path e)
+      | Ok regs ->
+          print_newline ();
+          print_string (Trajectory.render_diff ~baseline ~current regs);
+          if regs <> [] then
+            (* rank the ungated phase/counter metrics that moved most —
+               the "why" behind the aggregate that tripped the gate *)
+            print_string
+              (Trajectory.render_attribution
+                 (Trajectory.attribution ~baseline ~current));
+          write out current;
+          Printf.printf "trajectory written to %s (baseline: %s)\n" out path;
+          Ok (if regs = [] then 0 else 1)
+    in
+    let code =
+      match against with
+      | Some path -> (
+          (* an explicit baseline must gate: unreadable or incomparable
+             is a hard failure, never a silent reseed *)
+          match load path with
+          | Error e ->
+              Printf.eprintf "--against %s: %s\n" path e;
+              1
+          | Ok baseline -> (
+              match gate baseline ~path with
+              | Ok code -> code
+              | Error e ->
+                  Printf.eprintf "--against %s\n" e;
+                  1))
+      | None -> (
+          match find_baseline () with
+          | None -> seeded "no committed BENCH_*.json baseline found"
+          | Some path -> (
+              match load path with
+              | Error e -> seeded ("baseline unreadable (" ^ e ^ ")")
+              | Ok baseline -> (
+                  match gate baseline ~path with
+                  | Ok code -> code
+                  | Error e -> seeded e)))
+    in
+    match report with
+    | None -> code
+    | Some path ->
+        let rc = write_report ~path current in
+        if code <> 0 then code else rc
 end
 
 (* ------------------------------------------------------------------ *)
@@ -749,8 +850,10 @@ module Speedup = struct
     let slo_col =
       (* the SLO column: tail wall-clock latencies the report gates on *)
       if slo then
-        Printf.sprintf "  SLO[hs p50/p99.9 %d/%d us, stall p99.9 %d us]"
-          (pct hs 50.) (pct hs 99.9)
+        Printf.sprintf
+          "  SLO[hs p50/p90/p99.9 %d/%d/%d us, stall p90/p99.9 %d/%d us]"
+          (pct hs 50.) (pct hs 90.) (pct hs 99.9)
+          (pct (Telemetry.stall_latency tel) 90.)
           (pct (Telemetry.stall_latency tel) 99.9)
       else ""
     in
@@ -766,9 +869,12 @@ module Speedup = struct
       if slo then
         [
           ("slo_p50_handshake_us", float_of_int (pct hs 50.));
+          ("slo_p90_handshake_us", float_of_int (pct hs 90.));
           ("slo_p999_handshake_us", float_of_int (pct hs 99.9));
           ("slo_p50_stall_us",
            float_of_int (pct (Telemetry.stall_latency tel) 50.));
+          ("slo_p90_stall_us",
+           float_of_int (pct (Telemetry.stall_latency tel) 90.));
           ("slo_p999_stall_us",
            float_of_int (pct (Telemetry.stall_latency tel) 99.9));
         ]
@@ -865,7 +971,23 @@ let () =
       let rec find = function
         | "--out" :: v :: _ -> v
         | _ :: rest -> find rest
-        | [] -> "BENCH_0005.json"
+        | [] -> "BENCH_0010.json"
+      in
+      find args
+    in
+    let against =
+      let rec find = function
+        | "--against" :: v :: _ -> Some v
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+    in
+    let report =
+      let rec find = function
+        | "--report" :: v :: _ -> Some v
+        | _ :: rest -> find rest
+        | [] -> None
       in
       find args
     in
@@ -882,7 +1004,7 @@ let () =
       in
       find args
     in
-    exit (Traj.run ~quick ~jobs ~out ~threshold)
+    exit (Traj.run ~quick ~jobs ~out ~threshold ~against ~report)
   end
   else if List.mem "speedup" args then begin
     let out =

@@ -20,6 +20,8 @@ module Telemetry_report = Otfgc_metrics.Telemetry
 module Trace_export = Otfgc_metrics.Trace_export
 module Report = Otfgc_metrics.Report
 module Timeseries = Otfgc_support.Timeseries
+module Observer = Otfgc_metrics.Observer
+module Openmetrics = Otfgc_metrics.Openmetrics
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -226,8 +228,36 @@ let run_cmd =
     let doc = "Print the collector's phase-event timeline after the run." in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
+  let metrics_every_arg =
+    let doc =
+      "Launch the observer domain: take a lock-free metrics snapshot every \
+       $(docv) wall-clock milliseconds and export it as OpenMetrics text \
+       plus JSONL (see --metrics-out).  0 (default) disarms.  Requires \
+       --substrate domains."
+    in
+    Arg.(value & opt float 0. & info [ "metrics-every-ms" ] ~docv:"MS" ~doc)
+  in
+  let metrics_out_arg =
+    let doc =
+      "Base path for the observer's sinks: $(docv).om (OpenMetrics text \
+       exposition, rewritten whole at each snapshot) and $(docv).jsonl \
+       (one snapshot object per line)."
+    in
+    Arg.(value & opt string "metrics" & info [ "metrics-out" ] ~docv:"BASE" ~doc)
+  in
+  let live_arg =
+    let doc =
+      "Refresh a two-line ANSI view per snapshot (heap-occupancy ribbon, \
+       collector phase, allocation rate, young size, dirty cards, gray \
+       depth, cycles, p99 handshake).  Implies a 200 ms cadence when \
+       --metrics-every-ms is unset, and arms the latency instruments so \
+       the p99 is populated.  Requires --substrate domains."
+    in
+    Arg.(value & flag & info [ "live" ] ~doc)
+  in
   let run workload mode card young scale seed substrate mutators gc_workers
-      trace telemetry trace_out sample_every =
+      trace telemetry trace_out sample_every metrics_every_ms metrics_out live
+      =
     match parse_workload workload with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok profile -> (
@@ -242,16 +272,53 @@ let run_cmd =
               prerr_endline "--gc-workers > 1 requires --substrate domains";
               1
             end
+            else if
+              (metrics_every_ms > 0. || live)
+              && substrate <> Otfgc_sched.Substrate.Domains
+            then begin
+              prerr_endline
+                "--metrics-every-ms / --live require --substrate domains";
+              1
+            end
             else begin
             let heap = heap_of_card card in
+            let observer =
+              if metrics_every_ms > 0. || live then
+                Some
+                  (Observer.create
+                     {
+                       Observer.every_ms =
+                         (if metrics_every_ms > 0. then metrics_every_ms
+                          else 200.);
+                       om_path = Some (metrics_out ^ ".om");
+                       jsonl_path = Some (metrics_out ^ ".jsonl");
+                       live;
+                       labels =
+                         [
+                           ("workload", workload);
+                           ("mode", mode);
+                           ("substrate", "domains");
+                           ("seed", string_of_int seed);
+                         ];
+                     })
+              else None
+            in
             let t0 = Unix.gettimeofday () in
             let r, rt =
               Driver.run_rt ~heap ~seed ~scale ~substrate ?threads:mutators
                 ~gc_workers
                 ~instrument:
-                  (instrument_for ~trace ~telemetry ~trace_out ~sample_every)
-                ~gc profile
+                  (instrument_for ~trace ~telemetry:(telemetry || live)
+                     ~trace_out ~sample_every)
+                ?observer ~gc profile
             in
+            (match observer with
+            | Some o ->
+                Printf.printf
+                  "metrics: %d snapshot(s) -> %s.om (OpenMetrics), %s.jsonl\n"
+                  (List.length (Observer.snapshots o))
+                  metrics_out metrics_out
+            | None -> ());
             if substrate = Otfgc_sched.Substrate.Domains then
               Printf.printf
                 "domains substrate: %.2f s wall, %d mutator domain(s) + \
@@ -291,7 +358,9 @@ let run_cmd =
     Term.(
       const run $ workload_arg $ mode_arg $ card_arg $ young_arg $ scale_arg
       $ seed_arg $ substrate_arg $ mutators_arg $ gc_workers_arg $ trace_arg
-      $ telemetry_arg $ trace_out_arg $ sample_every_arg ~default:0)
+      $ telemetry_arg $ trace_out_arg
+      $ sample_every_arg ~default:0
+      $ metrics_every_arg $ metrics_out_arg $ live_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gcsim compare                                                       *)
@@ -627,6 +696,35 @@ let validate_report_cmd =
     Term.(const run $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* gcsim validate-metrics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let validate_metrics_cmd =
+  let file_arg =
+    let doc = "OpenMetrics text file to validate (the --metrics-out .om)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Openmetrics.validate contents with
+    | Error e ->
+        Printf.eprintf "%s: invalid OpenMetrics exposition: %s\n" file e;
+        1
+    | Ok () ->
+        Printf.printf "%s: valid OpenMetrics exposition\n" file;
+        0
+  in
+  Cmd.v
+    (Cmd.info "validate-metrics"
+       ~doc:
+         "Check that a file written by --metrics-out is a well-formed \
+          OpenMetrics text exposition (used by CI).")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
 (* gcsim fig                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -720,4 +818,5 @@ let () =
             fig_cmd;
             validate_trace_cmd;
             validate_report_cmd;
+            validate_metrics_cmd;
           ]))

@@ -44,14 +44,38 @@ type t = {
   (* Completed-cycle count, readable without synchronisation from other
      domains (the list itself is only prefix-consistent under races). *)
   n_done : int Atomic.t;
+  (* Live aggregates for the metrics observer: cumulative totals over
+     completed cycles, published as atomics once per [end_cycle] (never
+     on a hot path) so a concurrent reader sees monotone, tear-free
+     counters without walking [completed]. Indexed by [kind_index]. *)
+  done_by_kind : int Atomic.t array;
+  freed_bytes : int Atomic.t;
+  freed_objects : int Atomic.t;
+  promoted : int Atomic.t;
+  cycle_work : int Atomic.t;
 }
 
-let create () = { completed = []; next_seq = 0; n_done = Atomic.make 0 }
+let create () =
+  {
+    completed = [];
+    next_seq = 0;
+    n_done = Atomic.make 0;
+    done_by_kind = Array.init 3 (fun _ -> Atomic.make 0);
+    freed_bytes = Atomic.make 0;
+    freed_objects = Atomic.make 0;
+    promoted = Atomic.make 0;
+    cycle_work = Atomic.make 0;
+  }
 
 let reset t =
   t.completed <- [];
   t.next_seq <- 0;
-  Atomic.set t.n_done 0
+  Atomic.set t.n_done 0;
+  Array.iter (fun a -> Atomic.set a 0) t.done_by_kind;
+  Atomic.set t.freed_bytes 0;
+  Atomic.set t.freed_objects 0;
+  Atomic.set t.promoted 0;
+  Atomic.set t.cycle_work 0
 
 let begin_cycle t kind =
   let c =
@@ -85,9 +109,21 @@ let begin_cycle t kind =
 
 let end_cycle t c =
   t.completed <- c :: t.completed;
+  Atomic.incr t.done_by_kind.(kind_index c.kind);
+  (* fetch_and_add, not set: the per-kind/per-metric cells are only ever
+     touched here, so adds keep them exact under any reader interleaving *)
+  ignore (Atomic.fetch_and_add t.freed_bytes c.bytes_freed : int);
+  ignore (Atomic.fetch_and_add t.freed_objects c.objects_freed : int);
+  ignore (Atomic.fetch_and_add t.promoted c.promotions : int);
+  ignore (Atomic.fetch_and_add t.cycle_work c.work : int);
   Atomic.incr t.n_done
 
 let n_completed t = Atomic.get t.n_done
+let n_completed_of t kind = Atomic.get t.done_by_kind.(kind_index kind)
+let live_bytes_freed t = Atomic.get t.freed_bytes
+let live_objects_freed t = Atomic.get t.freed_objects
+let live_promotions t = Atomic.get t.promoted
+let live_cycle_work t = Atomic.get t.cycle_work
 
 let cycles t = List.rev t.completed
 

@@ -89,6 +89,25 @@ val n_completed : t -> int
     requested (the list in {!cycles} is only safe to read from the
     collector's own domain or at quiescence). *)
 
+(** {2 Live aggregates}
+
+    Cumulative totals over completed cycles, published as atomics once
+    per {!end_cycle} so the metrics observer on another domain can read
+    monotone, tear-free counters mid-run without walking the cycle
+    list.  Each equals the corresponding fold over {!cycles} whenever
+    the collector is between cycles (and always at quiescence). *)
+
+val n_completed_of : t -> kind -> int
+(** Completed cycles of one kind (atomic read). *)
+
+val live_bytes_freed : t -> int
+val live_objects_freed : t -> int
+val live_promotions : t -> int
+
+val live_cycle_work : t -> int
+(** Collector work summed over completed cycles (atomic read; the live
+    counterpart of {!total_collector_work}). *)
+
 val count : t -> kind -> int
 
 val total_collector_work : t -> int

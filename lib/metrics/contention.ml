@@ -106,7 +106,7 @@ let lock_table t =
 let steal_table t =
   let tbl =
     Textable.create ~title:"steal latency (ns)"
-      [ "outcome"; "count"; "p50"; "p99"; "max" ]
+      [ "outcome"; "count"; "p50"; "p90"; "p99"; "p99.9"; "max" ]
   in
   let row name h =
     Textable.add_row tbl
@@ -114,7 +114,9 @@ let steal_table t =
         name;
         string_of_int (Histogram.count h);
         string_of_int (Histogram.percentile h 50.);
+        string_of_int (Histogram.percentile h 90.);
         string_of_int (Histogram.percentile h 99.);
+        string_of_int (Histogram.percentile h 99.9);
         string_of_int (Histogram.max_value h);
       ]
   in
@@ -160,7 +162,9 @@ let hist_json h =
       ("count", Json.Int (Histogram.count h));
       ("mean", Json.Float (Histogram.mean h));
       ("p50", Json.Int (Histogram.percentile h 50.));
+      ("p90", Json.Int (Histogram.percentile h 90.));
       ("p99", Json.Int (Histogram.percentile h 99.));
+      ("p999", Json.Int (Histogram.percentile h 99.9));
       ("max", Json.Int (Histogram.max_value h));
     ]
 

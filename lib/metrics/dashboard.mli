@@ -1,0 +1,26 @@
+(** Cross-run trajectory dashboard: every committed [BENCH_NNNN.json]
+    rendered as one self-contained HTML/SVG page.
+
+    One panel per scenario; within a panel, one polyline per gated
+    metric, each normalised to its value in the earliest run that
+    records it (100 = no change), so a 4-decade spread of raw
+    magnitudes shares one axis and a regression reads as a line
+    climbing away from 100.  Runs are evenly spaced on the x axis and
+    labelled with their file names; v1 records plot alongside v2 ones
+    (they simply lack the attribution metrics, which are not drawn
+    here).
+
+    Same construction discipline as {!Report}: inline CSS, inline SVG
+    via {!Otfgc_support.Svg}, no scripts or external references, so the
+    file opens anywhere and archives as a CI artifact. *)
+
+val render : runs:(string * Trajectory.t) list -> (string, string) result
+(** [(label, record)] pairs in trajectory order (oldest first; the last
+    is usually the uncommitted current run).  [Error] when [runs] is
+    empty. *)
+
+val validate : string -> (unit, string) result
+(** Structural acceptance check, built on
+    {!Report.validate_structure}: doctype, balanced tags, finite
+    [points], no external resources, the axis and trajectory classes
+    present, and at least one run plotted. *)

@@ -1,0 +1,323 @@
+module Json = Otfgc_support.Json
+module Histogram = Otfgc_support.Histogram
+open Otfgc
+
+type t = {
+  seq : int;
+  at_ms : float;
+  barrier_updates : int;
+  yellow_fires : int;
+  promotions : int;
+  dirty_card_finds : int;
+  handshake_acks : int;
+  stalls : int;
+  card_marks : int;
+  remset_records : int;
+  steals : int;
+  steal_failures : int;
+  lock_waits : int;
+  mutator_work : int;
+  collector_work : int;
+  stall_work : int;
+  phase_work : (string * int) list;
+  cycles_partial : int;
+  cycles_full : int;
+  cycles_non_gen : int;
+  gc_bytes_freed : int;
+  gc_objects_freed : int;
+  gc_promotions : int;
+  phase : string;
+  heap_capacity : int;
+  heap_allocated_bytes : int;
+  total_alloc_bytes : int;
+  total_alloc_objects : int;
+  young_bytes : int;
+  dirty_cards : int;
+  gray_depth : int;
+  freelist_entries : int;
+  freelist_stale : int;
+  flight_drops : int;
+  active_mutators : int;
+  p99_handshake : int;
+}
+
+(* Sum a counter over the shared ledger plus every registered mutator's
+   own ledger (domains substrate; [own_*] is [None] under the
+   simulator).  Retired mutators keep their slots and ledgers, so the
+   sum never loses a retiree's contribution. *)
+let tel_sum (st : State.t) f =
+  let acc = ref (f st.State.telemetry) in
+  State.iter_mutators st (fun m ->
+      match Mutator.own_telemetry m with
+      | Some tl -> acc := !acc + f tl
+      | None -> ());
+  !acc
+
+let cost_sum (st : State.t) f =
+  let acc = ref (f st.State.cost) in
+  State.iter_mutators st (fun m ->
+      match Mutator.own_cost m with
+      | Some c -> acc := !acc + f c
+      | None -> ());
+  !acc
+
+let metric_name_of_phase p =
+  String.map (fun c -> if c = '-' then '_' else c) (Cost.phase_name p)
+
+let take ?(seq = 0) ?(at_ms = 0.) (st : State.t) =
+  let heap = st.State.heap in
+  let stats = st.State.stats in
+  let p99_handshake =
+    if Telemetry.enabled st.State.telemetry then begin
+      (* racy bucket reads: bounded-stale, never out of bounds *)
+      let h = Histogram.create () in
+      List.iter
+        (fun s ->
+          Histogram.add_into
+            ~src:(Telemetry.handshake_latency st.State.telemetry s)
+            ~dst:h)
+        [ Status.Sync1; Status.Sync2; Status.Async ];
+      Histogram.percentile h 99.
+    end
+    else 0
+  in
+  {
+    seq;
+    at_ms;
+    barrier_updates = tel_sum st Telemetry.barrier_updates;
+    yellow_fires = tel_sum st Telemetry.yellow_fires;
+    promotions = tel_sum st Telemetry.promotions;
+    dirty_card_finds = tel_sum st Telemetry.dirty_card_finds;
+    handshake_acks = tel_sum st Telemetry.handshake_acks;
+    stalls = tel_sum st Telemetry.stalls;
+    card_marks = tel_sum st Telemetry.card_marks;
+    remset_records = tel_sum st Telemetry.remset_records;
+    steals = tel_sum st Telemetry.steals;
+    steal_failures = tel_sum st Telemetry.steal_failures;
+    lock_waits = tel_sum st Telemetry.lock_waits_total;
+    mutator_work = cost_sum st Cost.mutator_work;
+    collector_work = cost_sum st Cost.collector_work;
+    stall_work = cost_sum st Cost.stall_work;
+    phase_work =
+      List.map
+        (fun p -> (metric_name_of_phase p, cost_sum st (fun c -> Cost.phase_work c p)))
+        Cost.phases;
+    cycles_partial = Gc_stats.n_completed_of stats Gc_stats.Partial;
+    cycles_full = Gc_stats.n_completed_of stats Gc_stats.Full;
+    cycles_non_gen = Gc_stats.n_completed_of stats Gc_stats.Non_gen;
+    gc_bytes_freed = Gc_stats.live_bytes_freed stats;
+    gc_objects_freed = Gc_stats.live_objects_freed stats;
+    gc_promotions = Gc_stats.live_promotions stats;
+    phase = Cost.phase_name (Cost.current_phase st.State.cost);
+    heap_capacity = Otfgc_heap.Heap.capacity heap;
+    heap_allocated_bytes = Otfgc_heap.Heap.allocated_bytes heap;
+    total_alloc_bytes = Otfgc_heap.Heap.total_allocated_bytes heap;
+    total_alloc_objects = Otfgc_heap.Heap.total_allocated_objects heap;
+    young_bytes = Atomic.get st.State.bytes_since_gc;
+    dirty_cards = Otfgc_heap.Card_table.dirty_count (Otfgc_heap.Heap.cards heap);
+    gray_depth = Gray_queue.size st.State.gray;
+    freelist_entries =
+      Otfgc_heap.Freelist.entry_count (Otfgc_heap.Heap.freelist heap);
+    freelist_stale =
+      Otfgc_heap.Freelist.stale_entries (Otfgc_heap.Heap.freelist heap);
+    flight_drops =
+      (if Flight_recorder.armed st.State.recorder then
+         Flight_recorder.dropped st.State.recorder
+       else 0);
+    active_mutators = State.count_active_mutators st;
+    p99_handshake;
+  }
+
+(* The single source of truth for field order: the OpenMetrics emitter,
+   the delta arithmetic and the JSON round-trip all walk these lists,
+   so output ordering is deterministic by construction. *)
+let counters t =
+  [
+    ("barrier_updates", t.barrier_updates);
+    ("yellow_fires", t.yellow_fires);
+    ("promotions", t.promotions);
+    ("dirty_card_finds", t.dirty_card_finds);
+    ("handshake_acks", t.handshake_acks);
+    ("stalls", t.stalls);
+    ("card_marks", t.card_marks);
+    ("remset_records", t.remset_records);
+    ("steals", t.steals);
+    ("steal_failures", t.steal_failures);
+    ("lock_waits", t.lock_waits);
+    ("mutator_work", t.mutator_work);
+    ("collector_work", t.collector_work);
+    ("stall_work", t.stall_work);
+  ]
+  @ List.map (fun (p, w) -> ("work_" ^ p, w)) t.phase_work
+  @ [
+      ("cycles_partial", t.cycles_partial);
+      ("cycles_full", t.cycles_full);
+      ("cycles_non_gen", t.cycles_non_gen);
+      ("gc_bytes_freed", t.gc_bytes_freed);
+      ("gc_objects_freed", t.gc_objects_freed);
+      ("gc_promotions", t.gc_promotions);
+      ("total_alloc_bytes", t.total_alloc_bytes);
+      ("total_alloc_objects", t.total_alloc_objects);
+    ]
+
+let gauges t =
+  [
+    ("heap_capacity_bytes", t.heap_capacity);
+    ("heap_allocated_bytes", t.heap_allocated_bytes);
+    ("young_bytes", t.young_bytes);
+    ("dirty_cards", t.dirty_cards);
+    ("gray_depth", t.gray_depth);
+    ("freelist_entries", t.freelist_entries);
+    ("freelist_stale", t.freelist_stale);
+    ("flight_drops", t.flight_drops);
+    ("active_mutators", t.active_mutators);
+    ("p99_handshake", t.p99_handshake);
+  ]
+
+let delta ~earlier ~later =
+  {
+    later with
+    barrier_updates = later.barrier_updates - earlier.barrier_updates;
+    yellow_fires = later.yellow_fires - earlier.yellow_fires;
+    promotions = later.promotions - earlier.promotions;
+    dirty_card_finds = later.dirty_card_finds - earlier.dirty_card_finds;
+    handshake_acks = later.handshake_acks - earlier.handshake_acks;
+    stalls = later.stalls - earlier.stalls;
+    card_marks = later.card_marks - earlier.card_marks;
+    remset_records = later.remset_records - earlier.remset_records;
+    steals = later.steals - earlier.steals;
+    steal_failures = later.steal_failures - earlier.steal_failures;
+    lock_waits = later.lock_waits - earlier.lock_waits;
+    mutator_work = later.mutator_work - earlier.mutator_work;
+    collector_work = later.collector_work - earlier.collector_work;
+    stall_work = later.stall_work - earlier.stall_work;
+    phase_work =
+      List.map
+        (fun (p, w) ->
+          (p, w - Option.value ~default:0 (List.assoc_opt p earlier.phase_work)))
+        later.phase_work;
+    cycles_partial = later.cycles_partial - earlier.cycles_partial;
+    cycles_full = later.cycles_full - earlier.cycles_full;
+    cycles_non_gen = later.cycles_non_gen - earlier.cycles_non_gen;
+    gc_bytes_freed = later.gc_bytes_freed - earlier.gc_bytes_freed;
+    gc_objects_freed = later.gc_objects_freed - earlier.gc_objects_freed;
+    gc_promotions = later.gc_promotions - earlier.gc_promotions;
+    total_alloc_bytes = later.total_alloc_bytes - earlier.total_alloc_bytes;
+    total_alloc_objects =
+      later.total_alloc_objects - earlier.total_alloc_objects;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip (one object per JSONL line)                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_json t =
+  Json.Obj
+    ([
+       ("seq", Json.Int t.seq);
+       ("at_ms", Json.Float t.at_ms);
+       ("phase", Json.String t.phase);
+     ]
+    @ List.map (fun (k, v) -> (k, Json.Int v)) (counters t)
+    @ List.map (fun (k, v) -> (k, Json.Int v)) (gauges t))
+
+let ( let* ) = Result.bind
+
+let int_field name j =
+  match Option.bind (Json.member name j) Json.as_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "snapshot: missing or mistyped %S" name)
+
+let of_json j =
+  let* seq = int_field "seq" j in
+  let* at_ms =
+    match Option.bind (Json.member "at_ms" j) Json.as_float with
+    | Some v -> Ok v
+    | None -> Error "snapshot: missing or mistyped \"at_ms\""
+  in
+  let* phase =
+    match Option.bind (Json.member "phase" j) Json.as_string with
+    | Some v -> Ok v
+    | None -> Error "snapshot: missing or mistyped \"phase\""
+  in
+  let* barrier_updates = int_field "barrier_updates" j in
+  let* yellow_fires = int_field "yellow_fires" j in
+  let* promotions = int_field "promotions" j in
+  let* dirty_card_finds = int_field "dirty_card_finds" j in
+  let* handshake_acks = int_field "handshake_acks" j in
+  let* stalls = int_field "stalls" j in
+  let* card_marks = int_field "card_marks" j in
+  let* remset_records = int_field "remset_records" j in
+  let* steals = int_field "steals" j in
+  let* steal_failures = int_field "steal_failures" j in
+  let* lock_waits = int_field "lock_waits" j in
+  let* mutator_work = int_field "mutator_work" j in
+  let* collector_work = int_field "collector_work" j in
+  let* stall_work = int_field "stall_work" j in
+  let* phase_work =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let name = metric_name_of_phase p in
+        let* w = int_field ("work_" ^ name) j in
+        Ok ((name, w) :: acc))
+      (Ok []) Cost.phases
+    |> Result.map List.rev
+  in
+  let* cycles_partial = int_field "cycles_partial" j in
+  let* cycles_full = int_field "cycles_full" j in
+  let* cycles_non_gen = int_field "cycles_non_gen" j in
+  let* gc_bytes_freed = int_field "gc_bytes_freed" j in
+  let* gc_objects_freed = int_field "gc_objects_freed" j in
+  let* gc_promotions = int_field "gc_promotions" j in
+  let* heap_capacity = int_field "heap_capacity_bytes" j in
+  let* heap_allocated_bytes = int_field "heap_allocated_bytes" j in
+  let* total_alloc_bytes = int_field "total_alloc_bytes" j in
+  let* total_alloc_objects = int_field "total_alloc_objects" j in
+  let* young_bytes = int_field "young_bytes" j in
+  let* dirty_cards = int_field "dirty_cards" j in
+  let* gray_depth = int_field "gray_depth" j in
+  let* freelist_entries = int_field "freelist_entries" j in
+  let* freelist_stale = int_field "freelist_stale" j in
+  let* flight_drops = int_field "flight_drops" j in
+  let* active_mutators = int_field "active_mutators" j in
+  let* p99_handshake = int_field "p99_handshake" j in
+  Ok
+    {
+      seq;
+      at_ms;
+      barrier_updates;
+      yellow_fires;
+      promotions;
+      dirty_card_finds;
+      handshake_acks;
+      stalls;
+      card_marks;
+      remset_records;
+      steals;
+      steal_failures;
+      lock_waits;
+      mutator_work;
+      collector_work;
+      stall_work;
+      phase_work;
+      cycles_partial;
+      cycles_full;
+      cycles_non_gen;
+      gc_bytes_freed;
+      gc_objects_freed;
+      gc_promotions;
+      phase;
+      heap_capacity;
+      heap_allocated_bytes;
+      total_alloc_bytes;
+      total_alloc_objects;
+      young_bytes;
+      dirty_cards;
+      gray_depth;
+      freelist_entries;
+      freelist_stale;
+      flight_drops;
+      active_mutators;
+      p99_handshake;
+    }

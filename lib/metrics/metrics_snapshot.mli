@@ -1,0 +1,98 @@
+(** Lock-free point-in-time snapshot of the runtime's always-on
+    observability state: telemetry counters, the work ledger, cycle
+    aggregates and cheap heap gauges.
+
+    {!take} performs only O(1) reads — atomics ([Gc_stats] live
+    aggregates, [bytes_since_gc]), plain [int] fields (which cannot
+    tear in OCaml), the card table's word scan and the freelist's
+    occupancy counters.  It never walks heap blocks (racy block walks
+    are unsafe under domains — see [Observatory]) and never takes a
+    lock, so a dedicated observer domain can call it at any wall-clock
+    cadence without perturbing mutators or the collector.
+
+    Under the domains substrate each racy read is bounded-stale and
+    per-location coherent, so counters are monotone across snapshots
+    up to the staleness bound; at quiescence — after every mutator has
+    retired, before [Driver] folds the per-mutator ledgers into the
+    shared ones — a snapshot is exact and equals the post-run
+    [Gc_stats]/[Telemetry] totals.  {!take} sums the shared ledgers
+    plus every registered mutator's own ledger, so it must not be
+    called after that fold (it would double-count). *)
+
+type t = {
+  seq : int;  (** snapshot index within the observed run, 0-based *)
+  at_ms : float;  (** wall-clock ms since the observer started *)
+  (* telemetry counters: shared ledger + every mutator's own ledger *)
+  barrier_updates : int;
+  yellow_fires : int;
+  promotions : int;
+  dirty_card_finds : int;
+  handshake_acks : int;
+  stalls : int;
+  card_marks : int;
+  remset_records : int;
+  steals : int;
+  steal_failures : int;
+  lock_waits : int;
+  (* work ledger (same summation) *)
+  mutator_work : int;
+  collector_work : int;
+  stall_work : int;
+  phase_work : (string * int) list;  (** per collector phase, fixed order *)
+  (* cycle aggregates (Gc_stats live atomics) *)
+  cycles_partial : int;
+  cycles_full : int;
+  cycles_non_gen : int;
+  gc_bytes_freed : int;
+  gc_objects_freed : int;
+  gc_promotions : int;
+  (* gauges: current values, not monotone *)
+  phase : string;  (** collector's current [Cost] phase *)
+  heap_capacity : int;
+  heap_allocated_bytes : int;
+  total_alloc_bytes : int;  (** cumulative allocation — monotone *)
+  total_alloc_objects : int;
+  young_bytes : int;
+      (** [bytes_since_gc]: allocation since the last cycle — the young
+          generation of this logical-generation collector, and the gauge
+          its trigger watches *)
+  dirty_cards : int;
+  gray_depth : int;
+  freelist_entries : int;
+  freelist_stale : int;
+  flight_drops : int;
+  active_mutators : int;
+  p99_handshake : int;
+      (** p99 of the merged handshake-latency histograms (us under
+          domains, simulated units otherwise); 0 while the latency
+          instruments are disabled *)
+}
+
+val metric_name_of_phase : Otfgc.Cost.phase -> string
+(** The phase's {!Otfgc.Cost.phase_name} with dashes mapped to
+    underscores — a valid metric-name fragment ([card-scan] →
+    [card_scan]), shared with {!Trajectory}'s [phase_*] metrics. *)
+
+val take : ?seq:int -> ?at_ms:float -> Otfgc.State.t -> t
+(** One racy snapshot of the state (see the module comment for the
+    safety argument and the quiescence contract). *)
+
+val counters : t -> (string * int) list
+(** Every cumulative (monotone) field, including the per-phase work
+    cells, as [(name, value)] in a fixed, deterministic order — the
+    basis of the OpenMetrics counter families and the delta
+    arithmetic. *)
+
+val gauges : t -> (string * int) list
+(** Every point-in-time field, fixed order — the OpenMetrics gauge
+    families. *)
+
+val delta : earlier:t -> later:t -> t
+(** Counter fields subtract ([later - earlier]); gauge fields, [seq],
+    [at_ms] and [phase] are taken from [later].  With snapshots from
+    one run in [seq] order every counter of the delta is
+    non-negative. *)
+
+val to_json : t -> Otfgc_support.Json.t
+val of_json : Otfgc_support.Json.t -> (t, string) result
+(** Inverse of {!to_json} (JSONL parse-back). *)

@@ -471,7 +471,7 @@ let check_points pts =
         | _ -> Error (Printf.sprintf "points pair %S not finite x,y" pair))
       (Ok ()) pairs
 
-let validate doc =
+let validate_structure ~required_classes ?(min_samples = 2) doc =
   let* () =
     if String.length doc >= 15 && String.sub doc 0 15 = "<!DOCTYPE html>" then
       Ok ()
@@ -523,13 +523,13 @@ let validate doc =
         let* () = acc in
         if List.mem need class_tokens then Ok ()
         else Error (Printf.sprintf "missing element class %S" need))
-      (Ok ())
-      [ "ribbon"; "axis"; "promotion" ]
+      (Ok ()) required_classes
   in
   let* () =
     match !samples with
-    | Some (Some k) when k >= 2 -> Ok ()
-    | Some (Some k) -> Error (Printf.sprintf "data-samples=%d (need >= 2)" k)
+    | Some (Some k) when k >= min_samples -> Ok ()
+    | Some (Some k) ->
+        Error (Printf.sprintf "data-samples=%d (need >= %d)" k min_samples)
     | Some None -> Error "svg data-samples attribute unreadable"
     | None -> Error "no svg with data-samples found"
   in
@@ -538,3 +538,6 @@ let validate doc =
       let* () = acc in
       check_points pts)
     (Ok ()) !points
+
+let validate doc =
+  validate_structure ~required_classes:[ "ribbon"; "axis"; "promotion" ] doc

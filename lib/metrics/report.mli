@@ -24,3 +24,13 @@ val validate : string -> (unit, string) result
     promotion line are present (by class); every [points] attribute
     parses as two or more finite coordinate pairs; and nothing
     references external resources (no script/link/img). *)
+
+val validate_structure :
+  required_classes:string list ->
+  ?min_samples:int ->
+  string ->
+  (unit, string) result
+(** The generic core of {!validate}, shared with the trajectory
+    dashboard: same doctype/tag-balance/points/no-external-resource
+    checks, but the caller names the element classes that must appear
+    and the minimum [data-samples] count (default 2). *)

@@ -202,7 +202,7 @@ let slo_table s =
   let tbl =
     Textable.create
       ~title:(Printf.sprintf "SLO latency (%s)" s.time_unit)
-      [ "slo"; "count"; "p50"; "p99"; "p99.9"; "max" ]
+      [ "slo"; "count"; "p50"; "p90"; "p99"; "p99.9"; "max" ]
   in
   let row name h =
     Textable.add_row tbl
@@ -210,6 +210,7 @@ let slo_table s =
         name;
         string_of_int h.count;
         string_of_int h.p50;
+        string_of_int h.p90;
         string_of_int h.p99;
         string_of_int h.p999;
         string_of_int h.max;

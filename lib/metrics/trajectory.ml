@@ -15,7 +15,12 @@ type t = {
   scenarios : scenario list;
 }
 
-let schema_version = 1
+let schema_version = 2
+
+(* v1 records (gated metrics + headline counts only) remain readable so
+   the dashboard can plot the whole committed history; the gate itself
+   stays strict — see [diff]. *)
+let readable_versions = [ 1; 2 ]
 
 let make ~scale ~seed ~quick scenarios =
   { schema_version; scale; seed; quick; scenarios }
@@ -56,6 +61,39 @@ let scenario_of_result ~name ~wall_ms (r : Run_result.t) =
         ("pct_time_gc", r.Run_result.pct_time_gc);
       ];
   }
+
+(* Schema v2: the gated set plus ungated attribution metrics — the
+   collector's per-phase work split from the [Cost] ledger ([phase_*])
+   and the headline telemetry counters ([ctr_*]).  All deterministic
+   under the simulator; none gated (a tuning change may legitimately
+   move work between phases) — they exist so a gate failure can be
+   attributed to the phase or counter that moved. *)
+let scenario_of_runtime ~name ~wall_ms (r : Run_result.t) rt =
+  let s = scenario_of_result ~name ~wall_ms r in
+  let cost = Otfgc.Runtime.cost rt in
+  let tel = Otfgc.Runtime.telemetry rt in
+  let phase_metrics =
+    List.map
+      (fun p ->
+        ( "phase_" ^ Metrics_snapshot.metric_name_of_phase p,
+          float_of_int (Otfgc.Cost.phase_work cost p) ))
+      Otfgc.Cost.phases
+  in
+  let ctr m f = ("ctr_" ^ m, float_of_int (f tel)) in
+  let ctr_metrics =
+    [
+      ctr "barrier_updates" Otfgc.Telemetry.barrier_updates;
+      ctr "yellow_fires" Otfgc.Telemetry.yellow_fires;
+      ctr "promotions" Otfgc.Telemetry.promotions;
+      ctr "dirty_card_finds" Otfgc.Telemetry.dirty_card_finds;
+      ctr "handshake_acks" Otfgc.Telemetry.handshake_acks;
+      ctr "stalls" Otfgc.Telemetry.stalls;
+      ctr "card_marks" Otfgc.Telemetry.card_marks;
+      ctr "remset_records" Otfgc.Telemetry.remset_records;
+      ctr "lock_waits" Otfgc.Telemetry.lock_waits_total;
+    ]
+  in
+  { s with metrics = s.metrics @ phase_metrics @ ctr_metrics }
 
 (* ------------------------------------------------------------------ *)
 (* JSON round-trip                                                     *)
@@ -114,8 +152,11 @@ let of_json j =
     need "schema_version" (Option.bind (Json.member "schema_version" j) Json.as_int)
   in
   let* () =
-    if v = schema_version then Ok ()
-    else Error (Printf.sprintf "schema_version %d (this build reads %d)" v schema_version)
+    if List.mem v readable_versions then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema_version %d (this build reads %s)" v
+           (String.concat ", " (List.map string_of_int readable_versions)))
   in
   let* scale = need "scale" (Option.bind (Json.member "scale" j) Json.as_float) in
   let* seed = need "seed" (Option.bind (Json.member "seed" j) Json.as_int) in
@@ -224,4 +265,90 @@ let render_diff ~baseline ~current regressions =
               Textable.fmt_pct r.r_delta_pct;
             ])
         regs;
+      let worst =
+        List.fold_left
+          (fun acc r ->
+            match acc with
+            | Some w when w.r_delta_pct >= r.r_delta_pct -> acc
+            | _ -> Some r)
+          None regs
+      in
+      Textable.render tbl
+      ^
+      (match worst with
+      | Some w ->
+          Printf.sprintf
+            "worst offender: scenario %s, metric %s (%.0f -> %.0f, +%.1f%% \
+             over baseline)\n"
+            w.r_scenario w.r_metric w.r_baseline w.r_current w.r_delta_pct
+      | None -> "")
+
+(* ------------------------------------------------------------------ *)
+(* Regression attribution                                              *)
+(* ------------------------------------------------------------------ *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Rank the ungated attribution metrics ([phase_*], [ctr_*]) by how much
+   they moved between baseline and current — when the gate fails on an
+   aggregate like [collector_work], this table names the phase or event
+   counter behind the movement. *)
+let attribution ~baseline ~current =
+  let rows = ref [] in
+  List.iter
+    (fun cur ->
+      match List.find_opt (fun b -> b.name = cur.name) baseline.scenarios with
+      | None -> ()
+      | Some base ->
+          List.iter
+            (fun (metric, c) ->
+              if has_prefix "phase_" metric || has_prefix "ctr_" metric then
+                match List.assoc_opt metric base.metrics with
+                | Some b when b <> c ->
+                    let delta_pct =
+                      (c -. b) /. Float.max (Float.abs b) 1. *. 100.
+                    in
+                    rows :=
+                      {
+                        r_scenario = cur.name;
+                        r_metric = metric;
+                        r_baseline = b;
+                        r_current = c;
+                        r_delta_pct = delta_pct;
+                      }
+                      :: !rows
+                | _ -> ())
+            cur.metrics)
+    current.scenarios;
+  List.sort
+    (fun a b -> compare (Float.abs b.r_delta_pct) (Float.abs a.r_delta_pct))
+    !rows
+
+let render_attribution ?(limit = 12) rows =
+  match rows with
+  | [] ->
+      "attribution: no phase/counter movement recorded (baseline predates \
+       schema v2?)\n"
+  | rows ->
+      let shown = List.filteri (fun i _ -> i < limit) rows in
+      let tbl =
+        Textable.create
+          ~title:
+            (Printf.sprintf
+               "regression attribution: top %d phase/counter movements"
+               (List.length shown))
+          [ "scenario"; "metric"; "baseline"; "current"; "delta %" ]
+      in
+      List.iter
+        (fun r ->
+          Textable.add_row tbl
+            [
+              r.r_scenario;
+              r.r_metric;
+              Textable.fmt_int r.r_baseline;
+              Textable.fmt_int r.r_current;
+              Textable.fmt_pct r.r_delta_pct;
+            ])
+        shown;
       Textable.render tbl

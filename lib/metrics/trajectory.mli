@@ -29,7 +29,9 @@ type t = {
 }
 
 val schema_version : int
-(** Current schema ([1]); {!of_json} rejects other versions. *)
+(** Current schema ([2]); {!of_json} also reads v1 records (which lack
+    the attribution metrics) so the dashboard can plot the whole
+    committed history. *)
 
 val make : scale:float -> seed:int -> quick:bool -> scenario list -> t
 
@@ -37,6 +39,14 @@ val scenario_of_result :
   name:string -> wall_ms:float -> Run_result.t -> scenario
 (** Extract the gated metric set (plus the run's headline counts) from
     a finished run. *)
+
+val scenario_of_runtime :
+  name:string -> wall_ms:float -> Run_result.t -> Otfgc.Runtime.t -> scenario
+(** {!scenario_of_result} plus the schema-v2 attribution metrics read
+    from the runtime's ledgers: [phase_<name>] (collector work per
+    {!Otfgc.Cost} phase) and [ctr_<name>] (headline telemetry
+    counters).  All ungated — they exist so a gate failure can be
+    attributed (see {!attribution}). *)
 
 val gated_metrics : string list
 (** Metric names the regression gate compares, all lower-is-better
@@ -63,7 +73,20 @@ val diff :
 
 val render_diff : baseline:t -> current:t -> regression list -> string
 (** Human-readable verdict: a table of regressed metrics (baseline,
-    current, delta) or a short all-clear line. *)
+    current, delta) closed by a one-line worst-offender callout naming
+    the scenario and metric that moved most, or a short all-clear
+    line. *)
+
+val attribution : baseline:t -> current:t -> regression list
+(** Every [phase_*] / [ctr_*] metric that moved between the records,
+    ranked by absolute percentage movement — when the gate fails on an
+    aggregate like [collector_work], this names the collector phase or
+    event counter behind it.  Empty when the baseline predates schema
+    v2. *)
+
+val render_attribution : ?limit:int -> regression list -> string
+(** Table of the top [limit] (default 12) attribution rows, or an
+    explanatory line when there are none. *)
 
 val to_json : t -> Otfgc_support.Json.t
 val of_json : Otfgc_support.Json.t -> (t, string) result

@@ -5,6 +5,7 @@ module Substrate = Otfgc_sched.Substrate
 module Parallel = Otfgc_sched.Parallel
 module Rng = Otfgc_support.Rng
 module Run_result = Otfgc_metrics.Run_result
+module Observer = Otfgc_metrics.Observer
 
 let default_heap =
   { Heap.initial_bytes = 1 lsl 20; max_bytes = 4 lsl 20; card_size = 16 }
@@ -120,13 +121,15 @@ let finale rt =
   done;
   Runtime.shutdown rt
 
-let run_domains ~heap ~seed ~scale ~instrument ~gc ~gc_workers profile =
+let run_domains ~heap ~seed ~scale ~instrument ~observer ~gc ~gc_workers
+    profile =
   Profile.validate profile;
   let rt = Runtime.create ~heap_config:heap ~gc_config:gc () in
   Runtime.set_fine_grained rt false;
   Runtime.set_parallel rt true;
   Runtime.set_gc_workers rt gc_workers;
   instrument rt;
+  (match observer with Some o -> Observer.launch o rt | None -> ());
   let master = Rng.make seed in
   (* The simulator's first split feeds its scheduling policy; consume the
      same split here so thread [i] draws the identical rng stream on both
@@ -164,6 +167,10 @@ let run_domains ~heap ~seed ~scale ~instrument ~gc ~gc_workers profile =
   done;
   Parallel.run par;
   Substrate.set_current Substrate.Sim;
+  (* Stop the observer at quiescence, BEFORE folding the per-mutator
+     ledgers below: its snapshots sum shared + own ledgers, so a final
+     snapshot after the fold would double-count every mutator's work. *)
+  (match observer with Some o -> Observer.stop o | None -> ());
   (* Fold the per-mutator ledgers into the shared ones so Run_result sees
      whole-program work, as it does under the simulator. *)
   List.iter
@@ -179,7 +186,7 @@ let run_domains ~heap ~seed ~scale ~instrument ~gc ~gc_workers profile =
 
 let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
     ?(substrate = Substrate.Sim) ?threads ?(gc_workers = 1)
-    ?(instrument = fun (_ : Runtime.t) -> ()) ~gc profile =
+    ?(instrument = fun (_ : Runtime.t) -> ()) ?observer ~gc profile =
   let profile =
     match threads with
     | None -> profile
@@ -189,9 +196,12 @@ let run_rt ?(heap = default_heap) ?(seed = 42) ?(scale = 1.0)
   | Substrate.Sim ->
       if gc_workers > 1 then
         invalid_arg "Driver.run_rt: gc_workers > 1 requires substrate=domains";
+      if observer <> None then
+        invalid_arg "Driver.run_rt: observer requires substrate=domains";
       run_sim ~heap ~seed ~scale ~instrument ~gc profile
   | Substrate.Domains ->
-      run_domains ~heap ~seed ~scale ~instrument ~gc ~gc_workers profile
+      run_domains ~heap ~seed ~scale ~instrument ~observer ~gc ~gc_workers
+        profile
 
 let run ?heap ?seed ?scale ?substrate ?threads ?gc_workers ~gc profile =
   fst (run_rt ?heap ?seed ?scale ?substrate ?threads ?gc_workers ~gc profile)

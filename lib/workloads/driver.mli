@@ -36,6 +36,7 @@ val run_rt :
   ?threads:int ->
   ?gc_workers:int ->
   ?instrument:(Otfgc.Runtime.t -> unit) ->
+  ?observer:Otfgc_metrics.Observer.t ->
   gc:Otfgc.Gc_config.t ->
   Profile.t ->
   Otfgc_metrics.Run_result.t * Otfgc.Runtime.t
@@ -48,7 +49,13 @@ val run_rt :
     profile's thread count (the speedup sweeps vary it); [substrate]
     selects the execution substrate (default [Sim]); [gc_workers]
     (default 1) arms a multi-worker collection crew — domains substrate
-    only ([Invalid_argument] on [Sim] when > 1). *)
+    only ([Invalid_argument] on [Sim] when > 1).  [observer], domains
+    only, is launched right after [instrument] and stopped at quiescence
+    — after the parallel run, before the per-mutator ledgers are folded
+    into the shared ones — so its final snapshot equals the post-run
+    totals exactly (see {!Otfgc_metrics.Observer}).  Note the warmup
+    reset happens mid-run: observer counters are monotone only from the
+    first post-warmup snapshot on. *)
 
 val run :
   ?heap:Otfgc_heap.Heap.config ->

@@ -24,4 +24,5 @@ let () =
          Test_structs.suites;
          Test_workloads.suites;
          Test_harness.suites;
+         Test_live_metrics.suites;
        ])
